@@ -1,0 +1,67 @@
+// Command tpqbench regenerates the paper's evaluation figures (Section 6,
+// Figures 7-9) plus this reproduction's supplementary experiments, printing
+// one aligned table — or CSV — per figure.
+//
+// Usage:
+//
+//	tpqbench                 # run everything
+//	tpqbench -fig 9a         # one experiment
+//	tpqbench -fig 8b -csv    # machine-readable output
+//	tpqbench -quick          # sparse grids (smoke test)
+//	tpqbench -budget 200ms   # more careful timing per point
+//
+// Experiments: 7a 7b 8a 8b 9a 9b motivation ablation-cim ablation-closure
+// ablation-virtual.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"tpq/internal/bench"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tpqbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fig := fs.String("fig", "all", "experiment id or 'all': "+strings.Join(bench.Names(), " "))
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	quick := fs.Bool("quick", false, "sparse parameter grids (fast smoke run)")
+	budget := fs.Duration("budget", 50*time.Millisecond, "minimum measurement time per point")
+	runs := fs.Int("runs", 3, "minimum runs per point")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	opts := bench.Options{MinRuns: *runs, Budget: *budget, Quick: *quick}
+
+	names := bench.Names()
+	if *fig != "all" {
+		if bench.ByName(*fig) == nil {
+			fmt.Fprintf(stderr, "tpqbench: unknown experiment %q (want one of: all %s)\n",
+				*fig, strings.Join(names, " "))
+			return 2
+		}
+		names = []string{*fig}
+	}
+	for i, name := range names {
+		tab := bench.ByName(name)(opts)
+		if *csv {
+			fmt.Fprintf(stdout, "# %s\n%s", tab.Title, tab.CSV())
+		} else {
+			if i > 0 {
+				fmt.Fprintln(stdout)
+			}
+			fmt.Fprint(stdout, tab)
+		}
+	}
+	return 0
+}

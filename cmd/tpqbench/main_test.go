@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code := run(args, &out, &errBuf)
+	return out.String(), errBuf.String(), code
+}
+
+func TestSingleFigureTable(t *testing.T) {
+	out, stderr, code := runCmd(t, "-fig", "9b", "-quick", "-budget", "1ms", "-runs", "1")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	for _, want := range []string{"Figure 9(b)", "ACIM", "CDMACIM", "QuerySize"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	out, _, code := runCmd(t, "-fig", "motivation", "-quick", "-budget", "1ms", "-runs", "1", "-csv")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "series,x,micros") {
+		t.Errorf("no CSV header:\n%s", out)
+	}
+	if !strings.Contains(out, "Original,") || !strings.Contains(out, "Minimized,") {
+		t.Errorf("CSV rows missing:\n%s", out)
+	}
+}
+
+func TestUnknownFigure(t *testing.T) {
+	_, stderr, code := runCmd(t, "-fig", "13c")
+	if code != 2 || !strings.Contains(stderr, "unknown experiment") {
+		t.Errorf("exit %d, stderr %q", code, stderr)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if _, _, code := runCmd(t, "-nope"); code != 2 {
+		t.Errorf("exit %d", code)
+	}
+}

@@ -1,0 +1,101 @@
+// Command tpqgen generates tree pattern query workloads: the structured
+// generators behind the paper's experiments, or random queries and
+// constraint sets for fuzzing.
+//
+// Usage:
+//
+//	tpqgen -kind chain -size 20             # right-deep chain + its ICs
+//	tpqgen -kind bushy -size 127 -fanout 2
+//	tpqgen -kind star  -size 50
+//	tpqgen -kind fan   -size 101 -red 30    # Figure 7(a) workload
+//	tpqgen -kind redundant -size 101 -red 30 -degree 3
+//	tpqgen -kind halflocal -size 61
+//	tpqgen -kind random -size 15 -alphabet 5 -seed 7 -n 3 -cons 4
+//
+// The query prints on the first line; any generated constraints follow,
+// one per line, prefixed with "# ic: " so the output can be fed back to
+// tpqmin -f after stripping the prefix (or used directly as
+// documentation).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"tpq/internal/genquery"
+	"tpq/internal/ics"
+	"tpq/internal/pattern"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tpqgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	kind := fs.String("kind", "random", "chain | bushy | star | fan | redundant | halflocal | random")
+	size := fs.Int("size", 20, "query size in nodes")
+	fanout := fs.Int("fanout", 2, "fanout (bushy)")
+	red := fs.Int("red", 5, "redundant nodes (fan, redundant)")
+	degree := fs.Int("degree", 2, "redundancy degree (redundant)")
+	alphabet := fs.Int("alphabet", 4, "type alphabet size (random)")
+	seed := fs.Int64("seed", 1, "random seed (random)")
+	n := fs.Int("n", 1, "number of queries (random)")
+	ncons := fs.Int("cons", 0, "random constraints to emit alongside (random)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	emit := func(q *pattern.Pattern, cs *ics.Set) {
+		fmt.Fprintln(stdout, q)
+		if cs != nil {
+			for _, c := range cs.Constraints() {
+				fmt.Fprintf(stdout, "# ic: %s\n", c)
+			}
+		}
+	}
+
+	// The structured generators validate their arguments with panics;
+	// surface those as clean CLI errors.
+	code := 0
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				fmt.Fprintln(stderr, "tpqgen:", r)
+				code = 1
+			}
+		}()
+		switch *kind {
+		case "chain":
+			emit(genquery.Chain(*size))
+		case "bushy":
+			emit(genquery.Bushy(*size, *fanout))
+		case "star":
+			emit(genquery.Star(*size))
+		case "fan":
+			emit(genquery.Fan(*size), genquery.FanRedundancy(*red))
+		case "redundant":
+			emit(genquery.Redundant(*size, *red, *degree), nil)
+		case "halflocal":
+			emit(genquery.HalfLocal(*size))
+		case "random":
+			rng := rand.New(rand.NewSource(*seed))
+			for i := 0; i < *n; i++ {
+				q := genquery.Random(rng, *size, *alphabet)
+				var cs *ics.Set
+				if *ncons > 0 {
+					cs = genquery.RandomConstraints(rng, *ncons, *alphabet)
+				}
+				emit(q, cs)
+			}
+		default:
+			fmt.Fprintf(stderr, "tpqgen: unknown kind %q\n", *kind)
+			code = 2
+		}
+	}()
+	return code
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tpq/internal/pattern"
+)
+
+func runCmd(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code := run(args, &out, &errBuf)
+	return out.String(), errBuf.String(), code
+}
+
+func firstQuery(t *testing.T, out string) *pattern.Pattern {
+	t.Helper()
+	line := strings.SplitN(out, "\n", 2)[0]
+	p, err := pattern.Parse(line)
+	if err != nil {
+		t.Fatalf("generated query does not parse: %q: %v", line, err)
+	}
+	return p
+}
+
+func TestKinds(t *testing.T) {
+	cases := []struct {
+		args    []string
+		size    int
+		wantICs bool
+	}{
+		{[]string{"-kind", "chain", "-size", "8"}, 8, true},
+		{[]string{"-kind", "bushy", "-size", "15", "-fanout", "2"}, 15, true},
+		{[]string{"-kind", "star", "-size", "9"}, 9, true},
+		{[]string{"-kind", "fan", "-size", "21", "-red", "5"}, 21, true},
+		{[]string{"-kind", "redundant", "-size", "30", "-red", "4", "-degree", "2"}, 30, false},
+		{[]string{"-kind", "halflocal", "-size", "16"}, 16, true},
+		{[]string{"-kind", "random", "-size", "12", "-seed", "3"}, 12, false},
+	}
+	for _, c := range cases {
+		t.Run(strings.Join(c.args, " "), func(t *testing.T) {
+			out, stderr, code := runCmd(t, c.args...)
+			if code != 0 {
+				t.Fatalf("exit %d, stderr %q", code, stderr)
+			}
+			q := firstQuery(t, out)
+			if q.Size() != c.size {
+				t.Errorf("generated size = %d, want %d", q.Size(), c.size)
+			}
+			if got := strings.Contains(out, "# ic:"); got != c.wantICs {
+				t.Errorf("constraints present = %v, want %v", got, c.wantICs)
+			}
+		})
+	}
+}
+
+func TestRandomMultipleWithConstraints(t *testing.T) {
+	out, _, code := runCmd(t, "-kind", "random", "-n", "3", "-size", "6", "-cons", "2", "-seed", "9")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	queries := 0
+	for _, line := range strings.Split(out, "\n") {
+		if line != "" && !strings.HasPrefix(line, "#") {
+			queries++
+		}
+	}
+	if queries != 3 {
+		t.Errorf("generated %d queries, want 3", queries)
+	}
+	if !strings.Contains(out, "# ic:") {
+		t.Error("no constraints emitted")
+	}
+}
+
+func TestDeterministicSeed(t *testing.T) {
+	a, _, _ := runCmd(t, "-kind", "random", "-seed", "42", "-size", "10")
+	b, _, _ := runCmd(t, "-kind", "random", "-seed", "42", "-size", "10")
+	if a != b {
+		t.Error("same seed produced different output")
+	}
+	c, _, _ := runCmd(t, "-kind", "random", "-seed", "43", "-size", "10")
+	if a == c {
+		t.Error("different seeds produced identical output")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, stderr, code := runCmd(t, "-kind", "nope"); code == 0 || !strings.Contains(stderr, "unknown kind") {
+		t.Errorf("unknown kind: exit %d, stderr %q", code, stderr)
+	}
+	// Generator panics surface as errors, not crashes.
+	if _, stderr, code := runCmd(t, "-kind", "redundant", "-size", "2", "-red", "50"); code != 1 || stderr == "" {
+		t.Errorf("undersized redundant: exit %d, stderr %q", code, stderr)
+	}
+	if _, _, code := runCmd(t, "-badflag"); code != 2 {
+		t.Errorf("bad flag: exit %d", code)
+	}
+}

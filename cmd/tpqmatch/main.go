@@ -1,0 +1,134 @@
+// Command tpqmatch evaluates a tree pattern query against an XML document
+// and reports the answers, optionally minimizing the query first.
+//
+// Usage:
+//
+//	tpqmatch -xml doc.xml 'Library/Book*[/Title]'
+//	tpqmatch -xml doc.xml -xpath '//Book[Title]'
+//	tpqmatch -xml doc.xml -c 'Book -> Title' -minimize 'Book*[/Title]'
+//	cat doc.xml | tpqmatch 'Book*'
+//
+// Output: one line per answer with the node's document position and its
+// path from the root, followed by a summary. With -count only the number
+// of answers prints.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"tpq/internal/acim"
+	"tpq/internal/cdm"
+	"tpq/internal/data"
+	"tpq/internal/ics"
+	"tpq/internal/match"
+	"tpq/internal/pattern"
+	"tpq/internal/xpath"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tpqmatch", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	xmlPath := fs.String("xml", "-", "XML document to query ('-' = stdin)")
+	asXPath := fs.Bool("xpath", false, "parse the query as abbreviated XPath")
+	minimize := fs.Bool("minimize", false, "minimize the query before evaluating (CDM + ACIM)")
+	countOnly := fs.Bool("count", false, "print only the number of answers")
+	var consFlags constraintFlags
+	fs.Var(&consFlags, "c", "integrity constraint for -minimize (repeatable)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: tpqmatch [flags] QUERY\n\nflags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "tpqmatch:", err)
+		return 1
+	}
+
+	var q *pattern.Pattern
+	var err error
+	if *asXPath {
+		q, err = xpath.FromXPath(fs.Arg(0))
+	} else {
+		q, err = pattern.Parse(fs.Arg(0))
+	}
+	if err != nil {
+		return fail(err)
+	}
+
+	var src io.Reader = stdin
+	if *xmlPath != "-" {
+		f, err := os.Open(*xmlPath)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	forest, err := data.ParseXML(src)
+	if err != nil {
+		return fail(err)
+	}
+
+	if *minimize {
+		cs := ics.NewSet()
+		for _, c := range consFlags {
+			con, err := ics.Parse(c)
+			if err != nil {
+				return fail(err)
+			}
+			cs.Add(con)
+		}
+		closed := cs.Closure()
+		pre := q.Clone()
+		cdm.MinimizeInPlace(pre, closed)
+		min := acim.Minimize(pre, closed)
+		if min.Size() < q.Size() {
+			fmt.Fprintf(stdout, "# minimized %d -> %d nodes: %s\n", q.Size(), min.Size(), min)
+		}
+		q = min
+	}
+
+	answers := match.Answers(q, forest)
+	if *countOnly {
+		fmt.Fprintln(stdout, len(answers))
+		return 0
+	}
+	for _, n := range answers {
+		fmt.Fprintf(stdout, "#%d  %s\n", n.ID, pathOf(n))
+	}
+	fmt.Fprintf(stdout, "%d answer(s) over %d nodes\n", len(answers), forest.Size())
+	return 0
+}
+
+func pathOf(n *data.Node) string {
+	var parts []string
+	for ; n != nil; n = n.Parent {
+		parts = append(parts, string(n.Types[0]))
+	}
+	for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+		parts[i], parts[j] = parts[j], parts[i]
+	}
+	return "/" + strings.Join(parts, "/")
+}
+
+type constraintFlags []string
+
+func (c *constraintFlags) String() string { return strings.Join(*c, "; ") }
+func (c *constraintFlags) Set(s string) error {
+	*c = append(*c, s)
+	return nil
+}

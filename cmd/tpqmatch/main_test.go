@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const doc = `<Library>
+  <Book><Title/><Author><LastName/></Author></Book>
+  <Book><Title/></Book>
+</Library>`
+
+func runCmd(t *testing.T, stdin string, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code := run(args, strings.NewReader(stdin), &out, &errBuf)
+	return out.String(), errBuf.String(), code
+}
+
+func TestMatchFromStdin(t *testing.T) {
+	out, stderr, code := runCmd(t, doc, "Book*/Title")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(out, "2 answer(s)") {
+		t.Errorf("output = %q", out)
+	}
+	if !strings.Contains(out, "/Library/Book") {
+		t.Errorf("paths missing: %q", out)
+	}
+}
+
+func TestMatchFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "doc.xml")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, _, code := runCmd(t, "", "-xml", path, "-count", "Book*//LastName")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if strings.TrimSpace(out) != "1" {
+		t.Errorf("count = %q", out)
+	}
+}
+
+func TestMatchXPathQuery(t *testing.T) {
+	out, _, code := runCmd(t, doc, "-xpath", "-count", "//Book[Title]")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if strings.TrimSpace(out) != "2" {
+		t.Errorf("count = %q", out)
+	}
+}
+
+func TestMatchMinimize(t *testing.T) {
+	out, _, code := runCmd(t, doc,
+		"-minimize", "-c", "Book -> Title",
+		"Book*[/Title, /Title]")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "# minimized 3 -> 1 nodes") {
+		t.Errorf("minimization note missing: %q", out)
+	}
+	if !strings.Contains(out, "2 answer(s)") {
+		t.Errorf("answers wrong: %q", out)
+	}
+}
+
+func TestMatchErrors(t *testing.T) {
+	if _, _, code := runCmd(t, doc); code != 2 {
+		t.Error("missing query accepted")
+	}
+	if _, _, code := runCmd(t, doc, "not a query ["); code != 1 {
+		t.Error("bad query accepted")
+	}
+	if _, _, code := runCmd(t, "<not-xml", "a*"); code != 1 {
+		t.Error("bad xml accepted")
+	}
+	if _, _, code := runCmd(t, "", "-xml", "/nonexistent.xml", "a*"); code != 1 {
+		t.Error("missing file accepted")
+	}
+	if _, _, code := runCmd(t, doc, "-minimize", "-c", "garbage", "a*"); code != 1 {
+		t.Error("bad constraint accepted")
+	}
+}

@@ -1,0 +1,180 @@
+// Command tpqmin minimizes a tree pattern query, optionally under a set of
+// integrity constraints.
+//
+// Usage:
+//
+//	tpqmin [-c "A -> B"]... [-f constraints.txt] [-algo auto|cim|cdm|acim] [-xpath] [-v] QUERY
+//
+// The query uses the text syntax of the tpq package — or abbreviated XPath
+// with -xpath:
+//
+//	tpqmin 'Articles/Article*[//Paragraph, /Section//Paragraph]'
+//	tpqmin -c 'Section => Paragraph' 'Articles/Article*[//Paragraph, /Section//Paragraph]'
+//	tpqmin -xpath '//OrgUnit[Dept/Researcher[.//DBProject]][.//Dept[.//DBProject]]'
+//
+// Constraint files contain one constraint per line ("A -> B" required
+// child, "A => B" required descendant, "A ~ B" co-occurrence); blank lines
+// and lines starting with # are ignored.
+//
+// Algorithms: cim ignores constraints entirely; cdm applies only the fast
+// local pruning; acim applies augmentation + CIM; auto (the default) runs
+// CDM as a pre-filter and then ACIM, which is guaranteed to find the
+// unique minimal equivalent query (Theorem 5.3 of the paper).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"tpq/internal/acim"
+	"tpq/internal/cdm"
+	"tpq/internal/cim"
+	"tpq/internal/ics"
+	"tpq/internal/pattern"
+	"tpq/internal/xpath"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+type constraintFlags []string
+
+func (c *constraintFlags) String() string { return strings.Join(*c, "; ") }
+func (c *constraintFlags) Set(s string) error {
+	*c = append(*c, s)
+	return nil
+}
+
+// run is main with injectable arguments and streams, so the command is
+// testable end to end.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tpqmin", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var consFlags constraintFlags
+	file := fs.String("f", "", "file with one constraint per line")
+	algo := fs.String("algo", "auto", "minimization algorithm: auto, cim, cdm or acim")
+	asXPath := fs.Bool("xpath", false, "read and write abbreviated XPath instead of the pattern syntax")
+	verbose := fs.Bool("v", false, "print sizes, removed counts and the closed constraint set")
+	fs.Var(&consFlags, "c", "integrity constraint (repeatable), e.g. 'Book -> Title'")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: tpqmin [flags] QUERY\n\nflags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "tpqmin:", err)
+		return 1
+	}
+
+	var q *pattern.Pattern
+	var err error
+	if *asXPath {
+		q, err = xpath.FromXPath(fs.Arg(0))
+	} else {
+		q, err = pattern.Parse(fs.Arg(0))
+	}
+	if err != nil {
+		return fail(err)
+	}
+	cs := ics.NewSet()
+	for _, src := range consFlags {
+		c, err := ics.Parse(src)
+		if err != nil {
+			return fail(err)
+		}
+		cs.Add(c)
+	}
+	if *file != "" {
+		if err := loadConstraints(cs, *file); err != nil {
+			return fail(err)
+		}
+	}
+
+	closed := cs.Closure()
+	var out *pattern.Pattern
+	removed := 0
+	switch *algo {
+	case "cim":
+		out = q.Clone()
+		st := cim.MinimizeInPlace(out, cim.Options{})
+		removed = st.Removed
+	case "cdm":
+		out = q.Clone()
+		st := cdm.MinimizeInPlace(out, closed)
+		removed = st.Removed
+	case "acim":
+		var st acim.Stats
+		out, st = acim.MinimizeWithStats(q, closed)
+		removed = st.Removed
+	case "auto":
+		pre := q.Clone()
+		stPre := cdm.MinimizeInPlace(pre, closed)
+		var st acim.Stats
+		out, st = acim.MinimizeWithStats(pre, closed)
+		removed = stPre.Removed + st.Removed
+	default:
+		return fail(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+
+	render := func(p *pattern.Pattern) (string, error) {
+		if *asXPath {
+			return xpath.ToXPath(p)
+		}
+		return p.String(), nil
+	}
+	outStr, err := render(out)
+	if err != nil {
+		return fail(err)
+	}
+	if *verbose {
+		inStr, err := render(q)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "input:       %s  (%d nodes)\n", inStr, q.Size())
+		if cs.Len() > 0 {
+			fmt.Fprintf(stdout, "constraints: %s\n", cs)
+			fmt.Fprintf(stdout, "closure:     %s  (%d constraints)\n", closed, closed.Len())
+		}
+		fmt.Fprintf(stdout, "removed:     %d nodes\n", removed)
+		fmt.Fprintf(stdout, "minimized:   %s  (%d nodes)\n", outStr, out.Size())
+		return 0
+	}
+	fmt.Fprintln(stdout, outStr)
+	return 0
+}
+
+func loadConstraints(cs *ics.Set, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		c, err := ics.Parse(text)
+		if err != nil {
+			return fmt.Errorf("%s:%d: %w", path, line, err)
+		}
+		cs.Add(c)
+	}
+	return sc.Err()
+}

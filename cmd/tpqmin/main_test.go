@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code = run(args, &out, &errBuf)
+	return out.String(), errBuf.String(), code
+}
+
+func TestMinimizeNoConstraints(t *testing.T) {
+	out, _, code := runCmd(t, "OrgUnit*[/Dept/Researcher//DBProject, //Dept//DBProject]")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if strings.TrimSpace(out) != "OrgUnit*/Dept/Researcher//DBProject" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestMinimizeWithConstraintFlag(t *testing.T) {
+	out, _, code := runCmd(t,
+		"-c", "Section => Paragraph",
+		"Articles/Article*[//Paragraph, /Section//Paragraph]")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if strings.TrimSpace(out) != "Articles/Article*/Section" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestConstraintFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ics.txt")
+	content := "# publishing constraints\n\nArticle -> Title\nSection => Paragraph\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, _, code := runCmd(t, "-f", path,
+		"Articles/Article*[/Title, //Paragraph, /Section//Paragraph]")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if strings.TrimSpace(out) != "Articles/Article*/Section" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestAlgorithms(t *testing.T) {
+	query := "a*[/b, /b]"
+	for _, algo := range []string{"auto", "cim", "cdm", "acim"} {
+		out, _, code := runCmd(t, "-algo", algo, query)
+		if code != 0 {
+			t.Fatalf("algo %s: exit %d", algo, code)
+		}
+		// All algorithms fold the duplicate leaf: CIM/ACIM by containment
+		// mapping, CDM through the reflexive co-occurrence sibling rule.
+		want := "a*/b"
+		if strings.TrimSpace(out) != want {
+			t.Errorf("algo %s: output %q, want %q", algo, out, want)
+		}
+	}
+}
+
+func TestVerbose(t *testing.T) {
+	out, _, code := runCmd(t, "-v", "-c", "Book -> Title", "Book*[/Title, /Author]")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"input:", "constraints:", "closure:", "removed:", "minimized:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("verbose output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "Book => Title") {
+		t.Errorf("closure not shown:\n%s", out)
+	}
+}
+
+func TestXPathMode(t *testing.T) {
+	out, _, code := runCmd(t, "-xpath",
+		"//OrgUnit[Dept/Researcher[.//DBProject]][.//Dept[.//DBProject]]")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if strings.TrimSpace(out) != "//OrgUnit[Dept/Researcher//DBProject]" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"no args", nil},
+		{"two args", []string{"a*", "b*"}},
+		{"bad pattern", []string{"not a pattern ["}},
+		{"bad constraint", []string{"-c", "nonsense", "a*"}},
+		{"bad algo", []string{"-algo", "fastest", "a*"}},
+		{"missing file", []string{"-f", "/nonexistent/x.txt", "a*"}},
+		{"bad xpath", []string{"-xpath", "a/b"}},
+		{"xpath with extras unprintable", []string{"-xpath", "//a"}}, // fine, prints
+	}
+	for _, c := range cases[:7] {
+		t.Run(c.name, func(t *testing.T) {
+			_, stderr, code := runCmd(t, c.args...)
+			if code == 0 {
+				t.Errorf("exit 0, stderr %q", stderr)
+			}
+		})
+	}
+}
+
+func TestBadConstraintFileLine(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(path, []byte("Book -> Title\ngarbage line\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, stderr, code := runCmd(t, "-f", path, "a*")
+	if code == 0 || !strings.Contains(stderr, "bad.txt:2") {
+		t.Errorf("exit %d, stderr %q", code, stderr)
+	}
+}

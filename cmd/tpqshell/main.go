@@ -1,0 +1,241 @@
+// Command tpqshell is an interactive console for exploring tree pattern
+// query minimization: load constraints and documents, then parse,
+// minimize, compare and evaluate queries line by line.
+//
+// Usage:
+//
+//	tpqshell [-xml doc.xml] [-f constraints.txt]
+//
+// Commands (also shown by "help"):
+//
+//	min QUERY              minimize under the loaded constraints (CDM+ACIM)
+//	cim QUERY              constraint-independent minimization only
+//	cdm QUERY              local pruning only
+//	ic  A -> B             add a constraint (=>, ~, !->, !=> likewise)
+//	ics                    list loaded constraints and their closure size
+//	eq  QUERY ; QUERY      equivalence, with and without constraints
+//	match QUERY            evaluate against the loaded document
+//	xpath XPATH            convert an XPath expression and minimize it
+//	info QUERY             CDM information-content labels per node
+//	sat QUERY              satisfiability under the loaded constraints
+//	help                   this text
+//	quit                   exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"tpq/internal/acim"
+	"tpq/internal/cdm"
+	"tpq/internal/cim"
+	"tpq/internal/data"
+	"tpq/internal/ics"
+	"tpq/internal/match"
+	"tpq/internal/pattern"
+	"tpq/internal/xpath"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+type shell struct {
+	cs     *ics.Set
+	forest *data.Forest
+	out    io.Writer
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tpqshell", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	xmlPath := fs.String("xml", "", "XML document to load for match")
+	consFile := fs.String("f", "", "constraint file to preload")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	sh := &shell{cs: ics.NewSet(), out: stdout}
+	if *xmlPath != "" {
+		f, err := os.Open(*xmlPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "tpqshell:", err)
+			return 1
+		}
+		forest, err := data.ParseXML(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(stderr, "tpqshell:", err)
+			return 1
+		}
+		sh.forest = forest
+		fmt.Fprintf(stdout, "loaded %s: %d nodes\n", *xmlPath, forest.Size())
+	}
+	if *consFile != "" {
+		if err := sh.loadConstraints(*consFile); err != nil {
+			fmt.Fprintln(stderr, "tpqshell:", err)
+			return 1
+		}
+	}
+
+	sc := bufio.NewScanner(stdin)
+	fmt.Fprint(stdout, "tpq> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "quit" || line == "exit" {
+			break
+		}
+		if line != "" {
+			sh.exec(line)
+		}
+		fmt.Fprint(stdout, "tpq> ")
+	}
+	fmt.Fprintln(stdout)
+	return 0
+}
+
+func (sh *shell) loadConstraints(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		c, err := ics.Parse(text)
+		if err != nil {
+			return err
+		}
+		sh.cs.Add(c)
+	}
+	fmt.Fprintf(sh.out, "loaded %d constraints\n", sh.cs.Len())
+	return sc.Err()
+}
+
+func (sh *shell) exec(line string) {
+	cmd, rest, _ := strings.Cut(line, " ")
+	rest = strings.TrimSpace(rest)
+	switch cmd {
+	case "help":
+		fmt.Fprint(sh.out, helpText)
+	case "ic":
+		c, err := ics.Parse(rest)
+		if err != nil {
+			sh.errorf("%v", err)
+			return
+		}
+		sh.cs.Add(c)
+		fmt.Fprintf(sh.out, "ok (%d constraints)\n", sh.cs.Len())
+	case "ics":
+		if sh.cs.Len() == 0 {
+			fmt.Fprintln(sh.out, "no constraints loaded")
+			return
+		}
+		for _, c := range sh.cs.Constraints() {
+			fmt.Fprintln(sh.out, " ", c)
+		}
+		fmt.Fprintf(sh.out, "closure: %d constraints\n", sh.cs.Closure().Len())
+	case "min":
+		sh.withQuery(rest, func(q *pattern.Pattern) {
+			closed := sh.cs.Closure()
+			pre := q.Clone()
+			stC := cdm.MinimizeInPlace(pre, closed)
+			out, stA := acim.MinimizeWithStats(pre, closed)
+			fmt.Fprintf(sh.out, "%s   (%d -> %d nodes; CDM removed %d, ACIM %d)\n",
+				out, q.Size(), out.Size(), stC.Removed, stA.Removed)
+		})
+	case "cim":
+		sh.withQuery(rest, func(q *pattern.Pattern) {
+			out := cim.Minimize(q)
+			fmt.Fprintf(sh.out, "%s   (%d -> %d nodes)\n", out, q.Size(), out.Size())
+		})
+	case "cdm":
+		sh.withQuery(rest, func(q *pattern.Pattern) {
+			out := cdm.Minimize(q, sh.cs.Closure())
+			fmt.Fprintf(sh.out, "%s   (%d -> %d nodes)\n", out, q.Size(), out.Size())
+		})
+	case "eq":
+		a, b, ok := strings.Cut(rest, ";")
+		if !ok {
+			sh.errorf("usage: eq QUERY ; QUERY")
+			return
+		}
+		sh.withQuery(strings.TrimSpace(a), func(qa *pattern.Pattern) {
+			sh.withQuery(strings.TrimSpace(b), func(qb *pattern.Pattern) {
+				fmt.Fprintf(sh.out, "equivalent: %v; under constraints: %v\n",
+					acim.EquivalentUnder(qa, qb, ics.NewSet()),
+					acim.EquivalentUnder(qa, qb, sh.cs))
+			})
+		})
+	case "match":
+		if sh.forest == nil {
+			sh.errorf("no document loaded (start with -xml doc.xml)")
+			return
+		}
+		sh.withQuery(rest, func(q *pattern.Pattern) {
+			answers := match.Answers(q, sh.forest)
+			fmt.Fprintf(sh.out, "%d answer(s)\n", len(answers))
+		})
+	case "xpath":
+		q, err := xpath.FromXPath(rest)
+		if err != nil {
+			sh.errorf("%v", err)
+			return
+		}
+		min := acim.Minimize(cdm.Minimize(q, sh.cs.Closure()), sh.cs.Closure())
+		back, err := xpath.ToXPath(min)
+		if err != nil {
+			sh.errorf("%v", err)
+			return
+		}
+		fmt.Fprintf(sh.out, "%s   (%d -> %d nodes)\n", back, q.Size(), min.Size())
+	case "info":
+		sh.withQuery(rest, func(q *pattern.Pattern) {
+			fmt.Fprint(sh.out, cdm.DebugDump(q))
+		})
+	case "sat":
+		sh.withQuery(rest, func(q *pattern.Pattern) {
+			if acim.UnsatisfiableUnder(q, sh.cs) {
+				fmt.Fprintln(sh.out, "unsatisfiable under the loaded constraints")
+			} else {
+				fmt.Fprintln(sh.out, "satisfiable")
+			}
+		})
+	default:
+		sh.errorf("unknown command %q (try help)", cmd)
+	}
+}
+
+func (sh *shell) withQuery(src string, f func(*pattern.Pattern)) {
+	q, err := pattern.Parse(src)
+	if err != nil {
+		sh.errorf("%v", err)
+		return
+	}
+	f(q)
+}
+
+func (sh *shell) errorf(format string, args ...interface{}) {
+	fmt.Fprintf(sh.out, "error: %s\n", fmt.Sprintf(format, args...))
+}
+
+const helpText = `commands:
+  min QUERY          minimize under the loaded constraints (CDM+ACIM)
+  cim QUERY          constraint-independent minimization only
+  cdm QUERY          local pruning only
+  ic  A -> B         add a constraint (=> ~ !-> !=> likewise)
+  ics                list loaded constraints
+  eq  Q1 ; Q2        equivalence with and without constraints
+  match QUERY        evaluate against the loaded document
+  xpath XPATH        convert an XPath expression and minimize it
+  info QUERY         CDM information-content labels
+  sat QUERY          satisfiability under the loaded constraints
+  quit               exit
+`

@@ -1,0 +1,84 @@
+package tpq_test
+
+import (
+	"fmt"
+	"strings"
+
+	"tpq"
+)
+
+func ExampleMinimize() {
+	// Figure 2(h) of the paper: the //Dept//DBProject branch is subsumed.
+	q := tpq.MustParse("OrgUnit*[/Dept/Researcher//DBProject, //Dept//DBProject]")
+	fmt.Println(tpq.Minimize(q))
+	// Output: OrgUnit*/Dept/Researcher//DBProject
+}
+
+func ExampleMinimizeUnderConstraints() {
+	q := tpq.MustParse("Book*[/Title, /Author, /Publisher]")
+	cs := tpq.NewConstraints(tpq.RequiredChild("Book", "Publisher"))
+	fmt.Println(tpq.MinimizeUnderConstraints(q, cs))
+	// Output: Book*[/Author, /Title]
+}
+
+func ExampleParse() {
+	p, err := tpq.Parse("Articles/Article*[/Title, //Paragraph]")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(p.Size(), p.OutputNode().Type)
+	// Output: 4 Article
+}
+
+func ExampleContains() {
+	super := tpq.MustParse("a*//c")
+	sub := tpq.MustParse("a*/b/c")
+	fmt.Println(tpq.Contains(super, sub), tpq.Contains(sub, super))
+	// Output: true false
+}
+
+func ExampleEquivalentUnder() {
+	a := tpq.MustParse("Book*/Publisher")
+	b := tpq.MustParse("Book*")
+	cs := tpq.NewConstraints(tpq.RequiredChild("Book", "Publisher"))
+	fmt.Println(tpq.Equivalent(a, b), tpq.EquivalentUnder(a, b, cs))
+	// Output: false true
+}
+
+func ExampleMatch() {
+	forest, _ := tpq.ParseXML(strings.NewReader(
+		"<Library><Book><Title/></Book><Book/></Library>"))
+	q := tpq.MustParse("Book*/Title")
+	fmt.Println(len(tpq.Match(q, forest)))
+	// Output: 1
+}
+
+func ExampleSchema() {
+	s := tpq.NewSchema()
+	s.Declare("Author", tpq.Required("LastName"))
+	s.Declare("Book", tpq.Required("Author"))
+	cs := s.InferConstraints()
+	// The closure knows every book has a last name somewhere below it.
+	fmt.Println(cs.HasDesc("Book", "LastName"))
+	// Output: true
+}
+
+func ExampleFromXPath() {
+	p, _ := tpq.FromXPath("//OrgUnit[Dept/Researcher[.//DBProject]][.//Dept[.//DBProject]]")
+	min := tpq.Minimize(p)
+	xp, _ := tpq.ToXPath(min)
+	fmt.Println(xp)
+	// Output: //OrgUnit[Dept/Researcher//DBProject]
+}
+
+func ExampleParseConstraints() {
+	cs, _ := tpq.ParseConstraints("Book -> Title", "Employee ~ Person")
+	fmt.Println(cs.Len())
+	// Output: 2
+}
+
+func ExampleParseCondition() {
+	c, _ := tpq.ParseCondition("@price < 100")
+	fmt.Println(c, c.Holds(50), c.Holds(150))
+	// Output: @price<100 true false
+}

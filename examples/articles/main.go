@@ -1,0 +1,69 @@
+// Articles walks through every transformation of Figure 2 and Section 3.3
+// of the paper on the XML publishing scenario: constraint-independent
+// steps, constraint-dependent steps, the order-sensitivity of combining
+// them, and how ACIM's augmentation sidesteps the problem.
+//
+// Run with: go run ./examples/articles
+package main
+
+import (
+	"fmt"
+
+	"tpq"
+)
+
+func show(label string, p *tpq.Pattern) {
+	fmt.Printf("  %-8s %s   (%d nodes)\n", label, p, p.Size())
+}
+
+func main() {
+	figA := tpq.MustParse("Articles/Article*[/Title, //Paragraph, /Section//Paragraph]")
+	figB := tpq.MustParse("Articles/Article*[//Paragraph, /Section//Paragraph]")
+	figE := tpq.MustParse("Articles/Article*/Section")
+
+	fmt.Println("The running example of the paper (Figure 2):")
+	show("(a)", figA)
+
+	fmt.Println("\n1. Without constraints, CIM folds the free //Paragraph branch into")
+	fmt.Println("   the Section//Paragraph branch (a containment mapping exists);")
+	fmt.Println("   Title survives, no constraint knows about it yet:")
+	show("CIM(a)", tpq.Minimize(figA))
+
+	fmt.Println("\n2. Knowing every Article has a Title, the Title branch goes, and")
+	fmt.Println("   the freed //Paragraph folds into the Section branch — Figure 2(c):")
+	csTitle := tpq.NewConstraints(tpq.RequiredChild("Article", "Title"))
+	show("ACIM", tpq.MinimizeUnderConstraints(figA, csTitle))
+
+	fmt.Println("\n3. Knowing every Section has a Paragraph below it, (b) minimizes")
+	fmt.Println("   all the way to Figure 2(e) — the step where naive chase-then-")
+	fmt.Println("   minimize gets stuck at 2(c) and ACIM's temporary-witness")
+	fmt.Println("   augmentation does not:")
+	csSec := tpq.NewConstraints(tpq.RequiredDescendant("Section", "Paragraph"))
+	got := tpq.MinimizeUnderConstraints(figB, csSec)
+	show("ACIM", got)
+	fmt.Println("   isomorphic to 2(e):", tpq.Isomorphic(got, figE))
+
+	fmt.Println("\n4. With both constraints, (a) collapses from 6 nodes to 3:")
+	both := tpq.NewConstraints(
+		tpq.RequiredChild("Article", "Title"),
+		tpq.RequiredDescendant("Section", "Paragraph"),
+	)
+	show("ACIM", tpq.MinimizeUnderConstraints(figA, both))
+
+	fmt.Println("\n5. The constraints can come from a schema instead of being")
+	fmt.Println("   hand-written — the Figure 1 route:")
+	s := tpq.NewSchema()
+	s.Declare("Articles", tpq.Optional("Article"))
+	s.Declare("Article", tpq.Required("Title"), tpq.Optional("Section"))
+	s.Declare("Section", tpq.Required("Paragraph"))
+	s.Declare("Title")
+	s.Declare("Paragraph")
+	inferred := s.InferConstraints()
+	fmt.Println("   inferred:", inferred)
+	show("ACIM", tpq.MinimizeUnderConstraints(figA, inferred))
+
+	fmt.Println("\n6. Minimality matters because matching cost follows pattern size;")
+	fmt.Println("   equivalence under the constraints is preserved exactly:")
+	fmt.Println("   EquivalentUnder(a, minimized) =",
+		tpq.EquivalentUnder(figA, tpq.MinimizeUnderConstraints(figA, both), both))
+}

@@ -1,0 +1,64 @@
+// Bookstore demonstrates value-based conditions — the extension sketched
+// in the paper's conclusions (Section 7): pattern nodes carry comparisons
+// over numeric attributes ("the price of a book is less than 100"), and
+// minimization reasons about logical entailment between conditions. A
+// branch asking for a cheap book is subsumed by a branch asking for an
+// even cheaper one.
+//
+// Run with: go run ./examples/bookstore
+package main
+
+import (
+	"fmt"
+
+	"tpq"
+)
+
+func main() {
+	// "Catalogs that contain a book under 100 and a discounted book under
+	// 50 from the nineties": the <100 branch is implied by the <50 branch.
+	q := tpq.MustParse("Catalog*[//Book(@price<100), //Book(@price<50, @year>=1990)]")
+	fmt.Println("query:    ", q)
+
+	min := tpq.Minimize(q)
+	fmt.Println("minimized:", min, " (the <100 branch is entailed)")
+
+	// Incomparable conditions survive minimization.
+	q2 := tpq.MustParse("Catalog*[//Book(@price<50), //Book(@price>200)]")
+	fmt.Println("\nquery:    ", q2)
+	fmt.Println("minimized:", tpq.Minimize(q2), " (a cheap AND an expensive book: nothing is redundant)")
+
+	// Conditions combine with integrity constraints. "Every Catalog has a
+	// Book" discharges the bare Book branch but not the conditioned one:
+	// the guaranteed book has no known price.
+	q3 := tpq.MustParse("Catalog*[/Book, /Book(@price<50)]")
+	cs := tpq.NewConstraints(tpq.RequiredChild("Catalog", "Book"))
+	fmt.Println("\nquery:    ", q3)
+	fmt.Println("with IC:  ", tpq.MinimizeUnderConstraints(q3, cs),
+		" (bare Book implied by the constraint; the priced one must stay)")
+
+	// Evaluation: data nodes carry attribute values.
+	catalog := tpq.NewDataNode("Catalog")
+	catalog.Child("Book").SetAttr("price", 35).SetAttr("year", 1994)
+	catalog.Child("Book").SetAttr("price", 80).SetAttr("year", 2003)
+	catalog.Child("Book").SetAttr("price", 250)
+	shop := tpq.NewForest(catalog)
+
+	fmt.Println("\nmatching against a store with books at 35, 80 and 250:")
+	for _, src := range []string{
+		"Book*(@price<100)",
+		"Book*(@price<50, @year>=1990)",
+		"Catalog*[//Book(@price<100), //Book(@price<50, @year>=1990)]",
+	} {
+		p := tpq.MustParse(src)
+		fmt.Printf("  %-58s -> %d answers\n", src, tpq.MatchCount(p, shop))
+	}
+
+	// The minimized query returns the same catalogs.
+	if tpq.MatchCount(q, shop) != tpq.MatchCount(min, shop) {
+		panic("minimization changed the answers")
+	}
+	fmt.Println("\nminimized and original answer sets agree; containment is decidable too:")
+	fmt.Println("  original contains minimized:", tpq.Contains(q, min))
+	fmt.Println("  minimized contains original:", tpq.Contains(min, q))
+}

@@ -1,0 +1,72 @@
+// Schemainfer demonstrates the Figure 1 pipeline end to end: declare an
+// XML-Schema-like document schema, infer the integrity constraints it
+// implies (required children, required descendants through transitivity,
+// co-occurrences from subtyping), and use them to minimize a batch of
+// realistic queries.
+//
+// Run with: go run ./examples/schemainfer
+package main
+
+import (
+	"fmt"
+
+	"tpq"
+)
+
+func main() {
+	// The book catalog of Figure 1(a), extended with subtyping.
+	s := tpq.NewSchema()
+	s.Declare("Catalog", tpq.Optional("Book"), tpq.Optional("Journal"))
+	s.Declare("Book",
+		tpq.Required("Title"),
+		tpq.ChildDecl{Name: "Author", MinOccurs: 1, MaxOccurs: 5},
+		tpq.Optional("Chapter"),
+		tpq.Required("Publisher"),
+	)
+	s.Declare("Journal", tpq.Required("Title"), tpq.Required("Publisher"))
+	s.Declare("Author", tpq.Required("LastName"), tpq.Optional("FirstName"))
+	s.Declare("Publisher", tpq.Required("Name"))
+	s.Declare("Chapter", tpq.Optional("Section"))
+	s.Declare("Section", tpq.Required("Paragraph"))
+	for _, leaf := range []tpq.Type{"Title", "LastName", "FirstName", "Name", "Paragraph"} {
+		s.Declare(leaf)
+	}
+	s.DeclareIsA("Book", "Publication")
+	s.DeclareIsA("Journal", "Publication")
+
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	cs := s.InferConstraints()
+	fmt.Printf("schema implies %d constraints (closed), e.g.:\n", cs.Len())
+	for i, c := range cs.Constraints() {
+		if i == 8 {
+			fmt.Println("  ...")
+			break
+		}
+		fmt.Println("  ", c)
+	}
+
+	queries := []string{
+		// "Books that have a publisher" — publisher is guaranteed.
+		"Catalog/Book*[/Title, /Publisher]",
+		// "Books whose author has a last name" — last names are required.
+		"Catalog/Book*[/Author/LastName, /Title]",
+		// "Books with an author, with a last name somewhere below the book".
+		"Book*[/Author, //LastName]",
+		// Deep guaranteed structure: a publisher name below the catalog
+		// entry adds nothing once a book is required.
+		"Catalog*[/Book, //Name]",
+		// Subtyping: a book IS a publication.
+		"Catalog*[/Book, /Publication]",
+	}
+	fmt.Println("\nminimizing against the schema:")
+	for _, src := range queries {
+		q := tpq.MustParse(src)
+		min := tpq.MinimizeUnderConstraints(q, cs)
+		fmt.Printf("  %-44s ->  %s   (%d -> %d nodes)\n", q, min, q.Size(), min.Size())
+		if !tpq.EquivalentUnder(q, min, cs) {
+			panic("minimization broke equivalence")
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module tpq
+
+go 1.22

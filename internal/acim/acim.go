@@ -1,0 +1,214 @@
+// Package acim implements Algorithm ACIM (Section 5.2-5.3 of the paper):
+// constraint-dependent minimization of a tree pattern query by
+// augmentation followed by constraint-independent minimization.
+//
+// ACIM runs three steps:
+//
+//  1. Augment the query with respect to the logical closure of the given
+//     integrity constraints (package chase). Added nodes and type
+//     associations are temporary: witnesses for containment mappings, never
+//     requirements, never candidates for elimination.
+//  2. Run CIM (package cim) on the augmented query. Temporary nodes widen
+//     the image sets, exposing redundancies that only hold under the
+//     constraints.
+//  3. Strip the temporary nodes and type associations.
+//
+// Theorem 5.1: for required-child, required-descendant and co-occurrence
+// constraints the minimal equivalent query under the constraints is unique,
+// and ACIM finds it. ACIM is a direct implementation of the optimal
+// strategy A·M·R of Lemma 5.4 (augment, minimize, reduce); the package also
+// provides Reduce and ApplyStrategy so the lemmas' identities can be
+// exercised directly.
+package acim
+
+import (
+	"time"
+
+	"tpq/internal/chase"
+	"tpq/internal/cim"
+	"tpq/internal/containment"
+	"tpq/internal/ics"
+	"tpq/internal/pattern"
+)
+
+// Stats describes an ACIM run.
+type Stats struct {
+	// Augmented is the number of temporary nodes added.
+	Augmented int
+	// AugmentedSize is the query size after augmentation (permanent +
+	// temporary nodes).
+	AugmentedSize int
+	// Removed is the number of permanent nodes eliminated.
+	Removed int
+	// Tests is the number of leaf-redundancy tests run by the CIM phase.
+	Tests int
+	// TablesTime is the time spent building images and ancestor/descendant
+	// tables (Figure 7(b) reports this fraction of TotalTime).
+	TablesTime time.Duration
+	// AugmentTime is the time spent in the augmentation step, including
+	// closing the constraint set if it was not already closed.
+	AugmentTime time.Duration
+	// TotalTime is the wall-clock time of the whole run.
+	TotalTime time.Duration
+}
+
+// Minimize returns the unique minimal query equivalent to p under cs,
+// leaving p untouched. cs need not be closed.
+func Minimize(p *pattern.Pattern, cs *ics.Set) *pattern.Pattern {
+	q, _ := MinimizeWithStats(p, cs)
+	return q
+}
+
+// MinimizeWithStats is Minimize with run statistics.
+func MinimizeWithStats(p *pattern.Pattern, cs *ics.Set) (*pattern.Pattern, Stats) {
+	var st Stats
+	start := time.Now()
+	q := p.Clone()
+	if cs == nil {
+		cs = ics.NewSet()
+	}
+
+	tAug := time.Now()
+	st.Augmented = chase.Augment(q, cs)
+	st.AugmentTime = time.Since(tAug)
+	st.AugmentedSize = q.Size()
+
+	cimStats := cim.MinimizeInPlace(q, cim.Options{})
+	st.Removed = cimStats.Removed
+	st.Tests = cimStats.Tests
+	st.TablesTime = cimStats.TablesTime
+
+	q.StripTemp()
+	st.TotalTime = time.Since(start)
+	return q, st
+}
+
+// Reduce applies the paper's reduction step R in place: repeatedly delete
+// any leaf whose presence is implied by a constraint at its parent — a
+// c-child leaf of type T under a parent carrying a type T' with T' -> T, or
+// a d-child leaf under a parent with T' => T. A leaf carrying extra types
+// is deleted only if the constraint's witness carries them all (via
+// co-occurrence in the closed set). Returns the number of nodes removed.
+// cs must be closed; Reduce closes it defensively otherwise.
+func Reduce(p *pattern.Pattern, cs *ics.Set) int {
+	if p == nil || p.Root == nil || cs == nil {
+		return 0
+	}
+	if !cs.IsClosed() {
+		cs = cs.Closure()
+	}
+	removed := 0
+	for {
+		var victim *pattern.Node
+		p.Walk(func(n *pattern.Node) {
+			if victim != nil || n.Star || n.Parent == nil || !n.IsLeaf() {
+				return
+			}
+			if leafImplied(n, cs) {
+				victim = n
+			}
+		})
+		if victim == nil {
+			return removed
+		}
+		victim.Detach()
+		removed++
+	}
+}
+
+// leafImplied reports whether the leaf's requirement is guaranteed by a
+// constraint on one of its parent's types.
+func leafImplied(n *pattern.Node, cs *ics.Set) bool {
+	if len(n.Conds) > 0 {
+		// Constraint witnesses are condition-free; they cannot discharge a
+		// leaf with value conditions.
+		return false
+	}
+	for _, pt := range n.Parent.Types() {
+		var targets []pattern.Type
+		if n.Edge == pattern.Child {
+			targets = cs.ChildTargets(pt)
+		} else {
+			targets = cs.DescTargets(pt)
+		}
+		for _, b := range targets {
+			if witnessCovers(b, n, cs) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// witnessCovers reports whether a guaranteed node of type b satisfies every
+// type the leaf requires.
+func witnessCovers(b pattern.Type, leaf *pattern.Node, cs *ics.Set) bool {
+	for _, t := range leaf.Types() {
+		if !cs.HasCo(b, t) {
+			return false
+		}
+	}
+	return true
+}
+
+// ApplyStrategy interprets a strategy string over the alphabet {A, R, M}
+// of Section 5.3 on a clone of p: A = augmentation with the added material
+// made permanent, R = reduction, M = constraint-independent minimization.
+// It exists so tests can check the identities of Lemmas 5.2-5.4 (for
+// example: no strategy beats "AMR", and "AMR" is idempotent).
+func ApplyStrategy(p *pattern.Pattern, cs *ics.Set, strategy string) *pattern.Pattern {
+	q := p.Clone()
+	closed := cs.Closure()
+	for _, step := range strategy {
+		switch step {
+		case 'A', 'a':
+			chase.Augment(q, closed)
+			makePermanent(q)
+		case 'R', 'r':
+			Reduce(q, closed)
+		case 'M', 'm':
+			cim.MinimizeInPlace(q, cim.Options{})
+		default:
+			panic("acim: unknown strategy step " + string(step))
+		}
+	}
+	return q
+}
+
+func makePermanent(p *pattern.Pattern) {
+	p.Walk(func(n *pattern.Node) {
+		n.Temp = false
+		n.TempExtra = nil
+	})
+}
+
+// EquivalentUnder reports whether a and b are equivalent under cs
+// (two-way containment under the constraints).
+//
+// Containment a ⊆_C b is decided by chasing a with the consequences of cs
+// that involve types relevant to the pair, then checking for a containment
+// mapping b → chase(a). The chase is bounded at size(b)+2 rounds, which is
+// exact for acyclic (after closure) constraint sets; for required-edge
+// cycles — satisfiable only by infinite databases — the check is sound but
+// may under-approximate.
+func EquivalentUnder(a, b *pattern.Pattern, cs *ics.Set) bool {
+	closed := cs.Closure()
+	return ContainedUnder(a, b, closed) && ContainedUnder(b, a, closed)
+}
+
+// ContainedUnder reports a ⊆_C b. cs must be closed; see EquivalentUnder.
+func ContainedUnder(a, b *pattern.Pattern, cs *ics.Set) bool {
+	relevant := a.TypeSet()
+	for t := range b.TypeSet() {
+		relevant[t] = true
+	}
+	filtered := ics.NewSet()
+	for _, c := range cs.Constraints() {
+		if relevant[c.To] {
+			filtered.Add(c)
+		}
+	}
+	chased := a.Clone()
+	chase.FullChase(chased, filtered, b.Size()+2)
+	return containment.Exists(b, chased)
+}

@@ -1,0 +1,131 @@
+package acim
+
+import (
+	"math/rand"
+	"testing"
+
+	"tpq/internal/ics"
+	"tpq/internal/pattern"
+)
+
+// TestACIMGloballyMinimalBruteForce enumerates, for small random queries,
+// every sub-query (obtained by deleting whole subtrees that do not contain
+// the output node) and finds the smallest one equivalent to the original
+// under the constraints. ACIM must return a query of exactly that size —
+// Theorem 5.1's global optimality, checked against an exhaustive oracle.
+func TestACIMGloballyMinimalBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	interesting := 0
+	for i := 0; i < 80; i++ {
+		q, cs := randomSetup(rng, 2+rng.Intn(5), 1+rng.Intn(4))
+		closed := cs.Closure()
+		best := q.Size()
+		for _, sub := range subQueries(q) {
+			if sub.Size() < best && EquivalentUnder(sub, q, closed) {
+				best = sub.Size()
+			}
+		}
+		got := Minimize(q, closed).Size()
+		if got != best {
+			t.Fatalf("iter %d: ACIM size %d, brute force found %d\nq = %s\ncs = %s",
+				i, got, best, q, cs)
+		}
+		if best < q.Size() {
+			interesting++
+		}
+	}
+	if interesting == 0 {
+		t.Fatal("no query shrank; oracle exercised nothing")
+	}
+}
+
+// subQueries returns every pattern obtainable from q by deleting whole
+// subtrees, never deleting the output node (or, therefore, its ancestors).
+// The original query itself is included.
+func subQueries(q *pattern.Pattern) []*pattern.Pattern {
+	// Deletable subtree roots: nodes that are not the star and do not
+	// contain the star. Enumerate all subsets of an antichain implicitly:
+	// recursively, for each node, either delete it (with its subtree) or
+	// keep it and recurse into children.
+	var out []*pattern.Pattern
+
+	containsStar := func(n *pattern.Node) bool {
+		found := false
+		var rec func(*pattern.Node)
+		rec = func(m *pattern.Node) {
+			if m.Star {
+				found = true
+			}
+			for _, c := range m.Children {
+				rec(c)
+			}
+		}
+		rec(n)
+		return found
+	}
+
+	// build recursively constructs all variants of the subtree rooted at n.
+	var build func(n *pattern.Node) []*pattern.Node
+	build = func(n *pattern.Node) []*pattern.Node {
+		// Variants of each child: absent (if deletable) plus every
+		// structural variant.
+		type choice []*pattern.Node // one option list per child
+		childOptions := make([]choice, len(n.Children))
+		for i, c := range n.Children {
+			var opts choice
+			if !containsStar(c) {
+				opts = append(opts, nil) // delete the whole subtree
+			}
+			opts = append(opts, build(c)...)
+			childOptions[i] = opts
+		}
+		// Cartesian product over child options.
+		variants := []*pattern.Node{}
+		var assemble func(i int, picked []*pattern.Node)
+		assemble = func(i int, picked []*pattern.Node) {
+			if i == len(childOptions) {
+				clone := &pattern.Node{Type: n.Type, Star: n.Star,
+					Extra: append([]pattern.Type(nil), n.Extra...)}
+				for _, ch := range picked {
+					if ch == nil {
+						continue
+					}
+					cc := ch // already a fresh clone
+					cc.Parent = clone
+					clone.Children = append(clone.Children, cc)
+				}
+				variants = append(variants, clone)
+				return
+			}
+			for _, opt := range childOptions[i] {
+				var cp *pattern.Node
+				if opt != nil {
+					cp = deepCopy(opt)
+					cp.Edge = n.Children[i].Edge
+				}
+				assemble(i+1, append(picked, cp))
+			}
+		}
+		assemble(0, nil)
+		return variants
+	}
+
+	for _, root := range build(q.Root) {
+		out = append(out, pattern.New(root))
+	}
+	return out
+}
+
+func deepCopy(n *pattern.Node) *pattern.Node {
+	c := &pattern.Node{Type: n.Type, Star: n.Star, Edge: n.Edge,
+		Extra: append([]pattern.Type(nil), n.Extra...)}
+	for _, ch := range n.Children {
+		cc := deepCopy(ch)
+		cc.Parent = c
+		c.Children = append(c.Children, cc)
+	}
+	return c
+}
+
+// Keep the ics import honest if randomSetup's signature changes.
+var _ = ics.NewSet

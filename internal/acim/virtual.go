@@ -1,0 +1,282 @@
+package acim
+
+import (
+	"time"
+
+	"tpq/internal/ics"
+	"tpq/internal/pattern"
+)
+
+// This file implements the paper's production variant of ACIM (Section
+// 6.1): "in order to avoid the additional overhead required by the ACIM
+// algorithm (because of the constrained augmentation), augmentations are
+// not physically added to the initial query. They are maintained only as
+// redundant nodes in the images and the ancestor/descendant tables."
+//
+// MinimizeVirtual is observably equivalent to Minimize — the package tests
+// check isomorphism of the two outputs on random inputs — but never
+// materializes temporary witness nodes: the images machinery works over
+// entities, which are either real pattern nodes or virtual witnesses
+// (owner node, edge kind, witness type) implied by an integrity constraint
+// at the owner. A benchmark quantifies the difference.
+
+// entity is either a real pattern node or a virtual witness.
+type entity struct {
+	real *pattern.Node // non-nil for real nodes
+
+	// Virtual witnesses: the owner node the constraint fires at, the kind
+	// of edge the witness hangs from, and its type.
+	owner *pattern.Node
+	kind  pattern.EdgeKind
+	typ   pattern.Type
+}
+
+func realEnt(n *pattern.Node) entity { return entity{real: n} }
+
+// hasType reports whether the entity's guaranteed data image carries t,
+// through co-occurrence in the closed constraint set.
+func (e entity) hasType(t pattern.Type, cs *ics.Set) bool {
+	if e.real != nil {
+		if e.real.HasType(t) {
+			return true
+		}
+		for _, own := range e.real.Types() {
+			if cs.HasCo(own, t) {
+				return true
+			}
+		}
+		return false
+	}
+	return cs.HasCo(e.typ, t)
+}
+
+// star reports whether the entity carries the output marker (virtual
+// witnesses never do).
+func (e entity) star() bool { return e.real != nil && e.real.Star }
+
+// isChildOf reports whether the entity is a c-child of the real node s.
+func (e entity) isChildOf(s *pattern.Node) bool {
+	if e.real != nil {
+		return e.real.Parent == s && e.real.Edge == pattern.Child
+	}
+	return e.owner == s && e.kind == pattern.Child
+}
+
+// isDescendantOf reports whether the entity is a proper descendant of the
+// real node s.
+func (e entity) isDescendantOf(s *pattern.Node, idx *pattern.Index) bool {
+	if e.real != nil {
+		return idx.IsDescendant(e.real, s)
+	}
+	return e.owner == s || idx.IsDescendant(e.owner, s)
+}
+
+// MinimizeVirtual returns the unique minimal query equivalent to p under
+// cs, using virtual augmentation. p is untouched; cs need not be closed.
+func MinimizeVirtual(p *pattern.Pattern, cs *ics.Set) *pattern.Pattern {
+	q, _ := MinimizeVirtualWithStats(p, cs)
+	return q
+}
+
+// MinimizeVirtualWithStats is MinimizeVirtual with run statistics.
+// Augmented counts the virtual witnesses considered (the analogue of
+// physically added nodes).
+func MinimizeVirtualWithStats(p *pattern.Pattern, cs *ics.Set) (*pattern.Pattern, Stats) {
+	var st Stats
+	start := time.Now()
+	q := p.Clone()
+	if cs == nil {
+		cs = ics.NewSet()
+	}
+	tAug := time.Now()
+	if !cs.IsClosed() {
+		cs = cs.Closure()
+	}
+	witnesses, nWit := virtualWitnesses(q, cs)
+	st.Augmented = nWit
+	st.AugmentTime = time.Since(tAug)
+	st.AugmentedSize = q.Size() + nWit
+
+	nonRedundant := make(map[*pattern.Node]bool)
+	for {
+		l := nextVirtualCandidate(q, nonRedundant)
+		if l == nil {
+			break
+		}
+		st.Tests++
+		if redundantLeafVirtual(q, l, witnesses, cs, &st) {
+			l.Detach()
+			st.Removed++
+		} else {
+			nonRedundant[l] = true
+		}
+	}
+	st.TotalTime = time.Since(start)
+	return q, st
+}
+
+// virtualWitnesses computes, per original node, the witness entities its
+// types imply under the closed constraint set, restricted — like physical
+// augmentation — to witness types already occurring in the query.
+func virtualWitnesses(q *pattern.Pattern, cs *ics.Set) (map[*pattern.Node][]entity, int) {
+	present := q.TypeSet()
+	out := make(map[*pattern.Node][]entity)
+	total := 0
+	q.Walk(func(n *pattern.Node) {
+		var ws []entity
+		for _, t := range n.Types() {
+			for _, b := range cs.ChildTargets(t) {
+				if present[b] {
+					ws = append(ws, entity{owner: n, kind: pattern.Child, typ: b})
+				}
+			}
+			for _, b := range cs.DescTargets(t) {
+				if present[b] {
+					ws = append(ws, entity{owner: n, kind: pattern.Descendant, typ: b})
+				}
+			}
+		}
+		if len(ws) > 0 {
+			out[n] = ws
+			total += len(ws)
+		}
+	})
+	return out, total
+}
+
+func nextVirtualCandidate(q *pattern.Pattern, nonRedundant map[*pattern.Node]bool) *pattern.Node {
+	var found *pattern.Node
+	q.Walk(func(n *pattern.Node) {
+		if found != nil || n.Star || nonRedundant[n] || !n.IsLeaf() {
+			return
+		}
+		found = n
+	})
+	return found
+}
+
+// labelCompatVirtual: required types of u (co-occurrence-augmented on the
+// image side by entity.hasType) plus one-directional star preservation.
+func labelCompatVirtual(u *pattern.Node, e entity, cs *ics.Set) bool {
+	if u.Star && !e.star() {
+		return false
+	}
+	for _, t := range u.Types() {
+		if !e.hasType(t, cs) {
+			return false
+		}
+	}
+	// Value conditions: a real image must entail u's conditions; virtual
+	// witnesses carry none, so they only serve condition-free nodes.
+	if e.real != nil {
+		return e.real.CondsEntail(u)
+	}
+	return pattern.Entails(nil, u.Conds)
+}
+
+// redundantLeafVirtual is Figure 3 over entities.
+func redundantLeafVirtual(q *pattern.Pattern, l *pattern.Node, witnesses map[*pattern.Node][]entity, cs *ics.Set, st *Stats) bool {
+	tStart := time.Now()
+	idx := pattern.NewIndex(q)
+
+	// Candidate entities: all real nodes plus all virtual witnesses. As in
+	// the physical engine, other nodes may map onto l (mutually redundant
+	// twins), but l itself must move — and may not hide in its own
+	// witnesses, which vanish with it.
+	var candidates []entity
+	for _, n := range idx.Order {
+		candidates = append(candidates, realEnt(n))
+		candidates = append(candidates, witnesses[n]...)
+	}
+
+	images := make(map[*pattern.Node]map[int]bool, len(idx.Order))
+	for _, v := range idx.Order {
+		set := make(map[int]bool)
+		for i, e := range candidates {
+			if v == l && (e.real == l || e.owner == l) {
+				continue
+			}
+			if labelCompatVirtual(v, e, cs) {
+				set[i] = true
+			}
+		}
+		images[v] = set
+	}
+	st.TablesTime += time.Since(tStart)
+
+	if len(images[l]) == 0 {
+		return false
+	}
+
+	marked := map[*pattern.Node]bool{l: true}
+	var minimize func(v *pattern.Node)
+	minimize = func(v *pattern.Node) {
+		if marked[v] {
+			return
+		}
+		if v.IsLeaf() {
+			marked[v] = true
+			return
+		}
+		for _, u := range v.Children {
+			minimize(u)
+		}
+		set := images[v]
+		for i := range set {
+			s := candidates[i]
+			if s.real == nil {
+				// Virtual witnesses have no children: no internal node can
+				// map onto one.
+				delete(set, i)
+				continue
+			}
+			ok := true
+			for _, u := range v.Children {
+				if !childHasImageUnder(u, s.real, images[u], candidates, idx) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				delete(set, i)
+			}
+		}
+		marked[v] = true
+	}
+
+	selfIdx := make(map[*pattern.Node]int)
+	for i, e := range candidates {
+		if e.real != nil {
+			selfIdx[e.real] = i
+		}
+	}
+	for v := l.Parent; v != nil; v = v.Parent {
+		minimize(v)
+		if len(images[v]) == 0 {
+			return false
+		}
+		if v != q.Root {
+			if i, ok := selfIdx[v]; ok && images[v][i] {
+				return true
+			}
+		}
+	}
+	return len(images[q.Root]) > 0
+}
+
+func childHasImageUnder(u *pattern.Node, s *pattern.Node, uImages map[int]bool, candidates []entity, idx *pattern.Index) bool {
+	if u.Edge == pattern.Child {
+		for i := range uImages {
+			if candidates[i].isChildOf(s) {
+				return true
+			}
+		}
+		return false
+	}
+	for i := range uImages {
+		if candidates[i].isDescendantOf(s, idx) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,117 @@
+package acim
+
+import (
+	"math/rand"
+	"testing"
+
+	"tpq/internal/ics"
+	"tpq/internal/pattern"
+)
+
+func TestVirtualMatchesPhysicalOnPaperExamples(t *testing.T) {
+	cases := []struct {
+		q    string
+		cs   []ics.Constraint
+		want string
+	}{
+		{
+			fig2b,
+			[]ics.Constraint{ics.Desc("Section", "Paragraph")},
+			fig2e,
+		},
+		{
+			fig2a,
+			[]ics.Constraint{ics.Child("Article", "Title"), ics.Desc("Section", "Paragraph")},
+			fig2e,
+		},
+		{
+			fig2f,
+			[]ics.Constraint{ics.Co("PermEmp", "Employee"), ics.Co("DBproject", "Project")},
+			fig2g,
+		},
+		{
+			"Book*[/Title, /Author, /Publisher]",
+			[]ics.Constraint{ics.Child("Book", "Publisher")},
+			"Book*[/Title, /Author]",
+		},
+	}
+	for _, c := range cases {
+		got := MinimizeVirtual(mp(c.q), ics.NewSet(c.cs...))
+		if !pattern.Isomorphic(got, mp(c.want)) {
+			t.Errorf("MinimizeVirtual(%s) = %s, want %s", c.q, got, c.want)
+		}
+	}
+}
+
+func TestVirtualMatchesPhysicalRandomized(t *testing.T) {
+	// The two ACIM engines must compute isomorphic minimal queries on
+	// every input (both implement the unique minimum of Theorem 5.1).
+	rng := rand.New(rand.NewSource(83))
+	for i := 0; i < 300; i++ {
+		q, cs := randomSetup(rng, 1+rng.Intn(9), rng.Intn(6))
+		closed := cs.Closure()
+		phys := Minimize(q, closed)
+		virt := MinimizeVirtual(q, closed)
+		if !pattern.Isomorphic(phys, virt) {
+			t.Fatalf("iter %d: engines disagree\nq = %s\ncs = %s\nphysical = %s\nvirtual  = %s",
+				i, q, cs, phys, virt)
+		}
+	}
+}
+
+func TestVirtualStats(t *testing.T) {
+	q := mp("a*[//b, //b]")
+	cs := ics.NewSet(ics.Desc("a", "b"))
+	got, st := MinimizeVirtualWithStats(q, cs)
+	if !pattern.Isomorphic(got, mp("a*")) {
+		t.Fatalf("result = %s", got)
+	}
+	if st.Augmented == 0 {
+		t.Error("no virtual witnesses counted")
+	}
+	if st.AugmentedSize != q.Size()+st.Augmented {
+		t.Errorf("AugmentedSize = %d, want %d", st.AugmentedSize, q.Size()+st.Augmented)
+	}
+	if st.Removed != 2 {
+		t.Errorf("Removed = %d, want 2", st.Removed)
+	}
+	if st.TotalTime <= 0 || st.TablesTime <= 0 {
+		t.Errorf("timings not populated: %+v", st)
+	}
+}
+
+func TestVirtualLeavesNoResidue(t *testing.T) {
+	// Virtual augmentation must never materialize witnesses in the output.
+	q := mp("a*[/b, //c]")
+	cs := ics.NewSet(ics.Child("a", "b"), ics.Desc("a", "c"), ics.Co("b", "c"))
+	out := MinimizeVirtual(q, cs.Closure())
+	out.Walk(func(n *pattern.Node) {
+		if n.Temp || len(n.TempExtra) > 0 {
+			t.Errorf("residual temporary state on %q", n.Type)
+		}
+	})
+	if err := out.Validate(); err != nil {
+		t.Errorf("invalid output: %v", err)
+	}
+}
+
+func TestVirtualNilConstraints(t *testing.T) {
+	q := mp("a*[/b, /b]")
+	got := MinimizeVirtual(q, nil)
+	if !pattern.Isomorphic(got, mp("a*/b")) {
+		t.Errorf("MinimizeVirtual without constraints = %s", got)
+	}
+}
+
+func TestEntityPredicates(t *testing.T) {
+	cs := ics.NewSet(ics.Co("b", "c")).Closure()
+	n := pattern.NewNode("b")
+	e := realEnt(n)
+	if !e.hasType("b", cs) || !e.hasType("c", cs) || e.hasType("z", cs) {
+		t.Error("real entity type closure wrong")
+	}
+	w := entity{owner: n, kind: pattern.Child, typ: "b"}
+	if !w.hasType("c", cs) || w.hasType("z", cs) || w.star() {
+		t.Error("virtual entity predicates wrong")
+	}
+}

@@ -1,0 +1,180 @@
+// Package bench is the experiment harness that regenerates the paper's
+// evaluation (Section 6, Figures 7-9). Each FigXX function runs the
+// corresponding experiment and returns a Table of (series, x, time) points
+// that cmd/tpqbench prints; bench_test.go at the module root wraps the same
+// workloads as testing.B benchmarks.
+//
+// Absolute times will not match a 2001 testbed; what must match — and what
+// EXPERIMENTS.md records — is the shape of each curve: which algorithm
+// wins, what grows linearly versus quadratically, and what stays flat.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Point is one measurement.
+type Point struct {
+	Series string
+	X      float64
+	Y      time.Duration
+}
+
+// Table is a titled collection of measurements, one curve per series.
+type Table struct {
+	Title   string
+	XLabel  string
+	YLabel  string
+	Comment string // one-line description of the expected shape
+	Points  []Point
+}
+
+// Add appends a measurement.
+func (t *Table) Add(series string, x float64, y time.Duration) {
+	t.Points = append(t.Points, Point{series, x, y})
+}
+
+// Series returns the distinct series names in first-appearance order.
+func (t *Table) Series() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, p := range t.Points {
+		if !seen[p.Series] {
+			seen[p.Series] = true
+			out = append(out, p.Series)
+		}
+	}
+	return out
+}
+
+// xs returns the distinct x values in ascending order.
+func (t *Table) xs() []float64 {
+	seen := map[float64]bool{}
+	var out []float64
+	for _, p := range t.Points {
+		if !seen[p.X] {
+			seen[p.X] = true
+			out = append(out, p.X)
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// at returns the measurement of a series at x, or -1.
+func (t *Table) at(series string, x float64) time.Duration {
+	for _, p := range t.Points {
+		if p.Series == series && p.X == x {
+			return p.Y
+		}
+	}
+	return -1
+}
+
+// String renders the table with one row per x value and one column per
+// series, times in microseconds.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", t.Title)
+	if t.Comment != "" {
+		fmt.Fprintf(&b, "# shape: %s\n", t.Comment)
+	}
+	series := t.Series()
+	fmt.Fprintf(&b, "%-12s", t.XLabel)
+	for _, s := range series {
+		fmt.Fprintf(&b, " %14s", s)
+	}
+	fmt.Fprintf(&b, "   (%s, µs)\n", t.YLabel)
+	for _, x := range t.xs() {
+		fmt.Fprintf(&b, "%-12g", x)
+		for _, s := range series {
+			if y := t.at(s, x); y >= 0 {
+				fmt.Fprintf(&b, " %14.1f", float64(y.Nanoseconds())/1e3)
+			} else {
+				fmt.Fprintf(&b, " %14s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the table as series,x,micros lines with a header.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString("series,x,micros\n")
+	for _, p := range t.Points {
+		fmt.Fprintf(&b, "%s,%g,%.3f\n", p.Series, p.X, float64(p.Y.Nanoseconds())/1e3)
+	}
+	return b.String()
+}
+
+// Options tune how carefully each point is measured.
+type Options struct {
+	// MinRuns is the minimum number of runs per point (default 3).
+	MinRuns int
+	// Budget is the minimum total time to spend per point (default 10ms);
+	// more runs are added until it is exhausted.
+	Budget time.Duration
+	// Quick makes the figures use sparse parameter grids — a smoke-test
+	// mode for the unit tests; the shapes survive, the resolution drops.
+	Quick bool
+}
+
+// step widens a sweep stride in Quick mode.
+func (o Options) step(normal int) int {
+	if o.Quick {
+		return normal * 4
+	}
+	return normal
+}
+
+// levels thins a parameter list in Quick mode (keeping first and last).
+func (o Options) levels(all []int) []int {
+	if !o.Quick || len(all) <= 2 {
+		return all
+	}
+	return []int{all[0], all[len(all)-1]}
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinRuns <= 0 {
+		o.MinRuns = 3
+	}
+	if o.Budget <= 0 {
+		o.Budget = 10 * time.Millisecond
+	}
+	return o
+}
+
+// Measure runs f repeatedly per Options and returns the minimum observed
+// duration — the standard estimator for a noisy single-threaded
+// computation.
+func Measure(opts Options, f func() time.Duration) time.Duration {
+	opts = opts.withDefaults()
+	best := time.Duration(-1)
+	spent := time.Duration(0)
+	for run := 0; run < opts.MinRuns || spent < opts.Budget; run++ {
+		d := f()
+		spent += d
+		if best < 0 || d < best {
+			best = d
+		}
+		if run > 10000 {
+			break
+		}
+	}
+	return best
+}
+
+// Timed wraps a plain function for Measure.
+func Timed(f func()) func() time.Duration {
+	return func() time.Duration {
+		start := time.Now()
+		f()
+		return time.Since(start)
+	}
+}

@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// fast makes every experiment cheap enough for the unit-test run; the
+// real sweeps happen in cmd/tpqbench and the root benchmarks.
+var fast = Options{MinRuns: 1, Budget: time.Microsecond, Quick: true}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Title: "demo", XLabel: "x", YLabel: "t", Comment: "flat"}
+	tab.Add("a", 1, 1500*time.Nanosecond)
+	tab.Add("b", 1, 2*time.Microsecond)
+	tab.Add("a", 2, 3*time.Microsecond)
+	s := tab.String()
+	for _, want := range []string{"# demo", "flat", "1.5", "3.0", "a", "b", "-"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table output missing %q:\n%s", want, s)
+		}
+	}
+	csv := tab.CSV()
+	if !strings.HasPrefix(csv, "series,x,micros\n") || !strings.Contains(csv, "a,1,1.500") {
+		t.Errorf("CSV output wrong:\n%s", csv)
+	}
+	if got := tab.Series(); len(got) != 2 || got[0] != "a" {
+		t.Errorf("Series = %v", got)
+	}
+}
+
+func TestMeasureTakesMinimum(t *testing.T) {
+	calls := 0
+	d := Measure(Options{MinRuns: 3, Budget: time.Nanosecond}, func() time.Duration {
+		calls++
+		return time.Duration(calls) * time.Millisecond
+	})
+	if d != time.Millisecond {
+		t.Errorf("Measure = %v, want 1ms (the minimum)", d)
+	}
+	if calls < 3 {
+		t.Errorf("MinRuns not honoured: %d calls", calls)
+	}
+}
+
+func TestAllFiguresRun(t *testing.T) {
+	names := Names()
+	for _, name := range names {
+		if ByName(name) == nil {
+			t.Fatalf("ByName(%q) = nil", name)
+		}
+	}
+	if ByName("nope") != nil {
+		t.Error("ByName accepted an unknown figure")
+	}
+	tabs := All(fast)
+	if len(tabs) != len(names) {
+		t.Fatalf("All produced %d tables, Names lists %d", len(tabs), len(names))
+	}
+	for i, tab := range tabs {
+		if len(tab.Points) == 0 {
+			t.Errorf("%s: no points produced", names[i])
+		}
+		for _, p := range tab.Points {
+			if p.Y < 0 {
+				t.Errorf("%s: negative measurement %+v", names[i], p)
+			}
+		}
+		if tab.Title == "" || tab.XLabel == "" {
+			t.Errorf("%s: table missing labels", names[i])
+		}
+	}
+}
+
+func TestFigureShapes(t *testing.T) {
+	// Cheap sanity checks of the headline claims, with modest statistical
+	// care (single CI-friendly run; EXPERIMENTS.md records full runs).
+	opts := Options{MinRuns: 3, Budget: 2 * time.Millisecond, Quick: true}
+
+	t.Run("9a CDM beats ACIM", func(t *testing.T) {
+		tab := Fig9a(opts)
+		// At the largest measured size CDM must be clearly faster.
+		maxX := 0.0
+		for _, p := range tab.Points {
+			if p.X > maxX {
+				maxX = p.X
+			}
+		}
+		var acim, cdm time.Duration
+		for _, p := range tab.Points {
+			if p.X == maxX {
+				switch p.Series {
+				case "ACIM":
+					acim = p.Y
+				case "CDM":
+					cdm = p.Y
+				}
+			}
+		}
+		if cdm <= 0 || acim <= 0 || cdm*2 > acim {
+			t.Errorf("expected CDM ≪ ACIM at size %g: CDM=%v ACIM=%v", maxX, cdm, acim)
+		}
+	})
+
+	t.Run("9b prefilter beats direct", func(t *testing.T) {
+		tab := Fig9b(opts)
+		var direct, pre time.Duration
+		maxX := 0.0
+		for _, p := range tab.Points {
+			if p.X > maxX {
+				maxX = p.X
+			}
+		}
+		for _, p := range tab.Points {
+			if p.X == maxX {
+				switch p.Series {
+				case "ACIM":
+					direct = p.Y
+				case "CDMACIM":
+					pre = p.Y
+				}
+			}
+		}
+		if pre <= 0 || direct <= 0 || pre >= direct {
+			t.Errorf("expected CDMACIM < ACIM at size %g: pre=%v direct=%v", maxX, pre, direct)
+		}
+	})
+
+	t.Run("7b tables fraction", func(t *testing.T) {
+		tab := Fig7b(opts)
+		var total, tables time.Duration
+		for _, p := range tab.Points {
+			if p.X == 50 {
+				switch p.Series {
+				case "TotalTime":
+					total = p.Y
+				case "TablesTime":
+					tables = p.Y
+				}
+			}
+		}
+		if tables <= 0 || total <= 0 || tables >= total {
+			t.Errorf("tables time %v not within total %v", tables, total)
+		}
+	})
+}

@@ -1,0 +1,454 @@
+// Package cdm implements Algorithm CDM (Sections 5.4-5.5 of the paper):
+// fast local pruning of a tree pattern query under required-child,
+// required-descendant and co-occurrence integrity constraints.
+//
+// CDM labels every node with an information content — a set of information
+// arguments — and propagates it up the tree, interleaving a minimization
+// step: whenever propagation to a node completes, local rules fire and mark
+// redundant leaf children, which are removed on the spot. The six argument
+// forms of Section 5.4 are
+//
+//	T    the node is of type T with no (remaining) descendants
+//	~T   the node is of type T and constrained by descendants
+//	aT   the node must be an ancestor of an unconstrained T node that is a
+//	     direct d-child (no intermediate ancestors)
+//	a~T  the node must be an ancestor of a T node that is constrained or
+//	     lies deeper than one hop
+//	pT   the node must be the parent of an unconstrained T c-child
+//	p~T  the node must be the parent of a constrained T c-child
+//
+// propagated by the rules of Figure 4 (reproduced at propagate below) and
+// consumed by the minimization rules of Figure 6 (function deletable).
+// Four facts make a leaf locally redundant (Section 5.4): (i) a c-child
+// leaf implied by a required-child constraint on its parent's type; (ii) a
+// d-child leaf implied by a required-descendant constraint; (iii) a c-child
+// leaf covered by a sibling c-child through co-occurrence; (iv) a d-child
+// leaf covered by any descendant of the parent, through co-occurrence or a
+// required-descendant constraint on that descendant's type.
+//
+// Because co-occurrence is reflexive (every T node is trivially a T node),
+// the sibling rules also fold duplicate same-type sibling leaves without
+// any explicit constraint — a sound, strictly local strengthening over a
+// literal reading of Figure 6.
+//
+// CDM is sound but deliberately incomplete: its output is locally minimal
+// (Theorem 5.2: no leaf is locally redundant), it runs in
+// O(min(n·maxd·maxf, n²)) time, and feeding its output to ACIM still
+// yields the unique global minimum (Theorem 5.3). Its value is as a cheap
+// pre-filter that shrinks the query before the more expensive ACIM runs.
+package cdm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"tpq/internal/ics"
+	"tpq/internal/pattern"
+)
+
+// ArgKind enumerates the six information-argument forms.
+type ArgKind int8
+
+const (
+	// SelfU is "T": the node's own type, unconstrained by descendants.
+	SelfU ArgKind = iota
+	// SelfC is "~T": the node's own type, constrained by descendants.
+	SelfC
+	// AncU is "aT": obligation to be an ancestor of an unconstrained
+	// direct d-child leaf of type T.
+	AncU
+	// AncC is "a~T": obligation to be an ancestor of a constrained or
+	// deeper T node.
+	AncC
+	// ParU is "pT": obligation to be the parent of an unconstrained
+	// c-child leaf of type T.
+	ParU
+	// ParC is "p~T": obligation to be the parent of a constrained c-child
+	// of type T.
+	ParC
+)
+
+// String renders the kind prefix of the paper's notation.
+func (k ArgKind) String() string {
+	switch k {
+	case SelfU:
+		return ""
+	case SelfC:
+		return "~"
+	case AncU:
+		return "a "
+	case AncC:
+		return "a ~"
+	case ParU:
+		return "p "
+	default:
+		return "p ~"
+	}
+}
+
+// Arg is one information argument.
+type Arg struct {
+	Kind ArgKind
+	Type pattern.Type
+}
+
+// String renders the argument in the paper's notation, e.g. "a ~t5".
+func (a Arg) String() string { return a.Kind.String() + string(a.Type) }
+
+// Info is the information content of a node: the set of its arguments.
+// Values are insertion-irrelevant; use Args for a deterministic listing.
+type Info map[Arg]bool
+
+// Args returns the arguments sorted for stable output.
+func (in Info) Args() []Arg {
+	out := make([]Arg, 0, len(in))
+	for a := range in {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Type < out[j].Type
+	})
+	return out
+}
+
+// String renders the content comma-separated, e.g. "~t2, a ~t5, a ~t6".
+func (in Info) String() string {
+	args := in.Args()
+	parts := make([]string, len(args))
+	for i, a := range args {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Stats describes a CDM run.
+type Stats struct {
+	// Removed is the number of nodes deleted.
+	Removed int
+	// Passes is the number of bottom-up sweeps executed (at least 1; the
+	// last pass deletes nothing).
+	Passes int
+	// TotalTime is the wall-clock time of the run.
+	TotalTime time.Duration
+}
+
+// Minimize returns a locally minimal query equivalent to p under cs,
+// leaving p untouched.
+func Minimize(p *pattern.Pattern, cs *ics.Set) *pattern.Pattern {
+	q := p.Clone()
+	MinimizeInPlace(q, cs)
+	return q
+}
+
+// MinimizeInPlace removes every locally redundant node of p (the output
+// node and temporary nodes are never candidates) and returns statistics.
+// cs must be logically closed; it is closed defensively otherwise.
+func MinimizeInPlace(p *pattern.Pattern, cs *ics.Set) (st Stats) {
+	start := time.Now()
+	defer func() { st.TotalTime = time.Since(start) }()
+	if p == nil || p.Root == nil || cs == nil {
+		st.Passes = 1
+		return st
+	}
+	if !cs.IsClosed() {
+		cs = cs.Closure()
+	}
+	for {
+		st.Passes++
+		removed := sweep(p, cs, nil)
+		st.Removed += removed
+		if removed == 0 {
+			return st
+		}
+	}
+}
+
+// InfoContent computes the information content of every node of p without
+// removing anything — the labels of Figure 5, step 1. The constraint set
+// is irrelevant to pure propagation and not needed.
+func InfoContent(p *pattern.Pattern) map[*pattern.Node]Info {
+	labels := make(map[*pattern.Node]Info)
+	var rec func(n *pattern.Node) Info
+	rec = func(n *pattern.Node) Info {
+		in := Info{}
+		for _, c := range n.Children {
+			ci := rec(c)
+			for a := range ci {
+				in[propagate(c.Edge, a)] = true
+			}
+		}
+		for _, t := range n.Types() {
+			if len(n.Children) == 0 {
+				in[Arg{SelfU, t}] = true
+			} else {
+				in[Arg{SelfC, t}] = true
+			}
+		}
+		labels[n] = in
+		return in
+	}
+	rec(p.Root)
+	return labels
+}
+
+// propagate is Figure 4: how one argument of a child crosses the edge to
+// its parent.
+//
+//	edge  child arg   result
+//	 d    T2          a T2
+//	 d    ~T2         a ~T2
+//	 d    aT2 | a~T2  a ~T2
+//	 d    pT2 | p~T2  a ~T2
+//	 c    T2          p T2
+//	 c    ~T2         p ~T2
+//	 c    aT2 | a~T2  a ~T2
+//	 c    pT2 | p~T2  a ~T2
+func propagate(edge pattern.EdgeKind, a Arg) Arg {
+	switch a.Kind {
+	case SelfU:
+		if edge == pattern.Descendant {
+			return Arg{AncU, a.Type}
+		}
+		return Arg{ParU, a.Type}
+	case SelfC:
+		if edge == pattern.Descendant {
+			return Arg{AncC, a.Type}
+		}
+		return Arg{ParC, a.Type}
+	default:
+		return Arg{AncC, a.Type}
+	}
+}
+
+// sweep performs one bottom-up propagation-plus-minimization pass and
+// returns the number of nodes removed. If trace is non-nil it receives the
+// final information content of every surviving node.
+func sweep(p *pattern.Pattern, cs *ics.Set, trace map[*pattern.Node]Info) int {
+	removed := 0
+	var rec func(n *pattern.Node) Info
+	rec = func(n *pattern.Node) Info {
+		// Process children first, keeping each child's contributed
+		// (already propagated) arguments so they can be merged afterwards.
+		contrib := make(map[*pattern.Node]Info, len(n.Children))
+		for _, c := range append([]*pattern.Node(nil), n.Children...) {
+			ci := rec(c)
+			up := Info{}
+			for a := range ci {
+				up[propagate(c.Edge, a)] = true
+			}
+			contrib[c] = up
+		}
+
+		// Merged count of argument types below n (any a/p kind); the
+		// deep-witness probes of deletable consult it in O(1) per
+		// candidate type.
+		argCount := make(map[pattern.Type]int)
+		for _, ci := range contrib {
+			for a := range ci {
+				argCount[a.Type]++
+			}
+		}
+
+		// Minimization step: delete locally redundant leaf children until
+		// none is left. Each deletion invalidates the merged view, so the
+		// candidate scan restarts; fanout is small in practice and bounded
+		// work matches the paper's analysis.
+		for {
+			victim := (*pattern.Node)(nil)
+			for _, y := range n.Children {
+				if y.Star || y.Temp || !y.IsLeaf() {
+					continue
+				}
+				if deletable(n, y, argCount, cs) {
+					victim = y
+					break
+				}
+			}
+			if victim == nil {
+				break
+			}
+			for a := range contrib[victim] {
+				argCount[a.Type]--
+			}
+			victim.Detach()
+			delete(contrib, victim)
+			removed++
+		}
+
+		// Assemble n's own information content from the survivors.
+		in := Info{}
+		for _, c := range n.Children {
+			for a := range contrib[c] {
+				in[a] = true
+			}
+		}
+		for _, t := range n.Types() {
+			if len(n.Children) == 0 {
+				in[Arg{SelfU, t}] = true
+			} else {
+				in[Arg{SelfC, t}] = true
+			}
+		}
+		if trace != nil {
+			trace[n] = in
+		}
+		return in
+	}
+	rec(p.Root)
+	return removed
+}
+
+// deletable decides whether the leaf child y of n is locally redundant
+// under the closed constraint set — the minimization rules of Figure 6,
+// generalized soundly to type sets:
+//
+//	arg1      arg2  constraint   effect
+//	~T1(self) pT2   T1 -> T2     delete the c-child leaf   (rule 2)
+//	~T1(self) aT2   T1 => T2     delete the d-child leaf   (rule 1)
+//	sibling c-child with types covering T2 via ~            (rules 5,6, c)
+//	any a/p arg T1  aT2  T1 => T2                           (rules 3,4)
+//	any a/p arg T1  aT2  T1 ~ T2                            (rules 5,6, d)
+//
+// "Covering" accounts for extra types on the leaf: a witness of type B
+// satisfies the leaf's requirement {t...} iff B ~ t holds (or B == t) for
+// every required t.
+func deletable(n, y *pattern.Node, argCount map[pattern.Type]int, cs *ics.Set) bool {
+	need := y.Types()
+	// A leaf carrying value conditions (Section 7 extension) can only be
+	// discharged by a sibling witness whose conditions entail them;
+	// constraint-guaranteed witnesses are condition-free.
+	condFree := len(y.Conds) == 0
+
+	// Rules 1 and 2: a constraint on one of the parent's own types.
+	for _, pt := range n.Types() {
+		if !condFree {
+			break
+		}
+		var targets []pattern.Type
+		if y.Edge == pattern.Child {
+			targets = cs.ChildTargets(pt)
+		} else {
+			targets = cs.DescTargets(pt)
+		}
+		for _, b := range targets {
+			if covers(b, need, cs) {
+				return true
+			}
+		}
+	}
+
+	if y.Edge == pattern.Child {
+		// Rules 5/6 for a c-child: a sibling c-child whose types jointly
+		// cover the leaf's requirement — and whose conditions entail the
+		// leaf's. (The witness must itself be a c-child: only a child can
+		// satisfy a child edge.)
+		for _, z := range n.Children {
+			if z == y || z.Edge != pattern.Child {
+				continue
+			}
+			if jointlyCovers(z.Types(), need, cs) && z.CondsEntail(y) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// d-child: any node below n — sibling or deeper, represented by the
+	// merged argument types — can witness, either directly via
+	// co-occurrence (rules 5/6) or through a required-descendant
+	// constraint on its type (rules 3/4). Candidate covering types are
+	// found through the constraint set's reverse indexes, so each check is
+	// a couple of hash probes — the efficiency the information content
+	// exists to enable (ablation-cdm quantifies it against direct
+	// tree-walking).
+	if condFree {
+		present := func(u pattern.Type) bool {
+			c := argCount[u]
+			if y.HasType(u) {
+				c-- // y's own contribution does not witness its deletion
+			}
+			return c > 0
+		}
+		t0 := need[0]
+		cands := append(cs.CoSources(t0), t0)
+		for _, u := range cands {
+			if !covers(u, need, cs) {
+				continue
+			}
+			if present(u) {
+				return true
+			}
+			for _, t1 := range cs.DescSources(u) {
+				if present(t1) {
+					return true
+				}
+			}
+		}
+	}
+	// Siblings jointly (multi-typed witnesses are not decomposable into
+	// single-type arguments).
+	for _, z := range n.Children {
+		if z != y && jointlyCovers(z.Types(), need, cs) && z.CondsEntail(y) {
+			return true
+		}
+	}
+	return false
+}
+
+// covers reports whether a guaranteed node of type b satisfies every type
+// in need, via co-occurrence in the closed set.
+func covers(b pattern.Type, need []pattern.Type, cs *ics.Set) bool {
+	for _, t := range need {
+		if !cs.HasCo(b, t) {
+			return false
+		}
+	}
+	return true
+}
+
+// jointlyCovers reports whether a witness carrying all of have satisfies
+// every type in need.
+func jointlyCovers(have, need []pattern.Type, cs *ics.Set) bool {
+	for _, t := range need {
+		ok := false
+		for _, h := range have {
+			if cs.HasCo(h, t) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// DebugDump renders every node with its information content, for tests and
+// teaching material (the boxes of Figure 5).
+func DebugDump(p *pattern.Pattern) string {
+	labels := InfoContent(p)
+	var b strings.Builder
+	var rec func(n *pattern.Node, depth int)
+	rec = func(n *pattern.Node, depth int) {
+		fmt.Fprintf(&b, "%s%s%s  [%s]\n", strings.Repeat("  ", depth),
+			edgePrefix(n), n.Type, labels[n])
+		for _, c := range n.Children {
+			rec(c, depth+1)
+		}
+	}
+	rec(p.Root, 0)
+	return b.String()
+}
+
+func edgePrefix(n *pattern.Node) string {
+	if n.Parent == nil {
+		return ""
+	}
+	return n.Edge.String()
+}

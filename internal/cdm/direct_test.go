@@ -1,0 +1,59 @@
+package cdm
+
+import (
+	"math/rand"
+	"testing"
+
+	"tpq/internal/ics"
+	"tpq/internal/pattern"
+)
+
+func TestDirectMatchesPropagatedOnExamples(t *testing.T) {
+	cases := []struct {
+		q  string
+		cs []string
+	}{
+		{"t1*[/t2//t5/t6, //t3//t7, /t4/t8]",
+			[]string{"t4 -> t8", "t3 => t7", "t2 ~ t4", "t2 ~ t3"}},
+		{"a*[/b, /c]", []string{"a -> b"}},
+		{"a*[//b, /c/d]", []string{"d ~ b"}},
+		{"Articles/Article*[//Paragraph, /Section//Paragraph]",
+			[]string{"Section => Paragraph"}},
+	}
+	for _, c := range cases {
+		q := mp(c.q)
+		cs := ics.MustParseSet(c.cs...)
+		prop := Minimize(q, cs)
+		direct := MinimizeDirect(q, cs)
+		if !pattern.Isomorphic(prop, direct) {
+			t.Errorf("engines disagree on %s:\npropagated = %s\ndirect     = %s", c.q, prop, direct)
+		}
+	}
+}
+
+func TestDirectMatchesPropagatedRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	for i := 0; i < 300; i++ {
+		q, cs := randomSetup(rng, 1+rng.Intn(10), 1+rng.Intn(5))
+		closed := cs.Closure()
+		prop := Minimize(q, closed)
+		direct := MinimizeDirect(q, closed)
+		if !pattern.Isomorphic(prop, direct) {
+			t.Fatalf("iter %d: engines disagree\nq = %s\ncs = %s\npropagated = %s\ndirect     = %s",
+				i, q, cs, prop, direct)
+		}
+	}
+}
+
+func TestDirectStats(t *testing.T) {
+	q := mp("a*/b/c")
+	cs := ics.MustParseSet("a -> b", "b -> c")
+	clone := q.Clone()
+	st := MinimizeDirectInPlace(clone, cs.Closure())
+	if st.Removed != 2 || clone.Size() != 1 {
+		t.Errorf("Removed = %d size %d", st.Removed, clone.Size())
+	}
+	if st.Passes < 2 || st.TotalTime <= 0 {
+		t.Errorf("stats: %+v", st)
+	}
+}

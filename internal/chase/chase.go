@@ -1,0 +1,146 @@
+// Package chase implements the chase of a tree pattern query with respect
+// to integrity constraints (Section 5.1) and the paper's restricted variant
+// — augmentation (Section 5.2) — which is the first step of Algorithm ACIM.
+//
+// The textbook chase adds, for every node n of type T1 and constraint
+// T1 -> T2 (or T1 => T2), a fresh c-child (d-child) of type T2, and for
+// every co-occurrence T1 ~ T2 associates type T2 with n. Applied blindly it
+// can grow the query without bound (required-descendant cycles generate
+// infinite chains), so augmentation restricts it three ways:
+//
+//  1. the constraint set must be logically closed (see ics.Set.Closure),
+//  2. constraints are applied only to nodes that existed before the chase,
+//     and only when the target type already occurs in the original query,
+//  3. everything added is marked temporary so minimization can treat it as
+//     witness-only and strip it at the end.
+//
+// Under these restrictions the augmented query keeps the original type set,
+// grows its depth by at most one, and has size O(n²) in the size of the
+// original query.
+package chase
+
+import (
+	"tpq/internal/ics"
+	"tpq/internal/pattern"
+)
+
+// Augment applies the paper's restricted chase to p in place, marking every
+// added node, edge and type association as temporary. It returns the
+// number of nodes added. cs must be logically closed; Augment closes it
+// defensively if it is not (callers on a hot path should pass a closed
+// set).
+func Augment(p *pattern.Pattern, cs *ics.Set) int {
+	if p == nil || p.Root == nil || cs == nil {
+		return 0
+	}
+	if !cs.IsClosed() {
+		cs = cs.Closure()
+	}
+	origTypes := p.TypeSet()
+	origNodes := p.Nodes()
+
+	added := 0
+	for _, n := range origNodes {
+		if n.Temp {
+			continue
+		}
+		// Apply constraints for every type the node carried before the
+		// chase. The closure makes cascading through co-occurrence targets
+		// unnecessary.
+		for _, t := range n.Types() {
+			for _, b := range cs.CoTargets(t) {
+				if origTypes[b] {
+					n.AddType(b, true)
+				}
+			}
+			for _, b := range cs.ChildTargets(t) {
+				if origTypes[b] && addTempChild(n, pattern.Child, b) {
+					added++
+				}
+			}
+			for _, b := range cs.DescTargets(t) {
+				if origTypes[b] && addTempChild(n, pattern.Descendant, b) {
+					added++
+				}
+			}
+		}
+	}
+	return added
+}
+
+// addTempChild attaches a temporary witness and reports whether it did;
+// an exact duplicate witness (same type, same edge kind, already
+// temporary) is skipped so that re-augmenting a query is idempotent.
+func addTempChild(n *pattern.Node, k pattern.EdgeKind, t pattern.Type) bool {
+	for _, c := range n.Children {
+		if c.Temp && c.Type == t && c.Edge == k && len(c.Children) == 0 {
+			return false
+		}
+	}
+	w := pattern.NewNode(t)
+	w.Temp = true
+	n.AddChild(k, w)
+	return true
+}
+
+// FullChase applies the unrestricted chase for up to maxRounds rounds,
+// adding permanent nodes and types (no temporary marking). It exists to
+// demonstrate — in tests and documentation — why augmentation's
+// restrictions matter: with cyclic required-descendant constraints the
+// unrestricted chase grows without bound, and even on acyclic sets its
+// result can be much larger than the augmented query. It returns the
+// number of nodes added.
+func FullChase(p *pattern.Pattern, cs *ics.Set, maxRounds int) int {
+	if p == nil || p.Root == nil || cs == nil {
+		return 0
+	}
+	added := 0
+	for round := 0; round < maxRounds; round++ {
+		addedThisRound := 0
+		for _, n := range p.Nodes() {
+			for _, t := range n.Types() {
+				for _, b := range cs.CoTargets(t) {
+					if !n.HasType(b) {
+						n.AddType(b, false)
+						addedThisRound++
+					}
+				}
+				for _, b := range cs.ChildTargets(t) {
+					if !hasChildOfType(n, pattern.Child, b) {
+						n.AddChild(pattern.Child, pattern.NewNode(b))
+						addedThisRound++
+					}
+				}
+				for _, b := range cs.DescTargets(t) {
+					if !hasDescOfType(n, b) {
+						n.AddChild(pattern.Descendant, pattern.NewNode(b))
+						addedThisRound++
+					}
+				}
+			}
+		}
+		if addedThisRound == 0 {
+			return added
+		}
+		added += addedThisRound
+	}
+	return added
+}
+
+func hasChildOfType(n *pattern.Node, k pattern.EdgeKind, t pattern.Type) bool {
+	for _, c := range n.Children {
+		if c.Edge == k && c.HasType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+func hasDescOfType(n *pattern.Node, t pattern.Type) bool {
+	for _, c := range n.Children {
+		if c.HasType(t) || hasDescOfType(c, t) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,197 @@
+package chase
+
+import (
+	"testing"
+
+	"tpq/internal/ics"
+	"tpq/internal/pattern"
+)
+
+func countTemp(p *pattern.Pattern) int {
+	n := 0
+	p.Walk(func(x *pattern.Node) {
+		if x.Temp {
+			n++
+		}
+	})
+	return n
+}
+
+func TestAugmentAddsWitnesses(t *testing.T) {
+	// Figure 2(b) + Section => Paragraph gives Figure 2(j): one extra
+	// temporary Paragraph d-child under Section.
+	p := pattern.MustParse("Articles/Article*[//Paragraph, /Section//Paragraph]")
+	cs := ics.NewSet(ics.Desc("Section", "Paragraph"))
+	added := Augment(p, cs)
+	if added != 1 {
+		t.Fatalf("Augment added %d nodes, want 1", added)
+	}
+	var section *pattern.Node
+	p.Walk(func(n *pattern.Node) {
+		if n.Type == "Section" {
+			section = n
+		}
+	})
+	if len(section.Children) != 2 {
+		t.Fatalf("Section has %d children, want 2", len(section.Children))
+	}
+	tmp := section.Children[1]
+	if !tmp.Temp || tmp.Type != "Paragraph" || tmp.Edge != pattern.Descendant {
+		t.Errorf("witness = %+v", tmp)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("augmented pattern invalid: %v", err)
+	}
+}
+
+func TestAugmentSkipsAbsentTargetTypes(t *testing.T) {
+	// Constraint targets that do not occur in the original query are not
+	// applied (restriction 2 of Section 5.2).
+	p := pattern.MustParse("a*/b")
+	cs := ics.NewSet(ics.Child("a", "zzz"), ics.Desc("b", "yyy"), ics.Co("a", "www"))
+	if added := Augment(p, cs); added != 0 {
+		t.Errorf("Augment added %d nodes for absent types", added)
+	}
+	if p.Root.HasType("www") {
+		t.Error("co-occurrence applied for absent type")
+	}
+}
+
+func TestAugmentCoOccurrence(t *testing.T) {
+	p := pattern.MustParse("Organization*[/Employee/Project, /PermEmp/DBproject]")
+	cs := ics.NewSet(ics.Co("PermEmp", "Employee"), ics.Co("DBproject", "Project"))
+	Augment(p, cs)
+	var permEmp, dbproj *pattern.Node
+	p.Walk(func(n *pattern.Node) {
+		switch n.Type {
+		case "PermEmp":
+			permEmp = n
+		case "DBproject":
+			dbproj = n
+		}
+	})
+	if !permEmp.HasType("Employee") {
+		t.Error("PermEmp did not gain type Employee")
+	}
+	if !dbproj.HasType("Project") {
+		t.Error("DBproject did not gain type Project")
+	}
+	// Temporary associations are stripped.
+	p.StripTemp()
+	if permEmp.HasType("Employee") {
+		t.Error("temporary type association survived StripTemp")
+	}
+}
+
+func TestAugmentOnlyOriginalNodes(t *testing.T) {
+	// Witnesses do not receive witnesses: depth grows by at most one.
+	p := pattern.MustParse("a*[/b, /c]")
+	cs := ics.NewSet(ics.Child("a", "b"), ics.Child("b", "c"))
+	Augment(p, cs)
+	maxDepth := 0
+	p.Walk(func(n *pattern.Node) {
+		if d := n.Depth(); d > maxDepth {
+			maxDepth = d
+		}
+	})
+	if maxDepth > 2 {
+		t.Errorf("augmentation grew depth to %d", maxDepth)
+	}
+	// The b witness under a must NOT have a c witness of its own.
+	for _, c := range p.Root.Children {
+		if c.Temp {
+			if len(c.Children) != 0 {
+				t.Error("temporary witness has children")
+			}
+		}
+	}
+}
+
+func TestAugmentIdempotent(t *testing.T) {
+	p := pattern.MustParse("a*[/b, //c]")
+	cs := ics.NewSet(ics.Child("a", "b"), ics.Desc("a", "c"), ics.Co("b", "c")).Closure()
+	first := Augment(p, cs)
+	if first == 0 {
+		t.Fatal("first augmentation added nothing")
+	}
+	size := p.Size()
+	second := Augment(p, cs)
+	if second != 0 || p.Size() != size {
+		t.Errorf("second augmentation added %d nodes", second)
+	}
+}
+
+func TestAugmentClosedSetCascade(t *testing.T) {
+	// b ~ c and c -> d: a node of type b needs a d witness, via the
+	// closure-derived b -> d.
+	p := pattern.MustParse("a*[/b, /d]")
+	cs := ics.NewSet(ics.Co("b", "c"), ics.Child("c", "d"))
+	Augment(p, cs) // Augment closes internally
+	var b *pattern.Node
+	p.Walk(func(n *pattern.Node) {
+		if n.Type == "b" {
+			b = n
+		}
+	})
+	found := false
+	for _, c := range b.Children {
+		if c.Temp && c.Type == "d" && c.Edge == pattern.Child {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("closure-derived witness missing; b children: %v", b.Children)
+	}
+	// The co-occurrence target c is absent from the query, so the type
+	// association b ~ c is not applied.
+	if b.HasType("c") {
+		t.Error("co-occurrence with absent target applied")
+	}
+}
+
+func TestAugmentEmptyInputs(t *testing.T) {
+	if Augment(&pattern.Pattern{}, ics.NewSet()) != 0 {
+		t.Error("augmenting empty pattern added nodes")
+	}
+	p := pattern.MustParse("a*")
+	if Augment(p, nil) != 0 {
+		t.Error("nil constraint set added nodes")
+	}
+}
+
+func TestFullChaseTerminatesOnAcyclic(t *testing.T) {
+	p := pattern.MustParse("a*")
+	cs := ics.NewSet(ics.Child("a", "b"), ics.Child("b", "c"))
+	added := FullChase(p, cs, 100)
+	if added != 2 {
+		t.Errorf("FullChase added %d, want 2 (b under a, c under b)", added)
+	}
+	if countTemp(p) != 0 {
+		t.Error("FullChase marked nodes temporary")
+	}
+	// Idempotent once saturated.
+	if FullChase(p, cs, 100) != 0 {
+		t.Error("saturated chase added more")
+	}
+}
+
+func TestFullChaseBoundedOnCycles(t *testing.T) {
+	p := pattern.MustParse("a*")
+	cs := ics.NewSet(ics.Desc("a", "b"), ics.Desc("b", "a"))
+	added := FullChase(p, cs, 5)
+	if added != 5 {
+		t.Errorf("cyclic chase added %d nodes in 5 rounds, want 5", added)
+	}
+}
+
+func TestFullChaseCoOccurrence(t *testing.T) {
+	p := pattern.MustParse("a*")
+	cs := ics.NewSet(ics.Co("a", "b"), ics.Child("b", "c"))
+	FullChase(p, cs, 10)
+	if !p.Root.HasType("b") {
+		t.Error("co-occurrence type not added")
+	}
+	if len(p.Root.Children) != 1 || p.Root.Children[0].Type != "c" {
+		t.Error("chase did not cascade through the added type")
+	}
+}

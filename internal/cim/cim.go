@@ -1,0 +1,288 @@
+// Package cim implements constraint-independent minimization of tree
+// pattern queries (Section 4 of the paper, Algorithm CIM).
+//
+// A node of a query Q is redundant iff there is an endomorphism on Q (a
+// containment mapping Q → Q) that is not the identity on that node
+// (Proposition 4.1). CIM repeatedly finds a redundant leaf and deletes it —
+// a maximal elimination ordering (MEO) — which by Lemmas 4.1-4.3 and
+// Theorem 4.1 always reaches the unique minimal equivalent query regardless
+// of the order in which leaves are tried.
+//
+// The leaf-redundancy test is the images-table procedure of Theorem 4.2 and
+// Figure 3: associate with the leaf l the set of its potential images (all
+// other label-compatible nodes) and with every other node v its potential
+// images (all label-compatible nodes, including v itself), then prune the
+// sets bottom-up — an image s of v survives only if every child of v has an
+// image appropriately related to s (a c-child needs an image that is a
+// c-child of s; a d-child needs an image that is a proper descendant of s).
+// The leaf is redundant iff the root's image set is non-empty after
+// pruning. Two early exits from Figure 3 apply while walking up from the
+// leaf: an empty image set anywhere means "not redundant", and v ∈
+// images(v) at a proper ancestor v means "redundant" (the endomorphism can
+// be the identity outside subtree(v)).
+//
+// Temporary nodes (inserted by the augmentation step of ACIM, package
+// acim) are handled natively: they may serve as images but are never
+// requirements — a mapped node's temporary children do not constrain the
+// mapping, because the integrity constraints that created them hold at any
+// image — and they are never candidates for elimination.
+package cim
+
+import (
+	"time"
+
+	"tpq/internal/pattern"
+)
+
+// Stats reports what a minimization run did and where the time went.
+type Stats struct {
+	// Removed is the number of (permanent) nodes eliminated.
+	Removed int
+	// Tests is the number of leaf-redundancy tests executed.
+	Tests int
+	// TablesTime is the time spent building the images and
+	// ancestor/descendant (preorder interval) tables across all redundancy
+	// tests. The paper's Figure 7(b) reports this fraction for ACIM.
+	TablesTime time.Duration
+	// TotalTime is the wall-clock time of the whole minimization.
+	TotalTime time.Duration
+}
+
+// Options tune a minimization run.
+type Options struct {
+	// Order, if non-nil, fixes the order in which candidate leaves are
+	// tried: lower rank first. Nodes missing from the map rank last. The
+	// minimal result is independent of the order (Theorem 4.1); tests use
+	// this to exercise different maximal elimination orderings.
+	Order map[*pattern.Node]int
+
+	// Naive disables the "non-redundant stays non-redundant" memoization
+	// (enhancement 1 of Section 4): after every deletion all leaves are
+	// reconsidered. Quadratically more redundancy tests; kept as the
+	// ablation baseline.
+	Naive bool
+}
+
+// Minimize returns the unique minimal query equivalent to p, leaving p
+// untouched.
+func Minimize(p *pattern.Pattern) *pattern.Pattern {
+	q := p.Clone()
+	MinimizeInPlace(q, Options{})
+	return q
+}
+
+// MinimizeInPlace removes every redundant node of p and returns statistics
+// about the run. The output node and temporary nodes are never removed
+// (temporary subtrees hanging under a removed node go with it).
+func MinimizeInPlace(p *pattern.Pattern, opts Options) (st Stats) {
+	start := time.Now()
+	defer func() { st.TotalTime = time.Since(start) }()
+
+	if p == nil || p.Root == nil {
+		return st
+	}
+
+	nonRedundant := make(map[*pattern.Node]bool)
+	for {
+		l := nextCandidate(p, nonRedundant, opts.Order)
+		if l == nil {
+			break
+		}
+		st.Tests++
+		if redundantLeaf(p, l, &st) {
+			removeWithTemps(l)
+			st.Removed++
+			if opts.Naive {
+				nonRedundant = make(map[*pattern.Node]bool)
+			}
+		} else {
+			nonRedundant[l] = true
+		}
+	}
+	return st
+}
+
+// RedundantLeaf reports whether l — an effective leaf of p (no permanent
+// children) — is redundant. It is the entry point of Figure 3.
+func RedundantLeaf(p *pattern.Pattern, l *pattern.Node) bool {
+	var st Stats
+	return redundantLeaf(p, l, &st)
+}
+
+// nextCandidate picks the best-ranked effective leaf that is still worth
+// testing: not the output node, not temporary, not known non-redundant.
+func nextCandidate(p *pattern.Pattern, nonRedundant map[*pattern.Node]bool, order map[*pattern.Node]int) *pattern.Node {
+	var best *pattern.Node
+	bestRank := int(^uint(0) >> 1)
+	pos := 0
+	p.Walk(func(n *pattern.Node) {
+		pos++
+		if n.Star || n.Temp || nonRedundant[n] || !effectiveLeaf(n) {
+			return
+		}
+		rank := pos
+		if order != nil {
+			if r, ok := order[n]; ok {
+				rank = r
+			} else {
+				rank = pos + 1<<20
+			}
+		}
+		if best == nil || rank < bestRank {
+			best, bestRank = n, rank
+		}
+	})
+	return best
+}
+
+// effectiveLeaf reports whether n has no permanent children. Temporary
+// children are witnesses, not requirements, so a node whose children are
+// all temporary is a leaf for minimization purposes.
+func effectiveLeaf(n *pattern.Node) bool {
+	for _, c := range n.Children {
+		if !c.Temp {
+			return false
+		}
+	}
+	return true
+}
+
+// removeWithTemps detaches n (and therefore any temporary children it still
+// carries) from the pattern.
+func removeWithTemps(n *pattern.Node) { n.Detach() }
+
+// labelCompatible mirrors containment.labelCompatible — type-set inclusion
+// plus one-directional output preservation — except that only u's required
+// types count: extra types added by augmentation are consequences of the
+// integrity constraints, guaranteed at any image of u, so they must not
+// narrow u's image set (they still widen v's capability side).
+func labelCompatible(u, v *pattern.Node) bool {
+	if u.Star && !v.Star {
+		return false
+	}
+	return u.RequiredTypesSubsetOf(v) && v.CondsEntail(u)
+}
+
+// redundantLeaf is Figure 3 with the enhancements of Section 4.
+func redundantLeaf(p *pattern.Pattern, l *pattern.Node, st *Stats) bool {
+	tStart := time.Now()
+	idx := pattern.NewIndex(p)
+
+	// Initialize the images tables. images(l) excludes l itself and any
+	// node of l's temporary subtree (the endomorphism must avoid what is
+	// being deleted); every other permanent node gets all label-compatible
+	// nodes, temporaries included.
+	images := make(map[*pattern.Node]map[*pattern.Node]bool, len(idx.Order))
+	ownTemp := make(map[*pattern.Node]bool)
+	for _, m := range l.Children {
+		markSubtree(m, ownTemp)
+	}
+	for _, v := range idx.Order {
+		if v.Temp {
+			continue // temporaries are never requirements; no images needed
+		}
+		set := make(map[*pattern.Node]bool)
+		for _, m := range idx.Order {
+			if v == l && (m == l || ownTemp[m]) {
+				continue
+			}
+			if labelCompatible(v, m) {
+				set[m] = true
+			}
+		}
+		images[v] = set
+	}
+	st.TablesTime += time.Since(tStart)
+
+	if len(images[l]) == 0 {
+		return false
+	}
+
+	marked := map[*pattern.Node]bool{l: true}
+	for v := l.Parent; v != nil; v = v.Parent {
+		minimizeImages(v, images, marked, idx)
+		if len(images[v]) == 0 {
+			return false
+		}
+		if v != p.Root && images[v][v] {
+			// subtree(v) maps into itself with v fixed; extend with the
+			// identity outside subtree(v).
+			return true
+		}
+	}
+	return len(images[p.Root]) > 0
+}
+
+func markSubtree(n *pattern.Node, set map[*pattern.Node]bool) {
+	set[n] = true
+	for _, c := range n.Children {
+		markSubtree(c, set)
+	}
+}
+
+// minimizeImages prunes the image sets of v's (permanent) descendants and
+// then of v itself, marking processed nodes so shared work is not repeated
+// across the upward walk.
+func minimizeImages(v *pattern.Node, images map[*pattern.Node]map[*pattern.Node]bool, marked map[*pattern.Node]bool, idx *pattern.Index) {
+	if marked[v] {
+		return
+	}
+	reqs := requirements(v)
+	if len(reqs) == 0 {
+		marked[v] = true
+		return
+	}
+	for _, u := range reqs {
+		minimizeImages(u, images, marked, idx)
+	}
+	set := images[v]
+	for s := range set {
+		for _, u := range reqs {
+			if !hasImageUnder(u, s, images[u], idx) {
+				delete(set, s)
+				break
+			}
+		}
+	}
+	marked[v] = true
+}
+
+// requirements returns v's permanent children — the constraints an image
+// of v must satisfy.
+func requirements(v *pattern.Node) []*pattern.Node {
+	reqs := v.Children
+	for _, c := range v.Children {
+		if c.Temp {
+			reqs = nil
+			break
+		}
+	}
+	if reqs != nil {
+		return reqs
+	}
+	for _, c := range v.Children {
+		if !c.Temp {
+			reqs = append(reqs, c)
+		}
+	}
+	return reqs
+}
+
+// hasImageUnder reports whether child u of the pattern has a surviving
+// image correctly related to the candidate image s of u's parent.
+func hasImageUnder(u *pattern.Node, s *pattern.Node, uImages map[*pattern.Node]bool, idx *pattern.Index) bool {
+	if u.Edge == pattern.Child {
+		for _, m := range s.Children {
+			if m.Edge == pattern.Child && uImages[m] {
+				return true
+			}
+		}
+		return false
+	}
+	for m := range uImages {
+		if idx.IsDescendant(m, s) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,60 @@
+package cim
+
+import (
+	"testing"
+
+	"tpq/internal/containment"
+	"tpq/internal/pattern"
+)
+
+// Tests for constraint-independent minimization with value-based
+// conditions (the Section 7 extension): a branch is subsumed only if the
+// surviving branch's conditions entail its own.
+
+func TestMinimizeWithConditions(t *testing.T) {
+	cases := []struct{ in, want string }{
+		// The weaker condition is entailed by the stronger one: redundant.
+		{"a*[//b(@p<100), //b(@p<50)]", "a*//b(@p<50)"},
+		// Incomparable conditions: both branches stay.
+		{"a*[//b(@p<50), //b(@p>80)]", "a*[//b(@p<50), //b(@p>80)]"},
+		// A condition-free branch is subsumed by any same-type branch.
+		{"a*[//b, //b(@p<50)]", "a*//b(@p<50)"},
+		// ...but not the other way around.
+		{"a*[//b(@p<50)]", "a*//b(@p<50)"},
+		// Equality entails inequalities around it.
+		{"a*[//b(@p!=3), //b(@p=5)]", "a*//b(@p=5)"},
+		// Conditions on different attributes do not interact.
+		{"a*[//b(@p<50), //b(@q<50)]", "a*[//b(@p<50), //b(@q<50)]"},
+		// Conditions at inner nodes participate too.
+		{"a*[/b(@x>0)/c, /b(@x>5)/c]", "a*/b(@x>5)/c"},
+	}
+	for _, cse := range cases {
+		in := mp(cse.in)
+		got := Minimize(in)
+		want := mp(cse.want)
+		if !pattern.Isomorphic(got, want) {
+			t.Errorf("Minimize(%s) = %s, want %s", cse.in, got, want)
+		}
+		if !containment.Equivalent(got, in) {
+			t.Errorf("Minimize(%s) broke equivalence", cse.in)
+		}
+	}
+}
+
+func TestConditionedRedundantLeaf(t *testing.T) {
+	q := mp("a*[//b(@p<100), //b(@p<50)]")
+	var weak, strong *pattern.Node
+	for _, child := range q.Root.Children {
+		if child.Conds[0].Value == 100 {
+			weak = child
+		} else {
+			strong = child
+		}
+	}
+	if !RedundantLeaf(q, weak) {
+		t.Error("weaker-condition leaf should be redundant")
+	}
+	if RedundantLeaf(q, strong) {
+		t.Error("stronger-condition leaf must not be redundant")
+	}
+}

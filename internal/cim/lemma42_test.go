@@ -1,0 +1,135 @@
+package cim
+
+import (
+	"math/rand"
+	"testing"
+
+	"tpq/internal/containment"
+	"tpq/internal/pattern"
+)
+
+// TestLemma42EveryEquivalentSubqueryReachable checks Lemma 4.2: any
+// equivalent query on a proper subset of Q's nodes is reachable from Q by
+// an elimination ordering — deleting one redundant leaf at a time. For
+// small random queries we enumerate every equivalent sub-query S and greedy
+// -delete redundant leaves of Q that are outside S; the lemma says this
+// never gets stuck before reaching S.
+func TestLemma42EveryEquivalentSubqueryReachable(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	types := []pattern.Type{"a", "b"}
+	exercised := 0
+	for i := 0; i < 60; i++ {
+		q := randomQuery(rng, 2+rng.Intn(5), types)
+		for _, keep := range subQueries(q) {
+			if keep.size == q.Size() || !equivalentToOriginal(q, keep) {
+				continue
+			}
+			exercised++
+			if !reachableByElimination(q, keep.kept) {
+				t.Fatalf("iter %d: equivalent sub-query not reachable by leaf elimination\nQ = %s",
+					i, q)
+			}
+		}
+	}
+	if exercised == 0 {
+		t.Fatal("no equivalent proper sub-queries generated")
+	}
+}
+
+// subQuery identifies a sub-query by the set of original nodes it keeps.
+type subQuery struct {
+	kept map[*pattern.Node]bool
+	size int
+}
+
+// subQueries enumerates all node subsets closed under "keep your parent"
+// that contain the root and the output node.
+func subQueries(q *pattern.Pattern) []subQuery {
+	star := q.OutputNode()
+	mandatory := map[*pattern.Node]bool{}
+	for n := star; n != nil; n = n.Parent {
+		mandatory[n] = true
+	}
+	var out []subQuery
+	var build func(n *pattern.Node, kept map[*pattern.Node]bool) []map[*pattern.Node]bool
+	build = func(n *pattern.Node, _ map[*pattern.Node]bool) []map[*pattern.Node]bool {
+		// Variants of the subtree at n, as kept-sets including n.
+		variants := []map[*pattern.Node]bool{{n: true}}
+		for _, c := range n.Children {
+			childVariants := build(c, nil)
+			var next []map[*pattern.Node]bool
+			for _, v := range variants {
+				if !mandatory[c] {
+					// Option: drop subtree(c) entirely.
+					next = append(next, v)
+				}
+				for _, cv := range childVariants {
+					merged := map[*pattern.Node]bool{}
+					for k := range v {
+						merged[k] = true
+					}
+					for k := range cv {
+						merged[k] = true
+					}
+					next = append(next, merged)
+				}
+			}
+			variants = next
+		}
+		return variants
+	}
+	for _, kept := range build(q.Root, nil) {
+		out = append(out, subQuery{kept: kept, size: len(kept)})
+	}
+	return out
+}
+
+// restrict builds the pattern induced by keeping the given original nodes.
+func restrict(q *pattern.Pattern, kept map[*pattern.Node]bool) *pattern.Pattern {
+	clone, m := q.CloneMap()
+	var victims []*pattern.Node
+	q.Walk(func(n *pattern.Node) {
+		if !kept[n] {
+			victims = append(victims, m[n])
+		}
+	})
+	for _, v := range victims {
+		if v.Parent != nil || v != clone.Root {
+			v.Detach()
+		}
+	}
+	return clone
+}
+
+func equivalentToOriginal(q *pattern.Pattern, s subQuery) bool {
+	return containment.Equivalent(q, restrict(q, s.kept))
+}
+
+// reachableByElimination greedily deletes redundant leaves outside kept.
+func reachableByElimination(q *pattern.Pattern, kept map[*pattern.Node]bool) bool {
+	clone, m := q.CloneMap()
+	keptClone := map[*pattern.Node]bool{}
+	q.Walk(func(n *pattern.Node) {
+		if kept[n] {
+			keptClone[m[n]] = true
+		}
+	})
+	for {
+		if clone.Size() == len(keptClone) {
+			return true
+		}
+		var victim *pattern.Node
+		clone.Walk(func(n *pattern.Node) {
+			if victim != nil || keptClone[n] || !n.IsLeaf() || n.Star {
+				return
+			}
+			if RedundantLeaf(clone, n) {
+				victim = n
+			}
+		})
+		if victim == nil {
+			return false
+		}
+		victim.Detach()
+	}
+}

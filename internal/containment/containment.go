@@ -1,0 +1,191 @@
+// Package containment decides containment and equivalence of tree pattern
+// queries via containment mappings, the adaptation of Chandra-Merlin
+// homomorphisms described in Section 4 of "Minimization of Tree Pattern
+// Queries" (SIGMOD 2001).
+//
+// A containment mapping h from a query P to a query Q maps P's nodes to Q's
+// nodes such that
+//
+//  1. h preserves node types (every type required at x is carried by h(x))
+//     and h(x) is the output node iff x is;
+//  2. whenever y is a c-child of x in P, h(y) is a c-child of h(x) in Q, and
+//     whenever y is a d-child of x, h(y) is a proper descendant of h(x)
+//     (reachable through any mix of child and descendant edges).
+//
+// Embedding semantics are non-anchored: a pattern's root may embed at any
+// node of a data tree, so h may map P's root to any node of Q. With types
+// drawn from an unbounded alphabet and no wildcards, Q ⊆ P holds iff such a
+// mapping P → Q exists; package tests cross-validate this against
+// brute-force evaluation over canonical databases.
+package containment
+
+import (
+	"tpq/internal/pattern"
+)
+
+// Mapping is a witness containment mapping from the nodes of one pattern to
+// the nodes of another.
+type Mapping map[*pattern.Node]*pattern.Node
+
+// Exists reports whether a containment mapping from p to q exists.
+func Exists(p, q *pattern.Pattern) bool {
+	return FindMapping(p, q) != nil
+}
+
+// FindMapping returns a containment mapping from p to q, or nil if none
+// exists.
+//
+// It runs the standard bottom-up dynamic program: for each node u of p (in
+// postorder) and each node v of q, canMap(u,v) holds iff u's label is
+// compatible with v's and every child of u can be mapped under v with the
+// right structural relationship. Worst-case time O(|p|·|q|·(maxFanout·|q|)).
+func FindMapping(p, q *pattern.Pattern) Mapping {
+	if p == nil || p.Root == nil || q == nil || q.Root == nil {
+		return nil
+	}
+	qIdx := pattern.NewIndex(q)
+	qNodes := qIdx.Order
+
+	canMap := make(map[*pattern.Node]map[*pattern.Node]bool)
+
+	var compute func(u *pattern.Node)
+	compute = func(u *pattern.Node) {
+		for _, c := range u.Children {
+			compute(c)
+		}
+		row := make(map[*pattern.Node]bool, len(qNodes))
+		for _, v := range qNodes {
+			if !labelCompatible(u, v) {
+				continue
+			}
+			ok := true
+			for _, c := range u.Children {
+				if !childMappable(c, v, canMap[c], qIdx) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				row[v] = true
+			}
+		}
+		canMap[u] = row
+	}
+	compute(p.Root)
+
+	// Pick any image for the root, then reconstruct the mapping top-down by
+	// choosing, for each child, a compatible image under its parent's image.
+	var rootImage *pattern.Node
+	for _, v := range qNodes {
+		if canMap[p.Root][v] {
+			rootImage = v
+			break
+		}
+	}
+	if rootImage == nil {
+		return nil
+	}
+	m := Mapping{p.Root: rootImage}
+	var build func(u *pattern.Node) bool
+	build = func(u *pattern.Node) bool {
+		for _, c := range u.Children {
+			img := pickChildImage(c, m[u], canMap[c], qIdx)
+			if img == nil {
+				return false // cannot happen if the DP is correct
+			}
+			m[c] = img
+			if !build(c) {
+				return false
+			}
+		}
+		return true
+	}
+	if !build(p.Root) {
+		return nil
+	}
+	return m
+}
+
+// labelCompatible implements condition (1): type-set inclusion plus output
+// preservation. The output node must map to the output node; a non-output
+// node may map anywhere, including onto the output node. (The paper words
+// the condition as "iff", but the strict form is incomplete: in
+// OrgUnit[/Dept/..., //Dept*/...] ⊇ OrgUnit/Dept*[...] the non-output Dept
+// must land on the output Dept. Soundness needs only h(*) = *.)
+func labelCompatible(u, v *pattern.Node) bool {
+	if u.Star && !v.Star {
+		return false
+	}
+	return u.TypesSubsetOf(v) && v.CondsEntail(u)
+}
+
+// childMappable reports whether child c of p (with its precomputed row of
+// feasible images) has at least one feasible image correctly related to v.
+func childMappable(c *pattern.Node, v *pattern.Node, row map[*pattern.Node]bool, qIdx *pattern.Index) bool {
+	return pickChildImage(c, v, row, qIdx) != nil
+}
+
+func pickChildImage(c *pattern.Node, v *pattern.Node, row map[*pattern.Node]bool, qIdx *pattern.Index) *pattern.Node {
+	if c.Edge == pattern.Child {
+		for _, w := range v.Children {
+			if w.Edge == pattern.Child && row[w] {
+				return w
+			}
+		}
+		return nil
+	}
+	for w := range row {
+		if qIdx.IsDescendant(w, v) {
+			return w
+		}
+	}
+	return nil
+}
+
+// Verify checks that m is a valid containment mapping from p to q. It is
+// used by tests to validate witnesses returned by FindMapping.
+func Verify(p, q *pattern.Pattern, m Mapping) bool {
+	if m == nil {
+		return false
+	}
+	qIdx := pattern.NewIndex(q)
+	qSet := make(map[*pattern.Node]bool)
+	for _, v := range qIdx.Order {
+		qSet[v] = true
+	}
+	ok := true
+	p.Walk(func(u *pattern.Node) {
+		v := m[u]
+		if v == nil || !qSet[v] || !labelCompatible(u, v) {
+			ok = false
+			return
+		}
+		if u.Parent != nil {
+			pv := m[u.Parent]
+			switch u.Edge {
+			case pattern.Child:
+				if v.Parent != pv || v.Edge != pattern.Child {
+					ok = false
+				}
+			case pattern.Descendant:
+				if !qIdx.IsDescendant(v, pv) {
+					ok = false
+				}
+			}
+		}
+	})
+	return ok
+}
+
+// Contains reports whether p contains q, i.e. q's answer set is a subset of
+// p's on every database: q ⊆ p iff a containment mapping p → q exists.
+func Contains(p, q *pattern.Pattern) bool { return Exists(p, q) }
+
+// ContainedIn reports whether p ⊆ q.
+func ContainedIn(p, q *pattern.Pattern) bool { return Exists(q, p) }
+
+// Equivalent reports whether p and q return the same answer on every
+// database (two-way containment).
+func Equivalent(p, q *pattern.Pattern) bool {
+	return Exists(p, q) && Exists(q, p)
+}

@@ -1,0 +1,143 @@
+package data
+
+import (
+	"fmt"
+
+	"tpq/internal/ics"
+	"tpq/internal/pattern"
+)
+
+// Violation describes one unsatisfied integrity constraint at one node.
+type Violation struct {
+	Node       *Node
+	Constraint ics.Constraint
+}
+
+// String renders the violation for error messages.
+func (v Violation) String() string {
+	return fmt.Sprintf("node %d (%v) violates %s", v.Node.ID, v.Node.Types, v.Constraint)
+}
+
+// Violations returns every (node, constraint) pair of f that fails cs, in
+// document order. An empty result means f satisfies cs.
+func Violations(f *Forest, cs *ics.Set) []Violation {
+	var out []Violation
+	for _, n := range f.Nodes() {
+		for _, t := range n.Types {
+			for _, b := range cs.ChildTargets(t) {
+				if !hasChildOfType(n, b) {
+					out = append(out, Violation{n, ics.Child(t, b)})
+				}
+			}
+			for _, b := range cs.DescTargets(t) {
+				if !hasDescOfType(n, b) {
+					out = append(out, Violation{n, ics.Desc(t, b)})
+				}
+			}
+			for _, b := range cs.CoTargets(t) {
+				if !n.HasType(b) {
+					out = append(out, Violation{n, ics.Co(t, b)})
+				}
+			}
+			for _, b := range cs.ForbidChildTargets(t) {
+				if hasChildOfType(n, b) {
+					out = append(out, Violation{n, ics.ForbidChild(t, b)})
+				}
+			}
+			for _, b := range cs.ForbidDescTargets(t) {
+				if hasDescOfType(n, b) {
+					out = append(out, Violation{n, ics.ForbidDesc(t, b)})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Satisfies reports whether f satisfies every constraint of cs.
+func Satisfies(f *Forest, cs *ics.Set) bool {
+	return len(Violations(f, cs)) == 0
+}
+
+func hasChildOfType(n *Node, t pattern.Type) bool {
+	for _, c := range n.Children {
+		if c.HasType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+func hasDescOfType(n *Node, t pattern.Type) bool {
+	for _, c := range n.Children {
+		if c.HasType(t) || hasDescOfType(c, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// Repair modifies f in place until it satisfies cs, by adding co-occurrence
+// types and appending fresh child nodes that discharge required-child and
+// required-descendant constraints. It fails if the requirement graph of cs
+// is cyclic (such sets are satisfiable only by infinite trees). cs is
+// closed internally, so callers may pass any set. The forest is reindexed
+// before returning.
+func Repair(f *Forest, cs *ics.Set) error {
+	closed := cs.Closure()
+	if !closed.AcyclicRequired() {
+		return fmt.Errorf("data: cannot repair: required-child/descendant constraints are cyclic (%s)", cs)
+	}
+	// Forbidden forms cannot be repaired by adding structure; refuse when
+	// the forest already violates one (removal policy is the caller's
+	// decision).
+	for _, v := range Violations(f, closed) {
+		if v.Constraint.Kind == ics.ForbiddenChild || v.Constraint.Kind == ics.ForbiddenDescendant {
+			return fmt.Errorf("data: cannot repair forbidden-structure violation: %s", v)
+		}
+	}
+	// addWitness appends a fresh child of type t, immediately carrying t's
+	// co-occurrence types so sibling constraints can reuse it.
+	addWitness := func(n *Node, t pattern.Type) {
+		c := n.Child(t)
+		for _, co := range closed.CoTargets(t) {
+			c.AddType(co)
+		}
+	}
+	// Fixpoint: each pass discharges co-occurrence and required-child
+	// violations; required-descendant violations are only repaired in a
+	// quiescent pass, since cascading child repairs usually discharge them
+	// for free. Acyclicity bounds the iteration by the depth of the
+	// requirement DAG.
+	for pass := 0; ; pass++ {
+		f.Reindex()
+		viols := Violations(f, closed)
+		if len(viols) == 0 {
+			f.Reindex()
+			return nil
+		}
+		if pass > 4*len(closed.Types())+8 {
+			return fmt.Errorf("data: repair did not converge after %d passes", pass)
+		}
+		added := 0
+		for _, v := range viols {
+			switch v.Constraint.Kind {
+			case ics.CoOccurrence:
+				v.Node.AddType(v.Constraint.To)
+			case ics.RequiredChild:
+				if !hasChildOfType(v.Node, v.Constraint.To) {
+					addWitness(v.Node, v.Constraint.To)
+					added++
+				}
+			}
+		}
+		if added > 0 {
+			continue
+		}
+		for _, v := range viols {
+			if v.Constraint.Kind == ics.RequiredDescendant && !hasDescOfType(v.Node, v.Constraint.To) {
+				addWitness(v.Node, v.Constraint.To)
+			}
+		}
+	}
+}

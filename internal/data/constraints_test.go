@@ -1,0 +1,167 @@
+package data
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"tpq/internal/ics"
+	"tpq/internal/pattern"
+)
+
+func TestViolationsAndSatisfies(t *testing.T) {
+	// Book without Title violates Book -> Title.
+	lib := NewNode("Library")
+	b := lib.Child("Book")
+	f := NewForest(lib)
+	cs := ics.NewSet(ics.Child("Book", "Title"))
+	vs := Violations(f, cs)
+	if len(vs) != 1 || vs[0].Node != b {
+		t.Fatalf("Violations = %v", vs)
+	}
+	if !strings.Contains(vs[0].String(), "Book -> Title") {
+		t.Errorf("violation string = %q", vs[0])
+	}
+	if Satisfies(f, cs) {
+		t.Error("Satisfies true despite violation")
+	}
+	b.Child("Title")
+	f.Reindex()
+	if !Satisfies(f, cs) {
+		t.Error("Satisfies false after fix")
+	}
+}
+
+func TestViolationKinds(t *testing.T) {
+	root := NewNode("a")
+	root.Child("x")
+	f := NewForest(root)
+	cs := ics.NewSet(
+		ics.Desc("a", "deep"),
+		ics.Co("a", "base"),
+	)
+	vs := Violations(f, cs)
+	if len(vs) != 2 {
+		t.Fatalf("want 2 violations, got %v", vs)
+	}
+	// Descendant at any depth satisfies =>.
+	root.Children[0].Child("deep")
+	root.AddType("base")
+	f.Reindex()
+	if !Satisfies(f, cs) {
+		t.Errorf("still violating: %v", Violations(f, cs))
+	}
+}
+
+func TestRepairSimple(t *testing.T) {
+	lib := NewNode("Library")
+	lib.Child("Book")
+	lib.Child("Book")
+	f := NewForest(lib)
+	cs := ics.NewSet(
+		ics.Child("Book", "Title"),
+		ics.Desc("Book", "LastName"),
+		ics.Co("Book", "Publication"),
+	)
+	if err := Repair(f, cs); err != nil {
+		t.Fatal(err)
+	}
+	if !Satisfies(f, cs.Closure()) {
+		t.Errorf("repair left violations: %v", Violations(f, cs.Closure()))
+	}
+	for _, n := range f.Nodes() {
+		if n.HasType("Book") && !n.HasType("Publication") {
+			t.Error("co-occurrence type not added")
+		}
+	}
+}
+
+func TestRepairCascades(t *testing.T) {
+	// Repairing a -> b creates b nodes that themselves need c children.
+	root := NewNode("a")
+	f := NewForest(root)
+	cs := ics.NewSet(ics.Child("a", "b"), ics.Child("b", "c"), ics.Co("c", "leafish"))
+	if err := Repair(f, cs); err != nil {
+		t.Fatal(err)
+	}
+	closed := cs.Closure()
+	if !Satisfies(f, closed) {
+		t.Errorf("cascaded repair incomplete: %v", Violations(f, closed))
+	}
+	if f.Size() != 3 {
+		t.Errorf("Size = %d, want 3 (a, b, c)", f.Size())
+	}
+}
+
+func TestRepairRejectsCycles(t *testing.T) {
+	f := NewForest(NewNode("a"))
+	cs := ics.NewSet(ics.Child("a", "b"), ics.Desc("b", "a"))
+	if err := Repair(f, cs); err == nil {
+		t.Error("cyclic requirement set repaired")
+	}
+}
+
+func TestForbiddenViolations(t *testing.T) {
+	root := NewNode("a")
+	root.Child("b").Child("c")
+	f := NewForest(root)
+	cs := ics.NewSet(ics.ForbidChild("a", "b"))
+	vs := Violations(f, cs)
+	if len(vs) != 1 || vs[0].Constraint.Kind != ics.ForbiddenChild {
+		t.Fatalf("Violations = %v", vs)
+	}
+	// Forbidden-descendant fires at depth.
+	cs2 := ics.NewSet(ics.ForbidDesc("a", "c"))
+	if len(Violations(f, cs2)) != 1 {
+		t.Error("deep forbidden violation missed")
+	}
+	// Repair refuses to fix them.
+	if err := Repair(f, cs); err == nil {
+		t.Error("Repair accepted a forbidden-structure violation")
+	}
+	// A clean forest with forbids passes.
+	ok := NewForest(NewNode("a"))
+	if err := Repair(ok, cs); err != nil {
+		t.Errorf("Repair rejected a clean forest: %v", err)
+	}
+}
+
+func TestRepairRandomForests(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	types := []pattern.Type{"a", "b", "c", "d", "e"}
+	for i := 0; i < 60; i++ {
+		// Random acyclic constraint set: edges only from lower to higher
+		// type index.
+		cs := ics.NewSet()
+		for j := 0; j < 4; j++ {
+			from := rng.Intn(len(types) - 1)
+			to := from + 1 + rng.Intn(len(types)-from-1)
+			switch rng.Intn(3) {
+			case 0:
+				cs.Add(ics.Child(types[from], types[to]))
+			case 1:
+				cs.Add(ics.Desc(types[from], types[to]))
+			default:
+				cs.Add(ics.Co(types[from], types[to]))
+			}
+		}
+		var roots []*Node
+		var all []*Node
+		for len(all) < 1+rng.Intn(10) {
+			if len(all) == 0 || rng.Intn(5) == 0 {
+				r := NewNode(types[rng.Intn(len(types))])
+				roots = append(roots, r)
+				all = append(all, r)
+			} else {
+				all = append(all, all[rng.Intn(len(all))].Child(types[rng.Intn(len(types))]))
+			}
+		}
+		f := NewForest(roots...)
+		if err := Repair(f, cs); err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		if !Satisfies(f, cs.Closure()) {
+			t.Fatalf("iter %d: repair incomplete for %s", i, cs)
+		}
+	}
+}

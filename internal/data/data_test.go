@@ -1,0 +1,195 @@
+package data
+
+import (
+	"strings"
+	"testing"
+
+	"tpq/internal/pattern"
+)
+
+// library builds a small document:
+//
+//	Library
+//	  Book
+//	    Title
+//	    Author
+//	      LastName
+//	  Book
+//	    Title
+func library() *Forest {
+	lib := NewNode("Library")
+	b1 := lib.Child("Book")
+	b1.Child("Title")
+	b1.Child("Author").Child("LastName")
+	b2 := lib.Child("Book")
+	b2.Child("Title")
+	return NewForest(lib)
+}
+
+func TestForestBasics(t *testing.T) {
+	f := library()
+	if f.Size() != 7 {
+		t.Fatalf("Size = %d, want 7", f.Size())
+	}
+	nodes := f.Nodes()
+	if nodes[0] != f.Roots[0] {
+		t.Error("preorder does not start at root")
+	}
+	for i, n := range nodes {
+		if n.ID != i {
+			t.Errorf("node %d has ID %d", i, n.ID)
+		}
+	}
+}
+
+func TestAncestry(t *testing.T) {
+	f := library()
+	nodes := f.Nodes()
+	lib, b1, ln, b2 := nodes[0], nodes[1], nodes[4], nodes[5]
+	if ln.Types[0] != "LastName" || b2.Types[0] != "Book" {
+		t.Fatalf("unexpected preorder: %v", f)
+	}
+	if !lib.IsAncestorOf(ln) || !b1.IsAncestorOf(ln) {
+		t.Error("ancestor test false negative")
+	}
+	if b2.IsAncestorOf(ln) || ln.IsAncestorOf(b1) || b1.IsAncestorOf(b1) {
+		t.Error("ancestor test false positive")
+	}
+}
+
+func TestMultiRootAncestry(t *testing.T) {
+	a := NewNode("a")
+	a.Child("x")
+	b := NewNode("b")
+	bx := b.Child("x")
+	f := NewForest(a, b)
+	if f.Size() != 4 {
+		t.Fatalf("Size = %d", f.Size())
+	}
+	if a.IsAncestorOf(bx) {
+		t.Error("cross-tree ancestor reported")
+	}
+	if !b.IsAncestorOf(bx) {
+		t.Error("in-tree ancestor missed")
+	}
+}
+
+func TestTypeSet(t *testing.T) {
+	n := NewNode("Employee", "Person")
+	n.AddType("Person") // duplicate
+	n.AddType("Agent")
+	if len(n.Types) != 3 {
+		t.Fatalf("Types = %v", n.Types)
+	}
+	for _, ty := range []pattern.Type{"Employee", "Person", "Agent"} {
+		if !n.HasType(ty) {
+			t.Errorf("HasType(%q) = false", ty)
+		}
+	}
+	if n.HasType("Robot") {
+		t.Error("HasType(Robot) = true")
+	}
+	// Sorted.
+	for i := 1; i < len(n.Types); i++ {
+		if n.Types[i-1] >= n.Types[i] {
+			t.Errorf("Types not sorted: %v", n.Types)
+		}
+	}
+}
+
+func TestAddChildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on re-attach")
+		}
+	}()
+	f := library()
+	NewNode("x").AddChild(f.Roots[0].Children[0])
+}
+
+func TestReindexAfterEdit(t *testing.T) {
+	f := library()
+	f.Roots[0].Child("Magazine")
+	f.Reindex()
+	if f.Size() != 8 {
+		t.Errorf("Size after edit = %d, want 8", f.Size())
+	}
+}
+
+func TestString(t *testing.T) {
+	s := library().String()
+	if !strings.Contains(s, "Library") || !strings.Contains(s, "  Book") {
+		t.Errorf("String output unexpected:\n%s", s)
+	}
+}
+
+func TestCanonicalNoHops(t *testing.T) {
+	p := pattern.MustParse("a*[/b, //c]")
+	f, m := Canonical(p, 0)
+	if f.Size() != 3 {
+		t.Fatalf("Size = %d, want 3", f.Size())
+	}
+	if len(m) != 3 {
+		t.Fatalf("mapping size = %d", len(m))
+	}
+	root := f.Roots[0]
+	if !root.HasType("a") || len(root.Children) != 2 {
+		t.Fatalf("bad canonical root: %v", f)
+	}
+}
+
+func TestCanonicalWithHops(t *testing.T) {
+	p := pattern.MustParse("a*[/b, //c//d]")
+	f, m := Canonical(p, 1)
+	// 4 pattern nodes + 2 fresh interior nodes.
+	if f.Size() != 6 {
+		t.Fatalf("Size = %d, want 6", f.Size())
+	}
+	// The image of c must be a grandchild of the image of a, via a fresh
+	// node.
+	a := m[p.Root]
+	var c *pattern.Node
+	p.Walk(func(n *pattern.Node) {
+		if n.Type == "c" {
+			c = n
+		}
+	})
+	dc := m[c]
+	if dc.Parent == nil || dc.Parent.Parent != a {
+		t.Error("d-edge not expanded with one interior hop")
+	}
+	if !strings.HasPrefix(string(dc.Parent.Types[0]), "⊥") {
+		t.Errorf("interior node type = %v, want fresh", dc.Parent.Types)
+	}
+	// Fresh types must be distinct.
+	seen := map[pattern.Type]bool{}
+	for _, n := range f.Nodes() {
+		for _, ty := range n.Types {
+			if strings.HasPrefix(string(ty), "⊥") {
+				if seen[ty] {
+					t.Errorf("fresh type %q reused", ty)
+				}
+				seen[ty] = true
+			}
+		}
+	}
+}
+
+func TestCanonicalPreservesExtras(t *testing.T) {
+	p := pattern.MustParse("a{x,y}*/b")
+	f, m := Canonical(p, 0)
+	root := m[p.Root]
+	if !root.HasType("x") || !root.HasType("y") {
+		t.Error("extra types lost in canonical database")
+	}
+	if f.Size() != 2 {
+		t.Errorf("Size = %d", f.Size())
+	}
+}
+
+func TestCanonicalEmpty(t *testing.T) {
+	f, m := Canonical(&pattern.Pattern{}, 1)
+	if f.Size() != 0 || len(m) != 0 {
+		t.Error("empty pattern canonical not empty")
+	}
+}

@@ -1,0 +1,64 @@
+package data
+
+import (
+	"math/rand"
+
+	"tpq/internal/ics"
+	"tpq/internal/pattern"
+)
+
+// GenOptions configure random forest generation.
+type GenOptions struct {
+	// Size is the approximate number of nodes to generate (exact unless
+	// Constraints repair adds witnesses).
+	Size int
+	// Types is the type alphabet; required.
+	Types []pattern.Type
+	// MaxFanout bounds the number of children per node (0 = no bound).
+	MaxFanout int
+	// Roots is the number of trees in the forest (default 1).
+	Roots int
+	// Constraints, when non-nil, is a set of integrity constraints the
+	// generated forest is repaired to satisfy (see Repair). Must be
+	// acyclic after closure.
+	Constraints *ics.Set
+}
+
+// Generate builds a random forest. It panics on an empty type alphabet and
+// returns an error only if constraint repair fails.
+func Generate(rng *rand.Rand, opts GenOptions) (*Forest, error) {
+	if len(opts.Types) == 0 {
+		panic("data: Generate needs a type alphabet")
+	}
+	roots := opts.Roots
+	if roots <= 0 {
+		roots = 1
+	}
+	size := opts.Size
+	if size < roots {
+		size = roots
+	}
+	pick := func() pattern.Type { return opts.Types[rng.Intn(len(opts.Types))] }
+
+	var rs []*Node
+	var all []*Node
+	for i := 0; i < roots; i++ {
+		r := NewNode(pick())
+		rs = append(rs, r)
+		all = append(all, r)
+	}
+	for len(all) < size {
+		parent := all[rng.Intn(len(all))]
+		if opts.MaxFanout > 0 && len(parent.Children) >= opts.MaxFanout {
+			continue
+		}
+		all = append(all, parent.Child(pick()))
+	}
+	f := NewForest(rs...)
+	if opts.Constraints != nil {
+		if err := Repair(f, opts.Constraints); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}

@@ -1,0 +1,126 @@
+package data
+
+import (
+	"math/rand"
+
+	"tpq/internal/ics"
+	"tpq/internal/pattern"
+)
+
+// Realistic synthetic databases shaped like the paper's two motivating
+// applications: XML publishing collections (Figures 1-2's Articles /
+// Sections / Paragraphs) and LDAP-style organizational directories
+// (OrgUnits / Departments / Employees with multi-typed entries). The
+// generators guarantee the natural constraints of those domains — returned
+// by PublishingConstraints and DirectoryConstraints — so they can feed the
+// constraint-dependent minimizers without a repair step.
+
+// PublishingConstraints returns the integrity constraints every forest
+// from GeneratePublishing satisfies.
+func PublishingConstraints() *ics.Set {
+	return ics.NewSet(
+		ics.Child("Article", "Title"),
+		ics.Child("Article", "Author"),
+		ics.Child("Author", "LastName"),
+		ics.Desc("Section", "Paragraph"),
+	)
+}
+
+// GeneratePublishing builds an article collection: an Articles root whose
+// Article children each carry a Title, one to three Authors (with
+// LastName), and one to four Sections holding Paragraphs, with occasional
+// nested subsections. Articles get year and pages attributes; Paragraphs
+// get a words attribute.
+func GeneratePublishing(rng *rand.Rand, nArticles int) *Forest {
+	root := NewNode("Articles")
+	for i := 0; i < nArticles; i++ {
+		art := root.Child("Article")
+		art.SetAttr("year", float64(1990+rng.Intn(12)))
+		art.SetAttr("pages", float64(4+rng.Intn(28)))
+		art.Child("Title")
+		for a := 0; a < 1+rng.Intn(3); a++ {
+			au := art.Child("Author")
+			au.Child("LastName")
+			if rng.Intn(2) == 0 {
+				au.Child("FirstName")
+			}
+		}
+		for s := 0; s < 1+rng.Intn(4); s++ {
+			sec := art.Child("Section")
+			fillSection(rng, sec, 2)
+		}
+	}
+	return NewForest(root)
+}
+
+func fillSection(rng *rand.Rand, sec *Node, depth int) {
+	n := 1 + rng.Intn(3)
+	for p := 0; p < n; p++ {
+		sec.Child("Paragraph").SetAttr("words", float64(20+rng.Intn(400)))
+	}
+	if depth > 0 && rng.Intn(3) == 0 {
+		fillSection(rng, sec.Child("Section"), depth-1)
+	}
+}
+
+// DirectoryConstraints returns the constraints every forest from
+// GenerateDirectory satisfies, including the LDAP-style subtype
+// co-occurrences.
+func DirectoryConstraints() *ics.Set {
+	return ics.NewSet(
+		ics.Co("PermEmp", "Employee"),
+		ics.Co("Researcher", "Employee"),
+		ics.Co("Employee", "Person"),
+		ics.Co("DBProject", "Project"),
+		ics.Desc("OrgUnit", "Dept"),
+		ics.Child("Dept", "Manager"),
+		ics.Co("Manager", "Employee"),
+	)
+}
+
+// GenerateDirectory builds an organizational white-pages directory: a Root
+// with OrgUnits, each holding Depts; every Dept has a Manager entry plus a
+// mix of Researcher/PermEmp/Employee entries (all carrying their
+// object-class type sets) owning Projects, some of which are DBProjects.
+// Entries carry a grade attribute.
+func GenerateDirectory(rng *rand.Rand, nOrgUnits int) *Forest {
+	root := NewNode("Root")
+	for u := 0; u < nOrgUnits; u++ {
+		ou := root.Child("OrgUnit")
+		for d := 0; d < 1+rng.Intn(3); d++ {
+			dept := ou.Child("Dept")
+			dept.Child("Manager", "Employee", "Person").SetAttr("grade", float64(5+rng.Intn(5)))
+			for e := 0; e < rng.Intn(5); e++ {
+				var emp *Node
+				switch rng.Intn(3) {
+				case 0:
+					emp = dept.Child("Researcher", "Employee", "Person")
+				case 1:
+					emp = dept.Child("PermEmp", "Employee", "Person")
+				default:
+					emp = dept.Child("Employee", "Person")
+				}
+				emp.SetAttr("grade", float64(1+rng.Intn(9)))
+				for p := 0; p < rng.Intn(3); p++ {
+					if rng.Intn(2) == 0 {
+						emp.Child("DBProject", "Project")
+					} else {
+						emp.Child("Project")
+					}
+				}
+			}
+		}
+	}
+	return NewForest(root)
+}
+
+// typesAnywhere reports whether the forest contains a node carrying t;
+// used by the generator tests.
+func typesAnywhere(f *Forest, t pattern.Type) bool {
+	for _, n := range f.Nodes() {
+		if n.HasType(t) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,66 @@
+package data
+
+import (
+	"math/rand"
+	"testing"
+
+	"tpq/internal/pattern"
+)
+
+func TestGeneratePublishingSatisfiesItsConstraints(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := GeneratePublishing(rng, 40)
+	cs := PublishingConstraints().Closure()
+	if vs := Violations(f, cs); len(vs) != 0 {
+		t.Fatalf("publishing forest violates its own constraints: %v", vs[0])
+	}
+	for _, ty := range []string{"Articles", "Article", "Title", "Author", "LastName", "Section", "Paragraph"} {
+		if !typesAnywhere(f, pt(ty)) {
+			t.Errorf("no %s generated", ty)
+		}
+	}
+	// Attributes present.
+	found := false
+	for _, n := range f.Nodes() {
+		if n.HasType("Article") {
+			if _, ok := n.Attrs["year"]; ok {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("articles lack year attributes")
+	}
+}
+
+func TestGenerateDirectorySatisfiesItsConstraints(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := GenerateDirectory(rng, 30)
+	cs := DirectoryConstraints().Closure()
+	if vs := Violations(f, cs); len(vs) != 0 {
+		t.Fatalf("directory forest violates its own constraints: %v", vs[0])
+	}
+	// Multi-typed entries: every PermEmp carries Employee and Person.
+	seen := 0
+	for _, n := range f.Nodes() {
+		if n.HasType("PermEmp") {
+			seen++
+			if !n.HasType("Employee") || !n.HasType("Person") {
+				t.Fatal("PermEmp without its object classes")
+			}
+		}
+	}
+	if seen == 0 {
+		t.Error("no PermEmp entries generated")
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := GeneratePublishing(rand.New(rand.NewSource(3)), 10)
+	b := GeneratePublishing(rand.New(rand.NewSource(3)), 10)
+	if a.String() != b.String() {
+		t.Error("same seed, different publishing forests")
+	}
+}
+
+func pt(s string) pattern.Type { return pattern.Type(s) }

@@ -1,0 +1,112 @@
+package ics
+
+import "testing"
+
+func TestForbidConstructorsAndLookup(t *testing.T) {
+	s := NewSet(ForbidChild("a", "b"), ForbidDesc("x", "y"))
+	if !s.HasForbidChild("a", "b") || s.HasForbidChild("b", "a") {
+		t.Error("HasForbidChild wrong")
+	}
+	if !s.HasForbidDesc("x", "y") || s.HasForbidDesc("a", "b") {
+		t.Error("HasForbidDesc wrong")
+	}
+	if got := s.ForbidChildTargets("a"); len(got) != 1 || got[0] != "b" {
+		t.Errorf("ForbidChildTargets = %v", got)
+	}
+	if got := s.ForbidDescTargets("x"); len(got) != 1 || got[0] != "y" {
+		t.Errorf("ForbidDescTargets = %v", got)
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestForbidParsingRoundTrip(t *testing.T) {
+	for _, src := range []string{"a !-> b", "a !=> b"} {
+		c := MustParse(src)
+		if MustParse(c.String()) != c {
+			t.Errorf("round trip of %q failed", src)
+		}
+	}
+	if MustParse("a !=> b").Kind != ForbiddenDescendant {
+		t.Error("!=> parsed to wrong kind")
+	}
+	if MustParse("a !-> b").Kind != ForbiddenChild {
+		t.Error("!-> parsed to wrong kind")
+	}
+	// Required forms must not be swallowed by the forbidden arrows.
+	if MustParse("a -> b").Kind != RequiredChild || MustParse("a => b").Kind != RequiredDescendant {
+		t.Error("required arrows misparsed")
+	}
+}
+
+func TestForbidClosureRules(t *testing.T) {
+	closed := MustParseSet("a !=> b", "a2 ~ a", "b2 ~ b").Closure()
+	for _, want := range []string{"a !-> b", "a2 !=> b", "a !=> b2", "a2 !-> b2"} {
+		if !closed.Has(MustParse(want)) {
+			t.Errorf("closure misses %q (got %s)", want, closed)
+		}
+	}
+	// No spurious required forms derived.
+	if closed.HasChild("a", "b") || closed.HasDesc("a", "b") {
+		t.Error("forbidden constraints leaked into required tables")
+	}
+}
+
+func TestEmptyTypesFixpoint(t *testing.T) {
+	s := MustParseSet(
+		"a -> b", "a !-> b", // a empty directly
+		"c => a", // c requires an empty type
+		"d ~ c",  // d is a c
+		"e -> b", // e is fine
+	)
+	empty := s.EmptyTypes()
+	for _, ty := range []string{"a", "c", "d"} {
+		if !empty[MustParse(ty+" ~ z").From] {
+			t.Errorf("%s should be empty; got %v", ty, empty)
+		}
+	}
+	for _, ty := range []string{"b", "e"} {
+		if empty[MustParse(ty+" ~ z").From] {
+			t.Errorf("%s should not be empty", ty)
+		}
+	}
+	// Open sets are closed defensively.
+	open := NewSet(Desc("p", "q"), ForbidDesc("p", "q"))
+	if !open.EmptyTypes()[MustParse("p ~ z").From] {
+		t.Error("EmptyTypes on an open set missed the contradiction")
+	}
+}
+
+func TestCoSources(t *testing.T) {
+	s := NewSet(Co("m", "t"), Co("n", "t"), Co("t", "other"))
+	got := s.coSources("t")
+	if len(got) != 2 || got[0] != "m" || got[1] != "n" {
+		t.Errorf("coSources = %v", got)
+	}
+	if exported := s.CoSources("t"); len(exported) != 2 {
+		t.Errorf("CoSources = %v", exported)
+	}
+}
+
+func TestDescSources(t *testing.T) {
+	s := NewSet(Desc("a", "z"), Desc("b", "z"), Desc("z", "w"))
+	got := s.DescSources("z")
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("DescSources = %v", got)
+	}
+	if len(s.DescSources("nosuch")) != 0 {
+		t.Error("DescSources of unknown target non-empty")
+	}
+	// The reverse index follows the closure: a => z, z => w gives a => w.
+	closed := s.Closure()
+	found := false
+	for _, u := range closed.DescSources("w") {
+		if u == "a" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("closure reverse index misses a => w: %v", closed.DescSources("w"))
+	}
+}

@@ -1,0 +1,277 @@
+package ics
+
+import (
+	"strings"
+	"testing"
+
+	"tpq/internal/pattern"
+)
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Constraint
+	}{
+		{"Book -> Title", Child("Book", "Title")},
+		{"Book=>LastName", Desc("Book", "LastName")},
+		{"Employee ~ Person", Co("Employee", "Person")},
+		{"  a  ->  b  ", Child("a", "b")},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.src, err)
+		}
+		if got != c.want {
+			t.Errorf("Parse(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "a b", "-> b", "a ->", "a ~ ", "~"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestConstraintString(t *testing.T) {
+	for _, c := range []struct {
+		con  Constraint
+		want string
+	}{
+		{Child("a", "b"), "a -> b"},
+		{Desc("a", "b"), "a => b"},
+		{Co("a", "b"), "a ~ b"},
+	} {
+		if got := c.con.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+		back := MustParse(c.con.String())
+		if back != c.con {
+			t.Errorf("round trip of %v gave %v", c.con, back)
+		}
+	}
+}
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet(Child("a", "b"), Desc("a", "c"), Co("x", "y"))
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	s.Add(Child("a", "b")) // duplicate
+	if s.Len() != 3 {
+		t.Error("duplicate changed Len")
+	}
+	s.Add(Co("z", "z")) // trivial
+	if s.Len() != 3 {
+		t.Error("trivial co-occurrence stored")
+	}
+	if !s.HasChild("a", "b") || s.HasChild("a", "c") {
+		t.Error("HasChild wrong")
+	}
+	if !s.HasDesc("a", "c") || s.HasDesc("a", "b") {
+		t.Error("HasDesc wrong")
+	}
+	if !s.HasCo("x", "y") || s.HasCo("y", "x") {
+		t.Error("HasCo wrong")
+	}
+	if !s.HasCo("q", "q") {
+		t.Error("HasCo not reflexive")
+	}
+	if !s.Has(Co("w", "w")) {
+		t.Error("Has not true for trivial co-occurrence")
+	}
+}
+
+func TestTargets(t *testing.T) {
+	s := NewSet(Child("a", "z"), Child("a", "b"), Desc("a", "m"), Co("a", "k"))
+	if got := s.ChildTargets("a"); len(got) != 2 || got[0] != "b" || got[1] != "z" {
+		t.Errorf("ChildTargets = %v", got)
+	}
+	if got := s.DescTargets("a"); len(got) != 1 || got[0] != "m" {
+		t.Errorf("DescTargets = %v", got)
+	}
+	if got := s.CoTargets("a"); len(got) != 1 || got[0] != "k" {
+		t.Errorf("CoTargets = %v", got)
+	}
+	if got := s.ChildTargets("nosuch"); len(got) != 0 {
+		t.Errorf("ChildTargets of unknown type = %v", got)
+	}
+}
+
+func TestConstraintsDeterministic(t *testing.T) {
+	s := NewSet(Desc("b", "c"), Child("a", "b"), Co("x", "y"), Child("a", "a2"))
+	a := s.Constraints()
+	b := s.Constraints()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Constraints order not deterministic")
+		}
+	}
+	if a[0].Kind != RequiredChild {
+		t.Error("child constraints should come first")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	s := NewSet(Child("a", "b"))
+	c := s.Clone()
+	c.Add(Child("a", "z"))
+	if s.Len() != 1 || c.Len() != 2 {
+		t.Error("Clone not independent")
+	}
+}
+
+func TestClosureRules(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []string
+		want []string // constraints that must be implied
+		not  []string // constraints that must NOT be implied
+	}{
+		{
+			"child implies desc",
+			[]string{"a -> b"},
+			[]string{"a => b"},
+			[]string{"b => a", "a -> a"},
+		},
+		{
+			"desc transitive",
+			[]string{"a => b", "b => c"},
+			[]string{"a => c"},
+			[]string{"a -> c", "c => a"},
+		},
+		{
+			"child chain gives desc",
+			[]string{"a -> b", "b -> c"},
+			[]string{"a => c"},
+			[]string{"a -> c"},
+		},
+		{
+			"co transitive",
+			[]string{"a ~ b", "b ~ c"},
+			[]string{"a ~ c"},
+			[]string{"c ~ a"},
+		},
+		{
+			"co gives child",
+			[]string{"a ~ b", "b -> c"},
+			[]string{"a -> c", "a => c"},
+			[]string{"b ~ a"},
+		},
+		{
+			"co gives desc",
+			[]string{"a ~ b", "b => c"},
+			[]string{"a => c"},
+			[]string{"a -> c"},
+		},
+		{
+			"child target co",
+			[]string{"a -> b", "b ~ c"},
+			[]string{"a -> c", "a => c"},
+			[]string{"a ~ c"},
+		},
+		{
+			"desc target co",
+			[]string{"a => b", "b ~ c"},
+			[]string{"a => c"},
+			[]string{"a -> c"},
+		},
+		{
+			"long mixed chain",
+			[]string{"a -> b", "b ~ c", "c => d", "d -> e"},
+			[]string{"a => e", "b => e", "a => d", "b => d"},
+			[]string{"a -> e", "b -> d", "a ~ e"},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := MustParseSet(c.in...).Closure()
+			for _, w := range c.want {
+				if !s.Has(MustParse(w)) {
+					t.Errorf("closure of %v misses %q (got %s)", c.in, w, s)
+				}
+			}
+			for _, n := range c.not {
+				if s.Has(MustParse(n)) {
+					t.Errorf("closure of %v wrongly implies %q", c.in, n)
+				}
+			}
+		})
+	}
+}
+
+func TestClosureIdempotent(t *testing.T) {
+	s := MustParseSet("a -> b", "b ~ c", "c => d", "x ~ a")
+	c1 := s.Closure()
+	c2 := c1.Closure()
+	if c1.Len() != c2.Len() {
+		t.Errorf("closure not idempotent: %d then %d", c1.Len(), c2.Len())
+	}
+	if !c1.IsClosed() {
+		t.Error("IsClosed false on a closure")
+	}
+	if s.IsClosed() {
+		t.Error("IsClosed true on an open set")
+	}
+	// Closure does not modify the receiver.
+	if s.Len() != 4 {
+		t.Error("Closure mutated its receiver")
+	}
+}
+
+func TestClosureQuadraticBound(t *testing.T) {
+	// A chain of n desc constraints closes to n(n+1)/2 constraints: within
+	// the quadratic bound of Section 5.2.
+	var cs []Constraint
+	n := 12
+	for i := 0; i < n; i++ {
+		cs = append(cs, Desc(tp(i), tp(i+1)))
+	}
+	closed := NewSet(cs...).Closure()
+	want := n * (n + 1) / 2
+	if closed.Len() != want {
+		t.Errorf("closure of a %d-chain has %d constraints, want %d", n, closed.Len(), want)
+	}
+}
+
+func tp(i int) pattern.Type {
+	return pattern.Type("t" + string(rune('A'+i)))
+}
+
+func TestTypes(t *testing.T) {
+	s := MustParseSet("a -> b", "c ~ d")
+	got := s.Types()
+	if len(got) != 4 || got[0] != "a" || got[3] != "d" {
+		t.Errorf("Types = %v", got)
+	}
+}
+
+func TestAcyclicRequired(t *testing.T) {
+	if !MustParseSet("a -> b", "b -> c", "a => c").AcyclicRequired() {
+		t.Error("acyclic set reported cyclic")
+	}
+	if MustParseSet("a -> b", "b => a").AcyclicRequired() {
+		t.Error("cycle not detected")
+	}
+	if MustParseSet("a => a").AcyclicRequired() {
+		t.Error("self-loop not detected")
+	}
+	// Co-occurrence cycles are fine (they do not force infinite trees)...
+	if !MustParseSet("a ~ b", "b ~ a").AcyclicRequired() {
+		t.Error("co-occurrence cycle reported as requirement cycle")
+	}
+	// ...but a co-occurrence feeding a requirement cycle shows up after
+	// closure.
+	s := MustParseSet("a ~ b", "b => a").Closure()
+	if s.AcyclicRequired() {
+		t.Error("closure-induced cycle not detected")
+	}
+}
+
+func TestSetString(t *testing.T) {
+	s := MustParseSet("a -> b", "x ~ y")
+	str := s.String()
+	if !strings.Contains(str, "a -> b") || !strings.Contains(str, "x ~ y") {
+		t.Errorf("String = %q", str)
+	}
+}

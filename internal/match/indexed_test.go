@@ -1,0 +1,129 @@
+package match
+
+import (
+	"math/rand"
+	"testing"
+
+	"tpq/internal/data"
+	"tpq/internal/pattern"
+)
+
+func TestIndexedBasic(t *testing.T) {
+	f := library()
+	idx := NewForestIndex(f)
+	cases := []struct {
+		src  string
+		want int
+	}{
+		{"Book*", 2},
+		{"Book*[/Title, /Author]", 1},
+		{"Book*//LastName", 1},
+		{"Library//Title*", 2},
+		{"Book*/LastName", 0},
+		{"Missing*", 0},
+	}
+	for _, c := range cases {
+		p := pattern.MustParse(c.src)
+		if got := CountIndexed(p, idx); got != c.want {
+			t.Errorf("CountIndexed(%q) = %d, want %d", c.src, got, c.want)
+		}
+	}
+}
+
+func TestIndexedCandidates(t *testing.T) {
+	org := data.NewNode("Org")
+	org.Child("Employee", "Person").SetAttr("age", 30)
+	org.Child("Employee")
+	f := data.NewForest(org)
+	idx := NewForestIndex(f)
+
+	if got := idx.Candidates(pattern.NewNode("Employee")); len(got) != 2 {
+		t.Errorf("Candidates(Employee) = %d", len(got))
+	}
+	multi := pattern.NewNode("Employee")
+	multi.AddType("Person", false)
+	if got := idx.Candidates(multi); len(got) != 1 {
+		t.Errorf("Candidates(Employee{Person}) = %d", len(got))
+	}
+	cond := pattern.NewNode("Employee")
+	cond.AddCond(pattern.Condition{Attr: "age", Op: pattern.OpGt, Value: 25})
+	if got := idx.Candidates(cond); len(got) != 1 {
+		t.Errorf("Candidates with condition = %d", len(got))
+	}
+}
+
+func TestIndexedAgainstDenseEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for i := 0; i < 200; i++ {
+		f := randomForest(rng, 1+rng.Intn(40))
+		idx := NewForestIndex(f)
+		p := randomQuery(rng, 1+rng.Intn(6))
+		dense := Answers(p, f)
+		indexed := AnswersIndexed(p, idx)
+		if len(dense) != len(indexed) {
+			t.Fatalf("iter %d: dense %d vs indexed %d answers\npattern %s\ndata:\n%s",
+				i, len(dense), len(indexed), p, f)
+		}
+		for j := range dense {
+			if dense[j] != indexed[j] {
+				t.Fatalf("iter %d: answer %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestIndexedEmpty(t *testing.T) {
+	idx := NewForestIndex(data.NewForest())
+	if got := AnswersIndexed(pattern.MustParse("a*"), idx); got != nil {
+		t.Error("empty forest matched")
+	}
+	if got := AnswersIndexed(&pattern.Pattern{}, NewForestIndex(library())); got != nil {
+		t.Error("empty pattern matched")
+	}
+}
+
+func TestIndexedNestedAncestors(t *testing.T) {
+	// Nested same-type ancestors exercise the back-scan in
+	// filterIsDescendantOf: a(a(a(b))) with pattern a//b*.
+	root := data.NewNode("a")
+	mid := root.Child("a")
+	inner := mid.Child("a")
+	inner.Child("b")
+	root.Child("x").Child("b") // b under x: also below the root a
+	f := data.NewForest(root)
+	idx := NewForestIndex(f)
+	if got := CountIndexed(pattern.MustParse("a//b*"), idx); got != 2 {
+		t.Errorf("Count = %d, want 2", got)
+	}
+	// Deep chain: only the innermost a has a direct b child.
+	if got := CountIndexed(pattern.MustParse("a/b*"), idx); got != 1 {
+		t.Errorf("Count = %d, want 1", got)
+	}
+}
+
+func BenchmarkDenseVsIndexed(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	// A large forest where the pattern's types are selective.
+	types := []pattern.Type{"a", "b", "c", "d", "e", "f", "g", "h"}
+	var all []*data.Node
+	root := data.NewNode("root")
+	all = append(all, root)
+	for len(all) < 20000 {
+		parent := all[rng.Intn(len(all))]
+		all = append(all, parent.Child(types[rng.Intn(len(types))]))
+	}
+	f := data.NewForest(root)
+	q := pattern.MustParse("a*[/b//c, //d]")
+	b.Run("Dense", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Answers(q, f)
+		}
+	})
+	b.Run("Indexed", func(b *testing.B) {
+		idx := NewForestIndex(f)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			AnswersIndexed(q, idx)
+		}
+	})
+}

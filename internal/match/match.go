@@ -1,0 +1,272 @@
+// Package match evaluates tree pattern queries over tree-structured
+// databases: it finds the embeddings of a pattern into a data forest and
+// returns the answer set — the data nodes the pattern's output node binds
+// to. This is the operation whose cost motivates minimization (Section 1 of
+// the paper): evaluation time grows with pattern size, so a minimized
+// pattern matches faster.
+//
+// Embeddings are non-anchored: the pattern root may bind to any data node.
+// An embedding e maps pattern nodes to data nodes such that every type
+// required by a pattern node is carried by its data image, a c-child maps
+// to a child, and a d-child maps to a proper descendant.
+//
+// Answers runs a two-pass dynamic program in O(|pattern| x |data|);
+// AnswersNaive is an exponential backtracking enumerator kept as a
+// cross-check oracle for the tests.
+package match
+
+import (
+	"sort"
+
+	"tpq/internal/data"
+	"tpq/internal/pattern"
+)
+
+// Answers returns the answer set of p over f: the data nodes the output
+// node binds to across all embeddings, in document (preorder) order,
+// without duplicates.
+func Answers(p *pattern.Pattern, f *data.Forest) []*data.Node {
+	star := p.OutputNode()
+	if star == nil {
+		return nil
+	}
+	bind := Bindings(p, f)
+	return bind[star]
+}
+
+// Count returns the number of distinct answers of p over f.
+func Count(p *pattern.Pattern, f *data.Forest) int {
+	return len(Answers(p, f))
+}
+
+// Bindings returns, for every pattern node, the set of data nodes it binds
+// to in at least one embedding of p into f, in document order.
+//
+// The computation is the standard two-pass dynamic program:
+//
+//   - Bottom-up over the pattern: sat(u) = data nodes v whose subtree can
+//     embed subtree(u) with u ↦ v. For a d-child this needs "v has a proper
+//     descendant in sat(c)", computed in one bottom-up pass over the data
+//     per pattern child.
+//   - Top-down: bind(root) = sat(root); bind(c) for a child of u keeps only
+//     nodes of sat(c) lying under some bound image of u with the right
+//     relationship.
+func Bindings(p *pattern.Pattern, f *data.Forest) map[*pattern.Node][]*data.Node {
+	if p == nil || p.Root == nil || f == nil || f.Size() == 0 {
+		return map[*pattern.Node][]*data.Node{}
+	}
+	nodes := f.Nodes()
+	n := len(nodes)
+
+	// sat[u][id] — computed bottom-up over the pattern.
+	sat := make(map[*pattern.Node][]bool)
+	var up func(u *pattern.Node)
+	up = func(u *pattern.Node) {
+		for _, c := range u.Children {
+			up(c)
+		}
+		s := make([]bool, n)
+		// hasDesc[c], hasChild[c] per data node, derived from sat[c].
+		type kidSets struct {
+			kid               *pattern.Node
+			hasChild, hasDesc []bool
+		}
+		kids := make([]kidSets, 0, len(u.Children))
+		for _, c := range u.Children {
+			ks := kidSets{kid: c}
+			if c.Edge == pattern.Child {
+				ks.hasChild = make([]bool, n)
+				for _, v := range nodes {
+					if v.Parent != nil && sat[c][v.ID] {
+						ks.hasChild[v.Parent.ID] = true
+					}
+				}
+			} else {
+				// hasDesc(v) = any child ch with sat[c][ch] or hasDesc(ch).
+				// Propagate bottom-up by walking preorder in reverse.
+				ks.hasDesc = make([]bool, n)
+				for i := n - 1; i >= 0; i-- {
+					v := nodes[i]
+					if v.Parent != nil && (sat[c][v.ID] || ks.hasDesc[v.ID]) {
+						ks.hasDesc[v.Parent.ID] = true
+					}
+				}
+			}
+			kids = append(kids, ks)
+		}
+		for _, v := range nodes {
+			if !typesOK(u, v) {
+				continue
+			}
+			ok := true
+			for _, ks := range kids {
+				if ks.kid.Edge == pattern.Child {
+					if !ks.hasChild[v.ID] {
+						ok = false
+						break
+					}
+				} else if !ks.hasDesc[v.ID] {
+					ok = false
+					break
+				}
+			}
+			s[v.ID] = ok
+		}
+		sat[u] = s
+	}
+	up(p.Root)
+
+	// Top-down restriction.
+	bindSet := make(map[*pattern.Node][]bool)
+	bindSet[p.Root] = sat[p.Root]
+	var down func(u *pattern.Node)
+	down = func(u *pattern.Node) {
+		bu := bindSet[u]
+		for _, c := range u.Children {
+			bc := make([]bool, n)
+			if c.Edge == pattern.Child {
+				for _, v := range nodes {
+					if bu[v.ID] {
+						for _, ch := range v.Children {
+							if sat[c][ch.ID] {
+								bc[ch.ID] = true
+							}
+						}
+					}
+				}
+			} else {
+				// under[v]: v lies strictly below some bound image of u.
+				// Propagate top-down in preorder.
+				under := make([]bool, n)
+				for _, v := range nodes {
+					if v.Parent != nil && (bu[v.Parent.ID] || under[v.Parent.ID]) {
+						under[v.ID] = true
+					}
+				}
+				for _, v := range nodes {
+					if under[v.ID] && sat[c][v.ID] {
+						bc[v.ID] = true
+					}
+				}
+			}
+			bindSet[c] = bc
+			down(c)
+		}
+	}
+	down(p.Root)
+
+	out := make(map[*pattern.Node][]*data.Node, len(bindSet))
+	for u, set := range bindSet {
+		var list []*data.Node
+		for _, v := range nodes {
+			if set[v.ID] {
+				list = append(list, v)
+			}
+		}
+		out[u] = list
+	}
+	return out
+}
+
+func typesOK(u *pattern.Node, v *data.Node) bool {
+	if !v.HasType(u.Type) {
+		return false
+	}
+	for _, t := range u.Extra {
+		if !v.HasType(t) {
+			return false
+		}
+	}
+	for _, c := range u.Conds {
+		val, ok := v.Attrs[c.Attr]
+		if !ok || !c.Holds(val) {
+			return false
+		}
+	}
+	return true
+}
+
+// AnswersNaive enumerates embeddings by backtracking and returns the answer
+// set in document order. Exponential in the worst case; used by tests as an
+// oracle for Answers and by benchmarks to show the cost of unminimized
+// patterns.
+func AnswersNaive(p *pattern.Pattern, f *data.Forest) []*data.Node {
+	star := p.OutputNode()
+	if star == nil || f == nil {
+		return nil
+	}
+	found := make(map[*data.Node]bool)
+	var embed func(u *pattern.Node, v *data.Node) bool
+	// embedAll collects all data nodes the subtree rooted at u can embed at
+	// with u ↦ v, recording star bindings. Returns whether any embedding of
+	// subtree(u) at v exists.
+	embed = func(u *pattern.Node, v *data.Node) bool {
+		if !typesOK(u, v) {
+			return false
+		}
+		for _, c := range u.Children {
+			okChild := false
+			if c.Edge == pattern.Child {
+				for _, w := range v.Children {
+					if embed(c, w) {
+						okChild = true
+					}
+				}
+			} else {
+				var desc func(*data.Node)
+				desc = func(w *data.Node) {
+					for _, x := range w.Children {
+						if embed(c, x) {
+							okChild = true
+						}
+						desc(x)
+					}
+				}
+				desc(v)
+			}
+			if !okChild {
+				return false
+			}
+		}
+		return true
+	}
+	// For each candidate root binding, re-walk to collect star bindings of
+	// full embeddings. The simple way: for every data node v where the full
+	// pattern embeds with root ↦ v, collect the star bindings reachable
+	// under that embedding; equivalent to intersecting bottom-up and
+	// top-down which Answers does — here we just recompute per candidate.
+	var collect func(u *pattern.Node, v *data.Node)
+	collect = func(u *pattern.Node, v *data.Node) {
+		if !embed(u, v) {
+			return
+		}
+		if u.Star {
+			found[v] = true
+		}
+		for _, c := range u.Children {
+			if c.Edge == pattern.Child {
+				for _, w := range v.Children {
+					collect(c, w)
+				}
+			} else {
+				var desc func(*data.Node)
+				desc = func(w *data.Node) {
+					for _, x := range w.Children {
+						collect(c, x)
+						desc(x)
+					}
+				}
+				desc(v)
+			}
+		}
+	}
+	for _, v := range f.Nodes() {
+		collect(p.Root, v)
+	}
+	out := make([]*data.Node, 0, len(found))
+	for v := range found {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,72 @@
+package pattern
+
+import (
+	"sort"
+	"strings"
+)
+
+// This file implements a canonical form for tree pattern queries, an
+// adaptation of the Aho-Hopcroft-Ullman canonical encoding of unordered
+// trees extended with edge kinds, output markers, type sets, and temporary
+// flags. Two patterns are isomorphic — equal up to reordering of siblings —
+// iff their canonical encodings are equal. Theorem 4.1 of the paper states
+// the minimal equivalent query is unique up to isomorphism, so the test
+// suite leans on this encoding heavily.
+
+// canonKey returns the canonical encoding of the subtree rooted at n.
+func canonKey(n *Node) string {
+	var b strings.Builder
+	writeCanon(&b, n)
+	return b.String()
+}
+
+func writeCanon(b *strings.Builder, n *Node) {
+	b.WriteString(n.label())
+	if n.Temp {
+		b.WriteByte('!')
+	}
+	if len(n.Children) == 0 {
+		return
+	}
+	keys := make([]string, len(n.Children))
+	for i, c := range n.Children {
+		keys[i] = c.Edge.String() + canonKey(c)
+	}
+	sort.Strings(keys)
+	b.WriteByte('(')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+	}
+	b.WriteByte(')')
+}
+
+// Canonical returns the canonical encoding of the whole pattern. Equal
+// encodings mean isomorphic patterns.
+func (p *Pattern) Canonical() string {
+	if p == nil || p.Root == nil {
+		return ""
+	}
+	return canonKey(p.Root)
+}
+
+// Isomorphic reports whether p and q are equal up to reordering of
+// siblings. Types, type sets, edge kinds, output markers and temporary
+// flags all must match.
+func Isomorphic(p, q *Pattern) bool {
+	return p.Canonical() == q.Canonical()
+}
+
+// sortedChildren returns n's children ordered by canonical key, for
+// deterministic printing.
+func sortedChildren(n *Node) []*Node {
+	kids := append([]*Node(nil), n.Children...)
+	sort.SliceStable(kids, func(i, j int) bool {
+		ki := kids[i].Edge.String() + canonKey(kids[i])
+		kj := kids[j].Edge.String() + canonKey(kids[j])
+		return ki < kj
+	})
+	return kids
+}

@@ -1,0 +1,59 @@
+package pattern
+
+import "testing"
+
+// Native fuzz targets. `go test` runs them over the seed corpus; extended
+// fuzzing is available via `go test -fuzz=FuzzParse ./internal/pattern`.
+
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"a*",
+		"Articles/Article*[/Title, //Paragraph, /Section//Paragraph]",
+		"a{p,q}*(@price<100, @year>=1990)[/b, //c]",
+		"a*[/b[/c, /d], //e]",
+		"a*[",
+		"a**",
+		"a*(@p<)",
+		"a//b//c//d*",
+		" a * [ / b , // c ] ",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return // rejected input: fine
+		}
+		// Accepted input must be valid and round-trip stably.
+		if vErr := p.Validate(); vErr != nil {
+			t.Fatalf("Parse accepted invalid pattern %q: %v", src, vErr)
+		}
+		rendered := p.String()
+		q, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("output of String does not re-parse: %q: %v", rendered, err)
+		}
+		if !Isomorphic(p, q) {
+			t.Fatalf("round trip not isomorphic: %q -> %q", src, rendered)
+		}
+		if q.String() != rendered {
+			t.Fatalf("String not a fixpoint: %q then %q", rendered, q.String())
+		}
+	})
+}
+
+func FuzzParseCondition(f *testing.F) {
+	for _, seed := range []string{"@p<100", "@x >= -3.5", "@a!=0", "@y=1e3", "@", "@p<", "p<1"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := ParseCondition(src)
+		if err != nil {
+			return
+		}
+		back, err := ParseCondition(c.String())
+		if err != nil || back != c {
+			t.Fatalf("condition round trip failed: %q -> %v -> %v (%v)", src, c, back, err)
+		}
+	})
+}

@@ -1,0 +1,131 @@
+package pattern
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSON interchange for patterns. The wire form is a nested node object:
+//
+//	{
+//	  "type": "Article", "star": true,
+//	  "extra": ["Doc"],
+//	  "conds": [{"attr": "price", "op": "<", "value": 100}],
+//	  "children": [
+//	    {"edge": "/",  "type": "Title"},
+//	    {"edge": "//", "type": "Paragraph"}
+//	  ]
+//	}
+//
+// Temporary markers are never serialized: wire patterns are always
+// user-level queries.
+
+type jsonNode struct {
+	Type     Type        `json:"type"`
+	Star     bool        `json:"star,omitempty"`
+	Extra    []Type      `json:"extra,omitempty"`
+	Conds    []jsonCond  `json:"conds,omitempty"`
+	Edge     string      `json:"edge,omitempty"`
+	Children []*jsonNode `json:"children,omitempty"`
+}
+
+type jsonCond struct {
+	Attr  string  `json:"attr"`
+	Op    string  `json:"op"`
+	Value float64 `json:"value"`
+}
+
+// MarshalJSON encodes the pattern in the nested-object wire form.
+func (p *Pattern) MarshalJSON() ([]byte, error) {
+	if p == nil || p.Root == nil {
+		return nil, fmt.Errorf("pattern: cannot marshal an empty pattern")
+	}
+	return json.Marshal(toJSONNode(p.Root, false))
+}
+
+func toJSONNode(n *Node, withEdge bool) *jsonNode {
+	j := &jsonNode{
+		Type:  n.Type,
+		Star:  n.Star,
+		Extra: n.Extra,
+	}
+	if withEdge {
+		j.Edge = n.Edge.String()
+	}
+	for _, c := range n.Conds {
+		j.Conds = append(j.Conds, jsonCond{Attr: c.Attr, Op: c.Op.String(), Value: c.Value})
+	}
+	for _, c := range n.Children {
+		j.Children = append(j.Children, toJSONNode(c, true))
+	}
+	return j
+}
+
+// UnmarshalJSON decodes the nested-object wire form and validates the
+// result.
+func (p *Pattern) UnmarshalJSON(data []byte) error {
+	var j jsonNode
+	if err := json.Unmarshal(data, &j); err != nil {
+		return fmt.Errorf("pattern: decoding JSON: %w", err)
+	}
+	root, err := fromJSONNode(&j)
+	if err != nil {
+		return err
+	}
+	tmp := Pattern{Root: root}
+	if err := tmp.Validate(); err != nil {
+		return err
+	}
+	p.Root = root
+	return nil
+}
+
+func fromJSONNode(j *jsonNode) (*Node, error) {
+	n := NewNode(j.Type)
+	n.Star = j.Star
+	for _, t := range j.Extra {
+		n.AddType(t, false)
+	}
+	for _, c := range j.Conds {
+		op, err := parseOp(c.Op)
+		if err != nil {
+			return nil, err
+		}
+		n.AddCond(Condition{Attr: c.Attr, Op: op, Value: c.Value})
+	}
+	for _, cj := range j.Children {
+		child, err := fromJSONNode(cj)
+		if err != nil {
+			return nil, err
+		}
+		var kind EdgeKind
+		switch cj.Edge {
+		case "/", "":
+			kind = Child
+		case "//":
+			kind = Descendant
+		default:
+			return nil, fmt.Errorf("pattern: unknown edge %q in JSON", cj.Edge)
+		}
+		n.AddChild(kind, child)
+	}
+	return n, nil
+}
+
+func parseOp(s string) (Op, error) {
+	switch s {
+	case "=":
+		return OpEq, nil
+	case "!=":
+		return OpNe, nil
+	case "<":
+		return OpLt, nil
+	case "<=":
+		return OpLe, nil
+	case ">":
+		return OpGt, nil
+	case ">=":
+		return OpGe, nil
+	}
+	return 0, fmt.Errorf("pattern: unknown operator %q in JSON", s)
+}

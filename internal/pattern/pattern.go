@@ -1,0 +1,575 @@
+// Package pattern defines the tree pattern query (TPQ) data model used
+// throughout the library, together with a text syntax (see parse.go), a
+// canonical form for isomorphism testing (see canon.go), and the structural
+// helpers (traversal orders, ancestry intervals, cloning, editing) that the
+// minimization algorithms build on.
+//
+// A tree pattern query is a rooted, unordered tree. Every node carries one
+// or more types; every non-root node is connected to its parent by either a
+// child edge (direct containment, rendered "/") or a descendant edge
+// (transitive containment, rendered "//"). Exactly one node is marked as the
+// output node (rendered with a trailing "*"): when the pattern is matched
+// against a tree database, the answer set is the set of data nodes the
+// output node binds to.
+//
+// This model follows Section 2.1 and Section 3 of "Minimization of Tree
+// Pattern Queries" (Amer-Yahia, Cho, Lakshmanan, Srivastava, SIGMOD 2001).
+// Sibling order is not significant. Node types are uninterpreted strings;
+// co-occurrence constraints (see package ics) may associate additional types
+// with a node, which is why a node carries a set of types rather than a
+// single one.
+package pattern
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Type is a node type (an XML element name, an LDAP object class, ...).
+// Types are uninterpreted: two types are related only if an integrity
+// constraint says so.
+type Type string
+
+// EdgeKind distinguishes the two kinds of pattern edges.
+type EdgeKind int8
+
+const (
+	// Child is a direct-containment edge, rendered "/". A child edge in a
+	// pattern must be matched by a parent-child edge in the database.
+	Child EdgeKind = iota
+	// Descendant is a transitive-containment edge, rendered "//". A
+	// descendant edge must be matched by a proper ancestor-descendant pair
+	// in the database.
+	Descendant
+)
+
+// String returns the textual rendering of the edge kind ("/" or "//").
+func (k EdgeKind) String() string {
+	if k == Descendant {
+		return "//"
+	}
+	return "/"
+}
+
+// Node is a single node of a tree pattern query.
+//
+// Nodes are linked both downward (Children) and upward (Parent); Edge
+// records the kind of the edge connecting the node to its parent and is
+// meaningless on the root. The zero value is not useful; create nodes with
+// NewNode and attach them with AddChild.
+type Node struct {
+	// Type is the primary type of the node, assigned when the query is
+	// written.
+	Type Type
+
+	// Extra holds additional types associated with the node. User queries
+	// normally leave it empty; the chase/augmentation step of
+	// constraint-dependent minimization populates it when a co-occurrence
+	// constraint applies (every node of type A is also of type B). Sorted
+	// and duplicate-free; maintained by AddType.
+	Extra []Type
+
+	// Star marks the output node. Exactly one node per valid pattern has
+	// Star set; see Pattern.Validate.
+	Star bool
+
+	// Conds are value-based conditions on the node's attributes (the
+	// Section 7 extension): all must hold at a matching data node, and a
+	// containment mapping may send this node onto an image only if the
+	// image's conditions entail these. Kept sorted by AddCond.
+	Conds []Condition
+
+	// Temp marks a node added by the augmentation step of ACIM. Temporary
+	// nodes witness integrity constraints: they may serve as images of
+	// containment mappings but are never requirements, never candidates for
+	// elimination, and are stripped when minimization completes.
+	Temp bool
+
+	// TempExtra holds extra types added by augmentation, stripped together
+	// with temporary nodes. Always a subset of Extra.
+	TempExtra []Type
+
+	// Edge is the kind of the edge from Parent to this node. Undefined on
+	// the root.
+	Edge EdgeKind
+
+	// Parent is the parent node, nil on the root.
+	Parent *Node
+
+	// Children lists the node's children in insertion order. The order has
+	// no semantic meaning (patterns are unordered trees).
+	Children []*Node
+}
+
+// NewNode returns a fresh node of the given primary type with no parent and
+// no children.
+func NewNode(t Type) *Node {
+	return &Node{Type: t}
+}
+
+// NewStar returns a fresh node of the given primary type marked as the
+// output node.
+func NewStar(t Type) *Node {
+	return &Node{Type: t, Star: true}
+}
+
+// AddChild attaches child to n with an edge of kind k and returns child, so
+// construction code can chain calls. It panics if child already has a
+// parent: a node belongs to at most one pattern.
+func (n *Node) AddChild(k EdgeKind, child *Node) *Node {
+	if child.Parent != nil {
+		panic("pattern: AddChild of a node that already has a parent")
+	}
+	child.Parent = n
+	child.Edge = k
+	n.Children = append(n.Children, child)
+	return child
+}
+
+// Child attaches a fresh node of type t as a c-child of n and returns it.
+func (n *Node) Child(t Type) *Node { return n.AddChild(Child, NewNode(t)) }
+
+// Desc attaches a fresh node of type t as a d-child of n and returns it.
+func (n *Node) Desc(t Type) *Node { return n.AddChild(Descendant, NewNode(t)) }
+
+// Detach removes n from its parent's child list. It is a no-op on a root.
+// The subtree below n stays intact, so Detach deletes the whole subtree
+// rooted at n from the pattern that contained it.
+func (n *Node) Detach() {
+	p := n.Parent
+	if p == nil {
+		return
+	}
+	for i, c := range p.Children {
+		if c == n {
+			p.Children = append(p.Children[:i], p.Children[i+1:]...)
+			break
+		}
+	}
+	n.Parent = nil
+}
+
+// IsLeaf reports whether n has no children.
+func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
+
+// IsRoot reports whether n has no parent.
+func (n *Node) IsRoot() bool { return n.Parent == nil }
+
+// HasType reports whether t is among the node's types (primary or extra).
+func (n *Node) HasType(t Type) bool {
+	if n.Type == t {
+		return true
+	}
+	for _, e := range n.Extra {
+		if e == t {
+			return true
+		}
+	}
+	return false
+}
+
+// AddType associates an additional type with the node. Adding the primary
+// type or an already-present extra type is a no-op. If temp is true the
+// association is recorded as added by augmentation and StripTemp removes it.
+func (n *Node) AddType(t Type, temp bool) {
+	if n.HasType(t) {
+		return
+	}
+	n.Extra = insertSorted(n.Extra, t)
+	if temp {
+		n.TempExtra = insertSorted(n.TempExtra, t)
+	}
+}
+
+func insertSorted(ts []Type, t Type) []Type {
+	i := sort.Search(len(ts), func(i int) bool { return ts[i] >= t })
+	if i < len(ts) && ts[i] == t {
+		return ts
+	}
+	ts = append(ts, "")
+	copy(ts[i+1:], ts[i:])
+	ts[i] = t
+	return ts
+}
+
+// Types returns all types of the node: the primary type followed by the
+// extra types in sorted order. The returned slice must not be modified.
+func (n *Node) Types() []Type {
+	if len(n.Extra) == 0 {
+		return []Type{n.Type}
+	}
+	out := make([]Type, 0, 1+len(n.Extra))
+	out = append(out, n.Type)
+	out = append(out, n.Extra...)
+	return out
+}
+
+// TypesSubsetOf reports whether every type of n is a type of m. This is the
+// type-compatibility condition of a containment mapping: a pattern node n
+// may be mapped onto m only if m carries at least the types n requires.
+func (n *Node) TypesSubsetOf(m *Node) bool {
+	if !m.HasType(n.Type) {
+		return false
+	}
+	for _, t := range n.Extra {
+		if !m.HasType(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// RequiredTypesSubsetOf is TypesSubsetOf restricted to n's required types:
+// the primary type and the permanent extras, skipping extras added by
+// augmentation. Temporary type associations are consequences of the
+// integrity constraints — any image carrying the required types carries
+// them too — so the minimization phase of ACIM must not treat them as
+// obligations of n, only as capabilities of an image. (n's own temporary
+// extras still count on the image side: m's full type set is consulted.)
+func (n *Node) RequiredTypesSubsetOf(m *Node) bool {
+	if !m.HasType(n.Type) {
+		return false
+	}
+	for _, t := range n.Extra {
+		if containsType(n.TempExtra, t) {
+			continue
+		}
+		if !m.HasType(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// Ancestors returns the proper ancestors of n, nearest first.
+func (n *Node) Ancestors() []*Node {
+	var out []*Node
+	for a := n.Parent; a != nil; a = a.Parent {
+		out = append(out, a)
+	}
+	return out
+}
+
+// IsAncestorOf reports whether n is a proper ancestor of m.
+func (n *Node) IsAncestorOf(m *Node) bool {
+	for a := m.Parent; a != nil; a = a.Parent {
+		if a == n {
+			return true
+		}
+	}
+	return false
+}
+
+// Depth returns the number of edges on the path from the root to n.
+func (n *Node) Depth() int {
+	d := 0
+	for a := n.Parent; a != nil; a = a.Parent {
+		d++
+	}
+	return d
+}
+
+// label renders the node's own label (types plus star marker) in the text
+// syntax: primary type, an optional {extra,types} group, an optional "*".
+func (n *Node) label() string {
+	var b strings.Builder
+	b.WriteString(string(n.Type))
+	if len(n.Extra) > 0 {
+		b.WriteByte('{')
+		for i, t := range n.Extra {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(string(t))
+		}
+		b.WriteByte('}')
+	}
+	if n.Star {
+		b.WriteByte('*')
+	}
+	b.WriteString(n.condsLabel())
+	return b.String()
+}
+
+// Pattern is a tree pattern query: a rooted tree of Nodes. The zero value
+// is an empty pattern; most code builds patterns via Parse or NewNode +
+// AddChild and wraps the root with New.
+type Pattern struct {
+	Root *Node
+}
+
+// New returns a Pattern rooted at root.
+func New(root *Node) *Pattern { return &Pattern{Root: root} }
+
+// Size returns the number of nodes in the pattern.
+func (p *Pattern) Size() int {
+	if p == nil || p.Root == nil {
+		return 0
+	}
+	n := 0
+	p.Walk(func(*Node) { n++ })
+	return n
+}
+
+// Walk visits every node of the pattern in preorder (parent before
+// children).
+func (p *Pattern) Walk(f func(*Node)) {
+	if p == nil || p.Root == nil {
+		return
+	}
+	var rec func(*Node)
+	rec = func(n *Node) {
+		f(n)
+		for _, c := range n.Children {
+			rec(c)
+		}
+	}
+	rec(p.Root)
+}
+
+// WalkPost visits every node of the pattern in postorder (children before
+// parent). Minimization sweeps are bottom-up, so this is the order they
+// use.
+func (p *Pattern) WalkPost(f func(*Node)) {
+	if p == nil || p.Root == nil {
+		return
+	}
+	var rec func(*Node)
+	rec = func(n *Node) {
+		// Children may be removed by f on earlier siblings' subtrees, but f
+		// must not remove n itself or nodes outside subtree(n); iterate over
+		// a snapshot to stay safe against edits below.
+		kids := append([]*Node(nil), n.Children...)
+		for _, c := range kids {
+			rec(c)
+		}
+		f(n)
+	}
+	rec(p.Root)
+}
+
+// Nodes returns all nodes in preorder.
+func (p *Pattern) Nodes() []*Node {
+	out := make([]*Node, 0, 16)
+	p.Walk(func(n *Node) { out = append(out, n) })
+	return out
+}
+
+// Leaves returns all leaf nodes in preorder.
+func (p *Pattern) Leaves() []*Node {
+	var out []*Node
+	p.Walk(func(n *Node) {
+		if n.IsLeaf() {
+			out = append(out, n)
+		}
+	})
+	return out
+}
+
+// OutputNode returns the node marked "*", or nil if there is none.
+func (p *Pattern) OutputNode() *Node {
+	var star *Node
+	p.Walk(func(n *Node) {
+		if n.Star && star == nil {
+			star = n
+		}
+	})
+	return star
+}
+
+// TypeSet returns the set of all types appearing in the pattern (primary
+// and extra, on both permanent and temporary nodes).
+func (p *Pattern) TypeSet() map[Type]bool {
+	set := make(map[Type]bool)
+	p.Walk(func(n *Node) {
+		set[n.Type] = true
+		for _, t := range n.Extra {
+			set[t] = true
+		}
+	})
+	return set
+}
+
+// Clone returns a deep copy of the pattern. The copy shares no nodes with
+// the original.
+func (p *Pattern) Clone() *Pattern {
+	q, _ := p.CloneMap()
+	return q
+}
+
+// CloneMap returns a deep copy together with the mapping from original
+// nodes to their copies, which callers use to carry node-level bookkeeping
+// (candidate sets, protected sets) across the copy.
+func (p *Pattern) CloneMap() (*Pattern, map[*Node]*Node) {
+	m := make(map[*Node]*Node)
+	if p == nil || p.Root == nil {
+		return &Pattern{}, m
+	}
+	var rec func(*Node) *Node
+	rec = func(n *Node) *Node {
+		c := &Node{
+			Type:  n.Type,
+			Star:  n.Star,
+			Temp:  n.Temp,
+			Edge:  n.Edge,
+			Extra: append([]Type(nil), n.Extra...),
+		}
+		if len(n.Conds) > 0 {
+			c.Conds = append([]Condition(nil), n.Conds...)
+		}
+		if len(n.TempExtra) > 0 {
+			c.TempExtra = append([]Type(nil), n.TempExtra...)
+		}
+		m[n] = c
+		for _, ch := range n.Children {
+			cc := rec(ch)
+			cc.Parent = c
+			c.Children = append(c.Children, cc)
+		}
+		return c
+	}
+	return &Pattern{Root: rec(p.Root)}, m
+}
+
+// StripTemp removes every temporary node (with its subtree; temporary nodes
+// never have permanent descendants) and every temporary extra-type
+// association. It returns the number of nodes removed.
+func (p *Pattern) StripTemp() int {
+	removed := 0
+	var rec func(*Node)
+	rec = func(n *Node) {
+		kept := n.Children[:0]
+		for _, c := range n.Children {
+			if c.Temp {
+				removed += countNodes(c)
+				c.Parent = nil
+				continue
+			}
+			rec(c)
+			kept = append(kept, c)
+		}
+		n.Children = kept
+		if len(n.TempExtra) > 0 {
+			keptExtra := n.Extra[:0]
+			for _, t := range n.Extra {
+				if !containsType(n.TempExtra, t) {
+					keptExtra = append(keptExtra, t)
+				}
+			}
+			n.Extra = keptExtra
+			n.TempExtra = nil
+		}
+	}
+	if p.Root != nil {
+		rec(p.Root)
+	}
+	return removed
+}
+
+func countNodes(n *Node) int {
+	c := 1
+	for _, ch := range n.Children {
+		c += countNodes(ch)
+	}
+	return c
+}
+
+func containsType(ts []Type, t Type) bool {
+	for _, x := range ts {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks the structural invariants of a well-formed query:
+// non-empty, exactly one output node, consistent parent/child links, no
+// node reachable twice, no empty type names, temporary nodes childless or
+// with only temporary children. It returns nil if the pattern is valid.
+func (p *Pattern) Validate() error {
+	if p == nil || p.Root == nil {
+		return fmt.Errorf("pattern: empty pattern")
+	}
+	if p.Root.Parent != nil {
+		return fmt.Errorf("pattern: root has a parent")
+	}
+	stars := 0
+	seen := make(map[*Node]bool)
+	var rec func(n *Node) error
+	rec = func(n *Node) error {
+		if seen[n] {
+			return fmt.Errorf("pattern: node %q reachable twice (not a tree)", n.Type)
+		}
+		seen[n] = true
+		if n.Type == "" {
+			return fmt.Errorf("pattern: node with empty type")
+		}
+		if n.Star {
+			stars++
+		}
+		if n.Star && n.Temp {
+			return fmt.Errorf("pattern: temporary node %q is the output node", n.Type)
+		}
+		for _, t := range n.TempExtra {
+			if !containsType(n.Extra, t) {
+				return fmt.Errorf("pattern: node %q: temp extra type %q not in Extra", n.Type, t)
+			}
+		}
+		for _, c := range n.Children {
+			if c.Parent != n {
+				return fmt.Errorf("pattern: node %q: child %q has wrong parent link", n.Type, c.Type)
+			}
+			if n.Temp && !c.Temp {
+				return fmt.Errorf("pattern: temporary node %q has permanent child %q", n.Type, c.Type)
+			}
+			if err := rec(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(p.Root); err != nil {
+		return err
+	}
+	if stars != 1 {
+		return fmt.Errorf("pattern: %d output nodes, want exactly 1", stars)
+	}
+	return nil
+}
+
+// Index assigns preorder intervals to every node of the pattern and returns
+// them. Intervals answer ancestor/descendant queries in O(1): m is a proper
+// descendant of n iff n.In < m.In && m.Out <= n.Out. The index is a
+// snapshot; it becomes stale if the pattern is edited.
+type Index struct {
+	In, Out map[*Node]int
+	Order   []*Node // preorder
+}
+
+// NewIndex builds the preorder interval index for p.
+func NewIndex(p *Pattern) *Index {
+	idx := &Index{In: make(map[*Node]int), Out: make(map[*Node]int)}
+	t := 0
+	var rec func(*Node)
+	rec = func(n *Node) {
+		t++
+		idx.In[n] = t
+		idx.Order = append(idx.Order, n)
+		for _, c := range n.Children {
+			rec(c)
+		}
+		idx.Out[n] = t
+	}
+	if p != nil && p.Root != nil {
+		rec(p.Root)
+	}
+	return idx
+}
+
+// IsDescendant reports whether m is a proper descendant of n according to
+// the index.
+func (idx *Index) IsDescendant(m, n *Node) bool {
+	return idx.In[n] < idx.In[m] && idx.Out[m] <= idx.Out[n]
+}

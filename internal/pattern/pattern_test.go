@@ -1,0 +1,412 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+)
+
+// build constructs the query of Figure 2(a) of the paper by hand:
+// Articles/Article*[/Title, //Paragraph, /Section//Paragraph].
+func fig2a() *Pattern {
+	root := NewNode("Articles")
+	art := root.Child("Article")
+	art.Star = true
+	art.Child("Title")
+	art.Desc("Paragraph")
+	art.Child("Section").Desc("Paragraph")
+	return New(root)
+}
+
+func TestSize(t *testing.T) {
+	if got := fig2a().Size(); got != 6 {
+		t.Errorf("Size = %d, want 6", got)
+	}
+	var empty *Pattern
+	if got := empty.Size(); got != 0 {
+		t.Errorf("nil pattern Size = %d, want 0", got)
+	}
+	if got := (&Pattern{}).Size(); got != 0 {
+		t.Errorf("empty pattern Size = %d, want 0", got)
+	}
+}
+
+func TestWalkOrders(t *testing.T) {
+	p := fig2a()
+	var pre, post []Type
+	p.Walk(func(n *Node) { pre = append(pre, n.Type) })
+	p.WalkPost(func(n *Node) { post = append(post, n.Type) })
+	if pre[0] != "Articles" {
+		t.Errorf("preorder starts with %q, want Articles", pre[0])
+	}
+	if post[len(post)-1] != "Articles" {
+		t.Errorf("postorder ends with %q, want Articles", post[len(post)-1])
+	}
+	if len(pre) != 6 || len(post) != 6 {
+		t.Fatalf("walk lengths = %d, %d, want 6", len(pre), len(post))
+	}
+	// In postorder every node appears after all of its descendants.
+	seen := map[Type]int{}
+	for i, ty := range post {
+		seen[ty] = i
+	}
+	if seen["Articles"] != 5 {
+		t.Errorf("Articles at postorder index %d, want 5", seen["Articles"])
+	}
+}
+
+func TestOutputNode(t *testing.T) {
+	p := fig2a()
+	star := p.OutputNode()
+	if star == nil || star.Type != "Article" {
+		t.Fatalf("OutputNode = %v, want Article node", star)
+	}
+}
+
+func TestDetach(t *testing.T) {
+	p := fig2a()
+	var title *Node
+	p.Walk(func(n *Node) {
+		if n.Type == "Title" {
+			title = n
+		}
+	})
+	title.Detach()
+	if p.Size() != 5 {
+		t.Errorf("after Detach Size = %d, want 5", p.Size())
+	}
+	if title.Parent != nil {
+		t.Error("detached node still has a parent")
+	}
+	// Detaching the root is a no-op.
+	p.Root.Detach()
+	if p.Size() != 5 {
+		t.Error("Detach on root changed the pattern")
+	}
+}
+
+func TestDetachSubtree(t *testing.T) {
+	p := fig2a()
+	var section *Node
+	p.Walk(func(n *Node) {
+		if n.Type == "Section" {
+			section = n
+		}
+	})
+	section.Detach()
+	if p.Size() != 4 {
+		t.Errorf("after subtree Detach Size = %d, want 4", p.Size())
+	}
+}
+
+func TestAddChildPanicsOnReattach(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AddChild of an attached node did not panic")
+		}
+	}()
+	p := fig2a()
+	NewNode("x").AddChild(Child, p.Root.Children[0])
+}
+
+func TestTypes(t *testing.T) {
+	n := NewNode("Employee")
+	if !n.HasType("Employee") || n.HasType("Person") {
+		t.Fatal("HasType on fresh node wrong")
+	}
+	n.AddType("Person", false)
+	n.AddType("Agent", true)
+	n.AddType("Person", false) // duplicate: no-op
+	if got := n.Types(); len(got) != 3 || got[0] != "Employee" {
+		t.Fatalf("Types = %v", got)
+	}
+	if !n.HasType("Person") || !n.HasType("Agent") {
+		t.Error("added types not reported by HasType")
+	}
+	m := NewNode("Employee")
+	m.AddType("Person", false)
+	if m.TypesSubsetOf(n) != true {
+		t.Error("TypesSubsetOf: {Employee,Person} should be subset of {Employee,Person,Agent}")
+	}
+	if n.TypesSubsetOf(m) != false {
+		t.Error("TypesSubsetOf: superset reported as subset")
+	}
+}
+
+func TestAddTypeSorted(t *testing.T) {
+	n := NewNode("a")
+	for _, ty := range []Type{"z", "m", "b", "m"} {
+		n.AddType(ty, false)
+	}
+	want := []Type{"b", "m", "z"}
+	for i, ty := range n.Extra {
+		if ty != want[i] {
+			t.Fatalf("Extra = %v, want %v", n.Extra, want)
+		}
+	}
+}
+
+func TestAncestry(t *testing.T) {
+	p := fig2a()
+	var para2 *Node // the Paragraph under Section
+	p.Walk(func(n *Node) {
+		if n.Type == "Paragraph" && n.Parent.Type == "Section" {
+			para2 = n
+		}
+	})
+	if para2.Depth() != 3 {
+		t.Errorf("Depth = %d, want 3", para2.Depth())
+	}
+	anc := para2.Ancestors()
+	if len(anc) != 3 || anc[0].Type != "Section" || anc[2].Type != "Articles" {
+		t.Errorf("Ancestors = %v", anc)
+	}
+	if !p.Root.IsAncestorOf(para2) || para2.IsAncestorOf(p.Root) {
+		t.Error("IsAncestorOf wrong")
+	}
+	if p.Root.IsAncestorOf(p.Root) {
+		t.Error("node is its own ancestor")
+	}
+}
+
+func TestIndex(t *testing.T) {
+	p := fig2a()
+	idx := NewIndex(p)
+	if len(idx.Order) != 6 {
+		t.Fatalf("Order length %d, want 6", len(idx.Order))
+	}
+	var section, para2, title *Node
+	p.Walk(func(n *Node) {
+		switch {
+		case n.Type == "Section":
+			section = n
+		case n.Type == "Title":
+			title = n
+		case n.Type == "Paragraph" && n.Parent.Type == "Section":
+			para2 = n
+		}
+	})
+	if !idx.IsDescendant(para2, section) {
+		t.Error("Paragraph should be descendant of Section")
+	}
+	if !idx.IsDescendant(para2, p.Root) {
+		t.Error("Paragraph should be descendant of root")
+	}
+	if idx.IsDescendant(section, para2) {
+		t.Error("Section is not a descendant of Paragraph")
+	}
+	if idx.IsDescendant(title, section) {
+		t.Error("Title is not a descendant of Section")
+	}
+	if idx.IsDescendant(section, section) {
+		t.Error("IsDescendant must be proper")
+	}
+}
+
+func TestClone(t *testing.T) {
+	p := fig2a()
+	p.Root.Children[0].AddType("Doc", true)
+	q, m := p.CloneMap()
+	if q.Size() != p.Size() {
+		t.Fatalf("clone size %d != %d", q.Size(), p.Size())
+	}
+	if !Isomorphic(p, q) {
+		t.Error("clone not isomorphic to original")
+	}
+	// No shared nodes.
+	qNodes := map[*Node]bool{}
+	q.Walk(func(n *Node) { qNodes[n] = true })
+	p.Walk(func(n *Node) {
+		if qNodes[n] {
+			t.Fatal("clone shares a node with the original")
+		}
+		if m[n] == nil || !qNodes[m[n]] {
+			t.Fatal("CloneMap missing a mapping")
+		}
+	})
+	// Mutating the clone leaves the original intact.
+	q.Root.Children[0].Detach()
+	if p.Size() != 6 {
+		t.Error("mutating clone changed original")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := fig2a().Validate(); err != nil {
+		t.Errorf("valid pattern rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		make func() *Pattern
+		want string
+	}{
+		{"empty", func() *Pattern { return &Pattern{} }, "empty"},
+		{"no star", func() *Pattern { return New(NewNode("a")) }, "output nodes"},
+		{"two stars", func() *Pattern {
+			r := NewStar("a")
+			r.AddChild(Child, NewStar("b"))
+			return New(r)
+		}, "output nodes"},
+		{"empty type", func() *Pattern {
+			r := NewStar("a")
+			r.Child("")
+			return New(r)
+		}, "empty type"},
+		{"temp star", func() *Pattern {
+			r := NewNode("a")
+			s := r.Child("b")
+			s.Star = true
+			s.Temp = true
+			return New(r)
+		}, "temporary"},
+		{"temp with perm child", func() *Pattern {
+			r := NewStar("a")
+			tmp := r.Child("b")
+			tmp.Temp = true
+			tmp.Child("c")
+			return New(r)
+		}, "permanent child"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.make().Validate()
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("Validate = %v, want error containing %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestStripTemp(t *testing.T) {
+	p := fig2a()
+	var section *Node
+	p.Walk(func(n *Node) {
+		if n.Type == "Section" {
+			section = n
+		}
+	})
+	tmp := NewNode("Paragraph")
+	tmp.Temp = true
+	section.AddChild(Descendant, tmp)
+	tmp2 := NewNode("Footnote")
+	tmp2.Temp = true
+	tmp.AddChild(Child, tmp2)
+	section.AddType("Div", true)
+	section.AddType("Block", false)
+
+	if removed := p.StripTemp(); removed != 2 {
+		t.Errorf("StripTemp removed %d, want 2", removed)
+	}
+	if p.Size() != 6 {
+		t.Errorf("after StripTemp Size = %d, want 6", p.Size())
+	}
+	if section.HasType("Div") {
+		t.Error("temporary extra type survived StripTemp")
+	}
+	if !section.HasType("Block") {
+		t.Error("permanent extra type removed by StripTemp")
+	}
+	if !Isomorphic(p, func() *Pattern {
+		q := fig2a()
+		q.Walk(func(n *Node) {
+			if n.Type == "Section" {
+				n.AddType("Block", false)
+			}
+		})
+		return q
+	}()) {
+		t.Error("StripTemp result not isomorphic to expected")
+	}
+}
+
+func TestEdgeKindString(t *testing.T) {
+	if Child.String() != "/" || Descendant.String() != "//" {
+		t.Error("EdgeKind.String wrong")
+	}
+}
+
+func TestNodePredicates(t *testing.T) {
+	p := fig2a()
+	if !p.Root.IsRoot() || p.Root.IsLeaf() {
+		t.Error("root predicates wrong")
+	}
+	var title *Node
+	p.Walk(func(n *Node) {
+		if n.Type == "Title" {
+			title = n
+		}
+	})
+	if title.IsRoot() || !title.IsLeaf() {
+		t.Error("leaf predicates wrong")
+	}
+}
+
+func TestNodesAndLeaves(t *testing.T) {
+	p := fig2a()
+	if got := p.Nodes(); len(got) != 6 || got[0] != p.Root {
+		t.Errorf("Nodes = %d entries", len(got))
+	}
+	leaves := p.Leaves()
+	if len(leaves) != 3 {
+		t.Fatalf("Leaves = %d, want 3", len(leaves))
+	}
+	for _, l := range leaves {
+		if !l.IsLeaf() {
+			t.Error("non-leaf in Leaves")
+		}
+	}
+}
+
+func TestTypeSet(t *testing.T) {
+	p := fig2a()
+	p.Root.AddType("Collection", false)
+	set := p.TypeSet()
+	for _, ty := range []Type{"Articles", "Article", "Title", "Paragraph", "Section", "Collection"} {
+		if !set[ty] {
+			t.Errorf("TypeSet missing %q", ty)
+		}
+	}
+	if len(set) != 6 {
+		t.Errorf("TypeSet size = %d", len(set))
+	}
+}
+
+func TestRequiredTypesSubsetOf(t *testing.T) {
+	u := NewNode("a")
+	u.AddType("perm", false)
+	u.AddType("tmp", true)
+	v := NewNode("a")
+	v.AddType("perm", false)
+	// v lacks "tmp", but tmp is a temporary extra: not a requirement.
+	if !u.RequiredTypesSubsetOf(v) {
+		t.Error("temporary extra treated as a requirement")
+	}
+	if u.TypesSubsetOf(v) {
+		t.Error("TypesSubsetOf should still require the temp extra")
+	}
+	// Permanent extras are required.
+	w := NewNode("a")
+	if u.RequiredTypesSubsetOf(w) {
+		t.Error("permanent extra not required")
+	}
+	// Primary type always required.
+	if u.RequiredTypesSubsetOf(NewNode("b")) {
+		t.Error("primary type mismatch accepted")
+	}
+}
+
+func TestCondsEntailMethod(t *testing.T) {
+	strong := NewNode("a")
+	strong.AddCond(Condition{Attr: "p", Op: OpLt, Value: 50})
+	weak := NewNode("a")
+	weak.AddCond(Condition{Attr: "p", Op: OpLt, Value: 100})
+	if !strong.CondsEntail(weak) {
+		t.Error("p<50 should entail p<100")
+	}
+	if weak.CondsEntail(strong) {
+		t.Error("p<100 must not entail p<50")
+	}
+	free := NewNode("a")
+	if !strong.CondsEntail(free) || free.CondsEntail(strong) {
+		t.Error("condition-free entailment wrong")
+	}
+}

@@ -1,0 +1,189 @@
+// Package schema models the two schema languages the paper draws its
+// integrity constraints from (Section 2.2 and Figure 1):
+//
+//   - XML-Schema-style element declarations: each element type lists the
+//     subelements it may contain, with minimum occurrence counts. Whenever
+//     type B appears with minOccurs >= 1 in every declaration of type A,
+//     every A element must have a B child — the required-child constraint
+//     A -> B — and transitively a required descendant A => B.
+//
+//   - LDAP-style object-class hierarchies: "every employee entry must also
+//     belong to the type person" is the directional co-occurrence
+//     constraint Employee ~ Person.
+//
+// InferConstraints derives the full constraint set from a schema; the
+// result feeds directly into the minimization algorithms (packages acim
+// and cdm).
+package schema
+
+import (
+	"fmt"
+	"sort"
+
+	"tpq/internal/data"
+	"tpq/internal/ics"
+	"tpq/internal/pattern"
+)
+
+// ChildDecl declares one permitted subelement within an element type.
+type ChildDecl struct {
+	// Name is the subelement's type.
+	Name pattern.Type
+	// MinOccurs is the minimum number of occurrences; >= 1 makes the
+	// subelement required.
+	MinOccurs int
+	// MaxOccurs is the maximum number of occurrences; 0 means unbounded.
+	// Not used for constraint inference, but kept so schemas round-trip.
+	MaxOccurs int
+}
+
+// ElementDecl declares one element type.
+type ElementDecl struct {
+	Name     pattern.Type
+	Children []ChildDecl
+}
+
+// Schema is a collection of element declarations plus an LDAP-style
+// subclass relation.
+type Schema struct {
+	decls map[pattern.Type]*ElementDecl
+	// isA[t] is the set of types every t node also belongs to (direct
+	// declarations only; inference closes transitively).
+	isA map[pattern.Type]map[pattern.Type]bool
+}
+
+// New returns an empty schema.
+func New() *Schema {
+	return &Schema{
+		decls: make(map[pattern.Type]*ElementDecl),
+		isA:   make(map[pattern.Type]map[pattern.Type]bool),
+	}
+}
+
+// Declare adds (or replaces) an element declaration and returns the schema
+// for chaining.
+func (s *Schema) Declare(name pattern.Type, children ...ChildDecl) *Schema {
+	s.decls[name] = &ElementDecl{Name: name, Children: children}
+	return s
+}
+
+// Required is a ChildDecl with minOccurs 1.
+func Required(name pattern.Type) ChildDecl { return ChildDecl{Name: name, MinOccurs: 1} }
+
+// Optional is a ChildDecl with minOccurs 0.
+func Optional(name pattern.Type) ChildDecl { return ChildDecl{Name: name, MinOccurs: 0} }
+
+// DeclareIsA records that every entry of type sub also belongs to super
+// (LDAP object-class subtyping) and returns the schema for chaining.
+func (s *Schema) DeclareIsA(sub, super pattern.Type) *Schema {
+	row := s.isA[sub]
+	if row == nil {
+		row = make(map[pattern.Type]bool)
+		s.isA[sub] = row
+	}
+	row[super] = true
+	return s
+}
+
+// Decl returns the declaration of t, or nil.
+func (s *Schema) Decl(t pattern.Type) *ElementDecl { return s.decls[t] }
+
+// Types returns all declared element types, sorted.
+func (s *Schema) Types() []pattern.Type {
+	out := make([]pattern.Type, 0, len(s.decls))
+	for t := range s.decls {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Validate checks that every referenced child type and supertype is
+// declared, so a schema cannot silently imply constraints over unknown
+// types. Undeclared leaf types are permitted when declared via Declare
+// with no children.
+func (s *Schema) Validate() error {
+	for _, d := range s.decls {
+		for _, c := range d.Children {
+			if c.MinOccurs < 0 {
+				return fmt.Errorf("schema: %s/%s: negative minOccurs", d.Name, c.Name)
+			}
+			if c.MaxOccurs != 0 && c.MaxOccurs < c.MinOccurs {
+				return fmt.Errorf("schema: %s/%s: maxOccurs %d < minOccurs %d",
+					d.Name, c.Name, c.MaxOccurs, c.MinOccurs)
+			}
+		}
+	}
+	return nil
+}
+
+// InferConstraints derives the integrity constraints implied by the
+// schema, as described in Section 2.2:
+//
+//   - A -> B whenever B is a required child in A's declaration;
+//   - A ~ B whenever A is declared (transitively) a subclass of B;
+//   - the required-descendant consequences follow from the logical closure,
+//     which the returned set has already been put through.
+func (s *Schema) InferConstraints() *ics.Set {
+	set := ics.NewSet()
+	for _, d := range s.decls {
+		for _, c := range d.Children {
+			if c.MinOccurs >= 1 {
+				set.Add(ics.Child(d.Name, c.Name))
+			}
+		}
+	}
+	for sub, supers := range s.isA {
+		for super := range supers {
+			set.Add(ics.Co(sub, super))
+		}
+	}
+	return set.Closure()
+}
+
+// ConformsForest checks every node of a data forest against the schema
+// (see ConformsTypes) and returns the first problem found, or nil.
+func (s *Schema) ConformsForest(f *data.Forest) error {
+	for _, n := range f.Nodes() {
+		kids := make([]pattern.Type, len(n.Children))
+		for i, c := range n.Children {
+			kids[i] = c.Types[0]
+		}
+		if err := s.ConformsTypes(n.Types[0], kids); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ConformsTypes checks a parent-to-children type listing against the
+// schema: every child type must be declared in the parent's declaration
+// (if the parent is declared), and required children must be present.
+func (s *Schema) ConformsTypes(parent pattern.Type, children []pattern.Type) error {
+	d := s.decls[parent]
+	if d == nil {
+		return nil
+	}
+	allowed := make(map[pattern.Type]bool, len(d.Children))
+	for _, c := range d.Children {
+		allowed[c.Name] = true
+	}
+	have := make(map[pattern.Type]int, len(children))
+	for _, c := range children {
+		if !allowed[c] {
+			return fmt.Errorf("schema: %s may not contain %s", parent, c)
+		}
+		have[c]++
+	}
+	for _, c := range d.Children {
+		if have[c.Name] < c.MinOccurs {
+			return fmt.Errorf("schema: %s requires %d %s children, found %d",
+				parent, c.MinOccurs, c.Name, have[c.Name])
+		}
+		if c.MaxOccurs != 0 && have[c.Name] > c.MaxOccurs {
+			return fmt.Errorf("schema: %s allows at most %d %s children, found %d",
+				parent, c.MaxOccurs, c.Name, have[c.Name])
+		}
+	}
+	return nil
+}

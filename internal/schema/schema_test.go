@@ -1,0 +1,158 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"tpq/internal/data"
+	"tpq/internal/ics"
+	"tpq/internal/pattern"
+)
+
+// bookSchema models Figure 1(a): a Book has a required Title, 1-5 Authors
+// and a Chapter; Authors have a required LastName.
+func bookSchema() *Schema {
+	s := New()
+	s.Declare("Book",
+		Required("Title"),
+		ChildDecl{Name: "Author", MinOccurs: 1, MaxOccurs: 5},
+		Optional("Chapter"),
+	)
+	s.Declare("Author", Required("LastName"))
+	s.Declare("Title")
+	s.Declare("LastName")
+	s.Declare("Chapter")
+	return s
+}
+
+func TestInferRequiredChildren(t *testing.T) {
+	cs := bookSchema().InferConstraints()
+	for _, want := range []ics.Constraint{
+		ics.Child("Book", "Title"),
+		ics.Child("Book", "Author"),
+		ics.Child("Author", "LastName"),
+	} {
+		if !cs.Has(want) {
+			t.Errorf("inferred set misses %s", want)
+		}
+	}
+	// Optional children imply nothing.
+	if cs.HasChild("Book", "Chapter") || cs.HasDesc("Book", "Chapter") {
+		t.Error("optional Chapter treated as required")
+	}
+}
+
+func TestInferTransitiveDescendants(t *testing.T) {
+	// Section 2.2: every Book must have a LastName descendant, because
+	// every Book has an Author child and every Author a LastName child.
+	cs := bookSchema().InferConstraints()
+	if !cs.HasDesc("Book", "LastName") {
+		t.Error("Book => LastName not inferred")
+	}
+	if !cs.HasDesc("Book", "Title") {
+		t.Error("Book => Title not inferred (child implies descendant)")
+	}
+}
+
+func TestInferIsA(t *testing.T) {
+	// The directory example: every employee entry also belongs to person.
+	s := New()
+	s.DeclareIsA("Employee", "Person")
+	s.DeclareIsA("Manager", "Employee")
+	s.Declare("Person", Required("CommonName"))
+	s.Declare("CommonName")
+	cs := s.InferConstraints()
+	if !cs.HasCo("Employee", "Person") || !cs.HasCo("Manager", "Person") {
+		t.Error("is-a constraints not inferred (or not closed)")
+	}
+	// Through the closure, managers inherit person's required children.
+	if !cs.HasChild("Manager", "CommonName") {
+		t.Error("inherited required child not inferred")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	s := New()
+	s.Declare("a", ChildDecl{Name: "b", MinOccurs: 2, MaxOccurs: 1})
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "maxOccurs") {
+		t.Errorf("Validate = %v", err)
+	}
+	s2 := New()
+	s2.Declare("a", ChildDecl{Name: "b", MinOccurs: -1})
+	if err := s2.Validate(); err == nil || !strings.Contains(err.Error(), "negative") {
+		t.Errorf("Validate = %v", err)
+	}
+	if err := bookSchema().Validate(); err != nil {
+		t.Errorf("valid schema rejected: %v", err)
+	}
+}
+
+func TestConformsTypes(t *testing.T) {
+	s := bookSchema()
+	if err := s.ConformsTypes("Book", nil); err == nil {
+		t.Error("missing required children accepted")
+	}
+	if err := s.ConformsTypes("Book", []pattern.Type{"Title", "Author"}); err != nil {
+		t.Errorf("conforming children rejected: %v", err)
+	}
+	if err := s.ConformsTypes("Undeclared", nil); err != nil {
+		t.Errorf("undeclared parent rejected: %v", err)
+	}
+}
+
+func TestConformsForest(t *testing.T) {
+	s := bookSchema()
+	lib := data.NewNode("Library")
+	b := lib.Child("Book")
+	b.Child("Title")
+	b.Child("Author").Child("LastName")
+	f := data.NewForest(lib)
+	if err := s.ConformsForest(f); err != nil {
+		t.Errorf("conforming forest rejected: %v", err)
+	}
+	// A Book containing a stray element violates the declaration.
+	b.Child("Pamphlet")
+	f.Reindex()
+	if err := s.ConformsForest(f); err == nil || !strings.Contains(err.Error(), "Pamphlet") {
+		t.Errorf("ConformsForest = %v", err)
+	}
+	// Too many authors.
+	b2 := lib.Child("Book")
+	b2.Child("Title")
+	for i := 0; i < 6; i++ {
+		b2.Child("Author").Child("LastName")
+	}
+	f2 := data.NewForest(b2)
+	if err := s.ConformsForest(f2); err == nil || !strings.Contains(err.Error(), "at most") {
+		t.Errorf("maxOccurs violation = %v", err)
+	}
+}
+
+func TestTypesAndDecl(t *testing.T) {
+	s := bookSchema()
+	types := s.Types()
+	if len(types) != 5 || types[0] != "Author" {
+		t.Errorf("Types = %v", types)
+	}
+	if s.Decl("Book") == nil || s.Decl("Nope") != nil {
+		t.Error("Decl lookup wrong")
+	}
+}
+
+func TestSchemaDrivenMinimizationEndToEnd(t *testing.T) {
+	// The introduction's example, driven from a schema instead of
+	// hand-written constraints: a query for books with a publisher
+	// simplifies when the schema says every book has one.
+	s := New()
+	s.Declare("Book", Required("Title"), Required("Publisher"), Optional("Author"))
+	s.Declare("Title")
+	s.Declare("Publisher")
+	s.Declare("Author")
+	cs := s.InferConstraints()
+	if !cs.HasChild("Book", "Publisher") {
+		t.Fatal("schema inference incomplete")
+	}
+}
+
+// Silence unused import when test cases above change.
+var _ = ics.NewSet

@@ -1,0 +1,313 @@
+// Package tpq is a library for minimizing tree pattern queries, a Go
+// implementation of "Minimization of Tree Pattern Queries" (Amer-Yahia,
+// Cho, Lakshmanan, Srivastava; ACM SIGMOD 2001).
+//
+// Tree pattern queries (TPQs) are the core retrieval primitive of
+// tree-structured data models such as XML and LDAP directories: rooted,
+// unordered trees whose nodes carry types, whose edges denote direct ("/")
+// or transitive ("//") containment, and where one node — marked "*" — is
+// the output. Matching a pattern against a database costs more the larger
+// the pattern is, so redundant pattern nodes should be removed first. This
+// package provides:
+//
+//   - Parse / MustParse — a compact text syntax for patterns
+//     ("Articles/Article*[/Title, //Paragraph]");
+//   - Minimize — constraint-independent minimization (Algorithm CIM,
+//     O(n⁴)), which computes the unique minimal equivalent query;
+//   - MinimizeUnderConstraints — minimization under required-child,
+//     required-descendant and co-occurrence integrity constraints
+//     (Algorithm CDM as a fast local pre-filter, then Algorithm ACIM),
+//     which computes the unique minimal query equivalent under the
+//     constraints;
+//   - Contains / Equivalent — containment and equivalence tests via
+//     containment mappings, and ContainsUnder / EquivalentUnder for the
+//     constraint-aware versions;
+//   - Match / MatchCount — evaluation of a pattern over a tree database
+//     (package-level forest constructors and an XML importer are provided).
+//
+// The subpackages under internal/ expose the individual algorithms to the
+// library's own commands, examples and benchmarks; external code should
+// use this package's API.
+package tpq
+
+import (
+	"io"
+	"math/big"
+	"math/rand"
+
+	"tpq/internal/acim"
+	"tpq/internal/cdm"
+	"tpq/internal/cim"
+	"tpq/internal/containment"
+	"tpq/internal/data"
+	"tpq/internal/genquery"
+	"tpq/internal/ics"
+	"tpq/internal/match"
+	"tpq/internal/pattern"
+	"tpq/internal/schema"
+	"tpq/internal/xpath"
+)
+
+// Core model types, re-exported from the internal packages. The aliases
+// carry their full method sets.
+type (
+	// Pattern is a tree pattern query.
+	Pattern = pattern.Pattern
+	// Node is a node of a Pattern.
+	Node = pattern.Node
+	// Type is a node type.
+	Type = pattern.Type
+	// EdgeKind distinguishes child ("/") and descendant ("//") edges.
+	EdgeKind = pattern.EdgeKind
+
+	// Condition is a value-based comparison on a node attribute
+	// (@price < 100) — the Section 7 extension. A containment mapping may
+	// send a node onto an image only if the image's conditions entail the
+	// node's.
+	Condition = pattern.Condition
+
+	// Constraint is an integrity constraint: required child (A -> B),
+	// required descendant (A => B) or co-occurrence (A ~ B).
+	Constraint = ics.Constraint
+	// Constraints is a hash-indexed set of integrity constraints.
+	Constraints = ics.Set
+
+	// Schema is an XML-Schema/LDAP-style schema from which integrity
+	// constraints can be inferred.
+	Schema = schema.Schema
+	// ChildDecl declares a permitted subelement within a Schema element
+	// declaration.
+	ChildDecl = schema.ChildDecl
+
+	// Forest is a tree-structured database.
+	Forest = data.Forest
+	// DataNode is a node of a Forest.
+	DataNode = data.Node
+)
+
+// Edge kinds.
+const (
+	Child      = pattern.Child
+	Descendant = pattern.Descendant
+)
+
+// Parse reads a pattern from the text syntax; see the pattern grammar in
+// the package documentation of internal/pattern:
+//
+//	a*[/b, //c/d]   —  root a (output), c-child b, d-child c with c-child d
+func Parse(src string) (*Pattern, error) { return pattern.Parse(src) }
+
+// MustParse is Parse that panics on error, for tests and examples.
+func MustParse(src string) *Pattern { return pattern.MustParse(src) }
+
+// ParseCondition reads one value condition, e.g. "@price < 100".
+func ParseCondition(src string) (Condition, error) { return pattern.ParseCondition(src) }
+
+// ParseConstraint reads one constraint: "A -> B", "A => B" or "A ~ B".
+func ParseConstraint(src string) (Constraint, error) { return ics.Parse(src) }
+
+// NewConstraints builds a constraint set.
+func NewConstraints(cs ...Constraint) *Constraints { return ics.NewSet(cs...) }
+
+// ParseConstraints builds a constraint set from textual constraints.
+func ParseConstraints(srcs ...string) (*Constraints, error) { return ics.ParseSet(srcs...) }
+
+// RequiredChild returns the constraint "every from node has a c-child of
+// type to".
+func RequiredChild(from, to Type) Constraint { return ics.Child(from, to) }
+
+// RequiredDescendant returns the constraint "every from node has a
+// descendant of type to".
+func RequiredDescendant(from, to Type) Constraint { return ics.Desc(from, to) }
+
+// CoOccurrence returns the constraint "every from node is also of type
+// to".
+func CoOccurrence(from, to Type) Constraint { return ics.Co(from, to) }
+
+// ForbidChild returns the constraint "no from node has a c-child of type
+// to" ("from !-> to"). Forbidden forms do not drive minimization (the
+// minimal query need not be unique under them — Section 7 of the paper);
+// they feed Unsatisfiable.
+func ForbidChild(from, to Type) Constraint { return ics.ForbidChild(from, to) }
+
+// ForbidDescendant returns the constraint "no from node has a descendant
+// of type to" ("from !=> to"); see ForbidChild.
+func ForbidDescendant(from, to Type) Constraint { return ics.ForbidDesc(from, to) }
+
+// Unsatisfiable reports whether p can never produce an answer on any
+// database satisfying cs — for example because the query places a type
+// under a node that forbids it, or uses a type whose own constraints are
+// contradictory.
+func Unsatisfiable(p *Pattern, cs *Constraints) bool {
+	return acim.UnsatisfiableUnder(p, cs)
+}
+
+// NewSchema returns an empty schema; use Declare/DeclareIsA to populate it
+// and InferConstraints to obtain its integrity constraints.
+func NewSchema() *Schema { return schema.New() }
+
+// Required declares a mandatory subelement (minOccurs 1) for Schema.Declare.
+func Required(name Type) ChildDecl { return schema.Required(name) }
+
+// Optional declares an optional subelement (minOccurs 0) for Schema.Declare.
+func Optional(name Type) ChildDecl { return schema.Optional(name) }
+
+// Minimize returns the unique minimal query equivalent to p, with no
+// integrity constraints assumed (Algorithm CIM). p is not modified.
+func Minimize(p *Pattern) *Pattern { return cim.Minimize(p) }
+
+// MinimizeUnderConstraints returns the unique minimal query equivalent to
+// p under cs (Algorithm CDM as a pre-filter, then Algorithm ACIM —
+// Theorem 5.3 guarantees the combination is exact). p is not modified.
+func MinimizeUnderConstraints(p *Pattern, cs *Constraints) *Pattern {
+	out, _ := MinimizeReport(p, cs)
+	return out
+}
+
+// Report describes what a MinimizeReport run did.
+type Report struct {
+	// InputSize and OutputSize are the node counts before and after.
+	InputSize, OutputSize int
+	// CDMRemoved and ACIMRemoved split the removals between the local
+	// pre-filter and the global phase.
+	CDMRemoved, ACIMRemoved int
+	// Unsatisfiable is set when the query can never return an answer under
+	// the constraints (forbidden-structure conflicts); the query is
+	// returned minimized anyway, but callers can skip evaluation entirely.
+	Unsatisfiable bool
+}
+
+// MinimizeReport is MinimizeUnderConstraints with a breakdown of the work
+// done, including an unsatisfiability verdict when the constraint set
+// contains forbidden forms.
+func MinimizeReport(p *Pattern, cs *Constraints) (*Pattern, Report) {
+	r := Report{InputSize: p.Size()}
+	closed := cs.Closure()
+	pre := p.Clone()
+	st := cdm.MinimizeInPlace(pre, closed)
+	r.CDMRemoved = st.Removed
+	out, ast := acim.MinimizeWithStats(pre, closed)
+	r.ACIMRemoved = ast.Removed
+	r.OutputSize = out.Size()
+	r.Unsatisfiable = acim.UnsatisfiableUnder(p, closed)
+	return out, r
+}
+
+// Contains reports whether p contains q: on every database, q's answers
+// are a subset of p's.
+func Contains(p, q *Pattern) bool { return containment.Contains(p, q) }
+
+// Equivalent reports whether p and q return the same answers on every
+// database.
+func Equivalent(p, q *Pattern) bool { return containment.Equivalent(p, q) }
+
+// ContainsUnder reports whether p contains q over all databases satisfying
+// cs. Exact for acyclic constraint sets; sound in general.
+func ContainsUnder(p, q *Pattern, cs *Constraints) bool {
+	return acim.ContainedUnder(q, p, cs.Closure())
+}
+
+// EquivalentUnder reports whether p and q return the same answers on every
+// database satisfying cs. Exact for acyclic constraint sets; sound in
+// general.
+func EquivalentUnder(p, q *Pattern, cs *Constraints) bool {
+	return acim.EquivalentUnder(p, q, cs)
+}
+
+// Match returns the answer set of p over f: the data nodes the output node
+// binds to, in document order.
+func Match(p *Pattern, f *Forest) []*DataNode { return match.Answers(p, f) }
+
+// MatchCount returns the number of answers of p over f.
+func MatchCount(p *Pattern, f *Forest) int { return match.Count(p, f) }
+
+// CountEmbeddings returns the number of distinct full embeddings of p into
+// f (as opposed to distinct answers), as a big integer — redundant pattern
+// branches multiply it, which is the evaluation blow-up minimization
+// avoids.
+func CountEmbeddings(p *Pattern, f *Forest) *big.Int { return match.CountEmbeddings(p, f) }
+
+// MatchIndex is an inverted index over a forest, reusable across queries;
+// see NewMatchIndex.
+type MatchIndex = match.ForestIndex
+
+// NewMatchIndex builds an inverted type index over f. When the same forest
+// is queried repeatedly, MatchIndexed over the index beats Match whenever
+// the query's types are selective.
+func NewMatchIndex(f *Forest) *MatchIndex { return match.NewForestIndex(f) }
+
+// MatchIndexed evaluates p over an indexed forest; same answers as Match.
+func MatchIndexed(p *Pattern, idx *MatchIndex) []*DataNode {
+	return match.AnswersIndexed(p, idx)
+}
+
+// NewForest builds a database from data trees; construct nodes with
+// NewDataNode and DataNode.Child.
+func NewForest(roots ...*DataNode) *Forest { return data.NewForest(roots...) }
+
+// NewDataNode returns a database node carrying the given types.
+func NewDataNode(types ...Type) *DataNode { return data.NewNode(types...) }
+
+// ParseXML reads an XML document into a single-tree Forest; element names
+// become node types, text and attributes are ignored.
+func ParseXML(r io.Reader) (*Forest, error) { return data.ParseXML(r) }
+
+// SatisfiesConstraints reports whether every constraint of cs holds in f.
+func SatisfiesConstraints(f *Forest, cs *Constraints) bool {
+	return data.Satisfies(f, cs.Closure())
+}
+
+// RepairConstraints modifies f minimally so it satisfies cs, adding
+// witness children and co-occurrence types. It fails on requirement
+// cycles (satisfiable only by infinite trees).
+func RepairConstraints(f *Forest, cs *Constraints) error { return data.Repair(f, cs) }
+
+// GenerateForest builds a random forest of about the given size over the
+// type alphabet, optionally repaired to satisfy cs (pass nil for none).
+func GenerateForest(rng *rand.Rand, size int, types []Type, cs *Constraints) (*Forest, error) {
+	return data.Generate(rng, data.GenOptions{Size: size, Types: types, Constraints: cs})
+}
+
+// GenerateQuery builds a random query of the given size over a bounded
+// type alphabet ("t0".."t<alphabet-1>").
+func GenerateQuery(rng *rand.Rand, size, alphabet int) *Pattern {
+	return genquery.Random(rng, size, alphabet)
+}
+
+// SamplePublishingForest builds a synthetic XML article collection shaped
+// like the paper's running example (Articles / Article / Title / Author /
+// Section / Paragraph, with year and pages attributes). It satisfies
+// SamplePublishingConstraints by construction.
+func SamplePublishingForest(rng *rand.Rand, articles int) *Forest {
+	return data.GeneratePublishing(rng, articles)
+}
+
+// SamplePublishingConstraints returns the natural integrity constraints of
+// the publishing domain.
+func SamplePublishingConstraints() *Constraints { return data.PublishingConstraints() }
+
+// SampleDirectoryForest builds a synthetic LDAP-style white-pages
+// directory with multi-typed entries (PermEmp ~ Employee ~ Person, ...).
+// It satisfies SampleDirectoryConstraints by construction.
+func SampleDirectoryForest(rng *rand.Rand, orgUnits int) *Forest {
+	return data.GenerateDirectory(rng, orgUnits)
+}
+
+// SampleDirectoryConstraints returns the natural integrity constraints of
+// the directory domain.
+func SampleDirectoryConstraints() *Constraints { return data.DirectoryConstraints() }
+
+// FromXPath parses an abbreviated XPath expression (/, //, existential
+// path predicates, numeric attribute comparisons) into a pattern whose
+// output node is the node the expression selects.
+func FromXPath(src string) (*Pattern, error) { return xpath.FromXPath(src) }
+
+// ToXPath renders a pattern as an abbreviated XPath expression; see
+// FromXPath for the fragment. Patterns with extra types have no XPath
+// equivalent and are rejected.
+func ToXPath(p *Pattern) (string, error) { return xpath.ToXPath(p) }
+
+// Isomorphic reports whether two patterns are equal up to sibling order.
+// Minimal equivalent queries are unique up to isomorphism (Theorem 4.1),
+// so this is the right comparison for minimizer outputs.
+func Isomorphic(p, q *Pattern) bool { return pattern.Isomorphic(p, q) }

@@ -1,0 +1,195 @@
+package tpq
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	// The README's quickstart, kept honest by this test.
+	q := MustParse("OrgUnit*[/Dept/Researcher//DBProject, //Dept//DBProject]")
+	min := Minimize(q)
+	if min.Size() != 4 {
+		t.Fatalf("Minimize left %d nodes, want 4", min.Size())
+	}
+	if !Equivalent(q, min) {
+		t.Error("minimized query not equivalent")
+	}
+	want := MustParse("OrgUnit*/Dept/Researcher//DBProject")
+	if !Isomorphic(min, want) {
+		t.Errorf("min = %s, want %s", min, want)
+	}
+}
+
+func TestFacadeConstraints(t *testing.T) {
+	q := MustParse("Book*[/Title, /Author, /Publisher]")
+	cs, err := ParseConstraints("Book -> Publisher")
+	if err != nil {
+		t.Fatal(err)
+	}
+	min := MinimizeUnderConstraints(q, cs)
+	if !Isomorphic(min, MustParse("Book*[/Title, /Author]")) {
+		t.Errorf("min = %s", min)
+	}
+	if !EquivalentUnder(q, min, cs) {
+		t.Error("not equivalent under constraints")
+	}
+	if Equivalent(q, min) {
+		t.Error("should differ without constraints")
+	}
+	if !ContainsUnder(min, q, cs) || !ContainsUnder(q, min, cs) {
+		t.Error("ContainsUnder disagrees with EquivalentUnder")
+	}
+}
+
+func TestFacadeConstraintConstructors(t *testing.T) {
+	cs := NewConstraints(
+		RequiredChild("Book", "Title"),
+		RequiredDescendant("Book", "LastName"),
+		CoOccurrence("Employee", "Person"),
+	)
+	if cs.Len() != 3 {
+		t.Fatalf("Len = %d", cs.Len())
+	}
+	c, err := ParseConstraint("A => B")
+	if err != nil || c != RequiredDescendant("A", "B") {
+		t.Errorf("ParseConstraint: %v %v", c, err)
+	}
+}
+
+func TestFacadeMatch(t *testing.T) {
+	f, err := ParseXML(strings.NewReader(
+		"<Library><Book><Title/></Book><Book><Title/><Author/></Book></Library>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := MustParse("Book*[/Title, /Author]")
+	if got := MatchCount(q, f); got != 1 {
+		t.Errorf("MatchCount = %d, want 1", got)
+	}
+	answers := Match(MustParse("Book*/Title"), f)
+	if len(answers) != 2 {
+		t.Errorf("answers = %d, want 2", len(answers))
+	}
+}
+
+func TestFacadeForestBuilding(t *testing.T) {
+	root := NewDataNode("Org")
+	root.Child("Employee", "Person")
+	f := NewForest(root)
+	if got := MatchCount(MustParse("Org/Person*"), f); got != 1 {
+		t.Errorf("multi-typed node not matched: %d", got)
+	}
+}
+
+func TestFacadeSchema(t *testing.T) {
+	s := NewSchema()
+	s.Declare("Book", Required("Title"))
+	s.Declare("Title")
+	cs := s.InferConstraints()
+	q := MustParse("Book*/Title")
+	min := MinimizeUnderConstraints(q, cs)
+	if min.Size() != 1 {
+		t.Errorf("schema-driven minimization left %d nodes", min.Size())
+	}
+}
+
+func TestFacadeRepairAndSatisfies(t *testing.T) {
+	f := NewForest(NewDataNode("Book"))
+	cs := NewConstraints(RequiredChild("Book", "Title"))
+	if SatisfiesConstraints(f, cs) {
+		t.Error("unsatisfied constraints reported satisfied")
+	}
+	if err := RepairConstraints(f, cs); err != nil {
+		t.Fatal(err)
+	}
+	if !SatisfiesConstraints(f, cs) {
+		t.Error("repair did not satisfy constraints")
+	}
+}
+
+func TestFacadeGenerators(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	q := GenerateQuery(rng, 12, 3)
+	if q.Size() != 12 || q.Validate() != nil {
+		t.Errorf("GenerateQuery broken: %v", q)
+	}
+	f, err := GenerateForest(rng, 30, []Type{"a", "b"}, nil)
+	if err != nil || f.Size() != 30 {
+		t.Errorf("GenerateForest: %v size %d", err, f.Size())
+	}
+	cs := NewConstraints(RequiredChild("a", "b"))
+	f2, err := GenerateForest(rng, 10, []Type{"a"}, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SatisfiesConstraints(f2, cs) {
+		t.Error("constrained forest violates constraints")
+	}
+}
+
+func TestMinimizationSpeedsUpMatching(t *testing.T) {
+	// The motivation of the whole paper: the minimized query returns the
+	// same answers while inspecting fewer pattern nodes.
+	rng := rand.New(rand.NewSource(9))
+	q := MustParse("a*[//b//c, //b//c, //b[/x, //c]]")
+	min := Minimize(q)
+	if min.Size() >= q.Size() {
+		t.Fatalf("no reduction: %s", min)
+	}
+	f, err := GenerateForest(rng, 300, []Type{"a", "b", "c", "x"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := Match(q, f), Match(min, f)
+	if len(a) != len(b) {
+		t.Fatalf("answers differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("answer sets differ")
+		}
+	}
+}
+
+func TestFacadeCountEmbeddings(t *testing.T) {
+	root := NewDataNode("a")
+	root.Child("b")
+	root.Child("b")
+	f := NewForest(root)
+	q := MustParse("a*[/b, /b]")
+	if got := CountEmbeddings(q, f); got.Int64() != 4 {
+		t.Errorf("CountEmbeddings = %s, want 4", got)
+	}
+	min := Minimize(q)
+	if got := CountEmbeddings(min, f); got.Int64() != 2 {
+		t.Errorf("minimized CountEmbeddings = %s, want 2", got)
+	}
+	// Same answers, fewer embeddings: the motivation in one assertion.
+	if MatchCount(q, f) != MatchCount(min, f) {
+		t.Error("answers changed")
+	}
+}
+
+func TestFacadeForbiddenConstraints(t *testing.T) {
+	q := MustParse("Section*//Footnote")
+	cs := NewConstraints(ForbidDescendant("Section", "Footnote"))
+	if !Unsatisfiable(q, cs) {
+		t.Error("query violating a forbidden form not flagged")
+	}
+	if Unsatisfiable(MustParse("Section*//Paragraph"), cs) {
+		t.Error("satisfiable query flagged")
+	}
+	c, err := ParseConstraint("Section !=> Footnote")
+	if err != nil || c != ForbidDescendant("Section", "Footnote") {
+		t.Errorf("ParseConstraint: %v %v", c, err)
+	}
+}
+
+// Required/Optional are re-exported for schema building; keep them working.
+func TestSchemaHelpers(t *testing.T) {
+	if Required("x").MinOccurs != 1 || Optional("x").MinOccurs != 0 {
+		t.Error("schema child helpers wrong")
+	}
+}
