@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: check build vet test race bench fmt
+
+# The gate every change must pass before commit.
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Pinned representative benchmark points (full sweeps: cmd/tpqbench).
+bench:
+	$(GO) test -run xxx -bench . -benchmem .
+
+fmt:
+	gofmt -l -w .

@@ -11,9 +11,12 @@ import (
 	"testing"
 
 	"tpq/internal/acim"
+	"tpq/internal/bench"
 	"tpq/internal/cdm"
 	"tpq/internal/cim"
+	"tpq/internal/containment"
 	"tpq/internal/data"
+	"tpq/internal/engine"
 	"tpq/internal/genquery"
 	"tpq/internal/ics"
 	"tpq/internal/match"
@@ -272,6 +275,50 @@ func BenchmarkContainment(b *testing.B) {
 		if !Contains(p, q) {
 			b.Fatal("containment broken")
 		}
+	}
+}
+
+// --- Dense vs map execution kernels --------------------------------------
+
+// containmentBenchPair returns a heavily redundant query paired with
+// itself: a self-mapping always exists, so both kernels do full DP work.
+func containmentBenchPair() (*pattern.Pattern, *pattern.Pattern) {
+	q := genquery.Redundant(80, 30, 3)
+	return q, q
+}
+
+func BenchmarkContainmentDense(b *testing.B) {
+	p, q := containmentBenchPair()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if containment.FindMapping(p, q) == nil {
+			b.Fatal("self-mapping must exist")
+		}
+	}
+}
+
+func BenchmarkContainmentMap(b *testing.B) {
+	p, q := containmentBenchPair()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if containment.FindMappingMap(p, q) == nil {
+			b.Fatal("self-mapping must exist")
+		}
+	}
+}
+
+// --- Batch engine scaling -------------------------------------------------
+
+func BenchmarkBatchMinimize(b *testing.B) {
+	queries, cs := bench.BatchWorkload(32)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			m := engine.New(engine.Options{Workers: w, Constraints: cs})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.MinimizeBatch(queries)
+			}
+		})
 	}
 }
 

@@ -1,16 +1,21 @@
-// Command tpqmin minimizes a tree pattern query, optionally under a set of
+// Command tpqmin minimizes tree pattern queries, optionally under a set of
 // integrity constraints.
 //
 // Usage:
 //
-//	tpqmin [-c "A -> B"]... [-f constraints.txt] [-algo auto|cim|cdm|acim] [-xpath] [-v] QUERY
+//	tpqmin [-c "A -> B"]... [-f constraints.txt] [-algo auto|cim|cdm|acim] [-parallel N] [-xpath] [-v] QUERY...
 //
-// The query uses the text syntax of the tpq package — or abbreviated XPath
+// Queries use the text syntax of the tpq package — or abbreviated XPath
 // with -xpath:
 //
 //	tpqmin 'Articles/Article*[//Paragraph, /Section//Paragraph]'
 //	tpqmin -c 'Section => Paragraph' 'Articles/Article*[//Paragraph, /Section//Paragraph]'
 //	tpqmin -xpath '//OrgUnit[Dept/Researcher[.//DBProject]][.//Dept[.//DBProject]]'
+//
+// Several queries may be given; each is minimized under the same
+// constraint set and one result is printed per line, in input order.
+// -parallel N minimizes N queries concurrently (0 means all CPUs) — useful
+// when piping a workload through the tool.
 //
 // Constraint files contain one constraint per line ("A -> B" required
 // child, "A => B" required descendant, "A ~ B" co-occurrence); blank lines
@@ -30,9 +35,7 @@ import (
 	"os"
 	"strings"
 
-	"tpq/internal/acim"
-	"tpq/internal/cdm"
-	"tpq/internal/cim"
+	"tpq/internal/engine"
 	"tpq/internal/ics"
 	"tpq/internal/pattern"
 	"tpq/internal/xpath"
@@ -58,17 +61,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var consFlags constraintFlags
 	file := fs.String("f", "", "file with one constraint per line")
 	algo := fs.String("algo", "auto", "minimization algorithm: auto, cim, cdm or acim")
+	parallel := fs.Int("parallel", 1, "queries minimized concurrently; 0 means all CPUs")
 	asXPath := fs.Bool("xpath", false, "read and write abbreviated XPath instead of the pattern syntax")
 	verbose := fs.Bool("v", false, "print sizes, removed counts and the closed constraint set")
 	fs.Var(&consFlags, "c", "integrity constraint (repeatable), e.g. 'Book -> Title'")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: tpqmin [flags] QUERY\n\nflags:\n")
+		fmt.Fprintf(stderr, "usage: tpqmin [flags] QUERY...\n\nflags:\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if fs.NArg() != 1 {
+	if fs.NArg() < 1 {
 		fs.Usage()
 		return 2
 	}
@@ -78,15 +82,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	var q *pattern.Pattern
-	var err error
-	if *asXPath {
-		q, err = xpath.FromXPath(fs.Arg(0))
-	} else {
-		q, err = pattern.Parse(fs.Arg(0))
+	switch *algo {
+	case "auto", "cim", "cdm", "acim":
+	default:
+		return fail(fmt.Errorf("unknown algorithm %q", *algo))
 	}
-	if err != nil {
-		return fail(err)
+
+	queries := make([]*pattern.Pattern, fs.NArg())
+	for i, src := range fs.Args() {
+		var err error
+		if *asXPath {
+			queries[i], err = xpath.FromXPath(src)
+		} else {
+			queries[i], err = pattern.Parse(src)
+		}
+		if err != nil {
+			return fail(err)
+		}
 	}
 	cs := ics.NewSet()
 	for _, src := range consFlags {
@@ -103,30 +115,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	closed := cs.Closure()
-	var out *pattern.Pattern
-	removed := 0
-	switch *algo {
-	case "cim":
-		out = q.Clone()
-		st := cim.MinimizeInPlace(out, cim.Options{})
-		removed = st.Removed
-	case "cdm":
-		out = q.Clone()
-		st := cdm.MinimizeInPlace(out, closed)
-		removed = st.Removed
-	case "acim":
-		var st acim.Stats
-		out, st = acim.MinimizeWithStats(q, closed)
-		removed = st.Removed
-	case "auto":
-		pre := q.Clone()
-		stPre := cdm.MinimizeInPlace(pre, closed)
-		var st acim.Stats
-		out, st = acim.MinimizeWithStats(pre, closed)
-		removed = stPre.Removed + st.Removed
-	default:
-		return fail(fmt.Errorf("unknown algorithm %q", *algo))
-	}
+	m := engine.New(engine.Options{
+		Workers:     *parallel,
+		Algo:        engine.Algo(*algo),
+		Constraints: closed,
+	})
+	results := m.MinimizeBatch(queries)
 
 	render := func(p *pattern.Pattern) (string, error) {
 		if *asXPath {
@@ -134,25 +128,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return p.String(), nil
 	}
-	outStr, err := render(out)
-	if err != nil {
-		return fail(err)
-	}
-	if *verbose {
-		inStr, err := render(q)
+	for i, r := range results {
+		outStr, err := render(r.Output)
 		if err != nil {
 			return fail(err)
 		}
-		fmt.Fprintf(stdout, "input:       %s  (%d nodes)\n", inStr, q.Size())
+		if !*verbose {
+			fmt.Fprintln(stdout, outStr)
+			continue
+		}
+		inStr, err := render(r.Input)
+		if err != nil {
+			return fail(err)
+		}
+		if i > 0 {
+			fmt.Fprintln(stdout)
+		}
+		fmt.Fprintf(stdout, "input:       %s  (%d nodes)\n", inStr, r.Input.Size())
 		if cs.Len() > 0 {
 			fmt.Fprintf(stdout, "constraints: %s\n", cs)
 			fmt.Fprintf(stdout, "closure:     %s  (%d constraints)\n", closed, closed.Len())
 		}
-		fmt.Fprintf(stdout, "removed:     %d nodes\n", removed)
-		fmt.Fprintf(stdout, "minimized:   %s  (%d nodes)\n", outStr, out.Size())
-		return 0
+		fmt.Fprintf(stdout, "removed:     %d nodes\n", r.Removed)
+		fmt.Fprintf(stdout, "minimized:   %s  (%d nodes)\n", outStr, r.Output.Size())
 	}
-	fmt.Fprintln(stdout, outStr)
 	return 0
 }
 

@@ -102,21 +102,72 @@ func TestErrors(t *testing.T) {
 		args []string
 	}{
 		{"no args", nil},
-		{"two args", []string{"a*", "b*"}},
 		{"bad pattern", []string{"not a pattern ["}},
+		{"bad second pattern", []string{"a*", "b* ["}},
 		{"bad constraint", []string{"-c", "nonsense", "a*"}},
 		{"bad algo", []string{"-algo", "fastest", "a*"}},
 		{"missing file", []string{"-f", "/nonexistent/x.txt", "a*"}},
 		{"bad xpath", []string{"-xpath", "a/b"}},
-		{"xpath with extras unprintable", []string{"-xpath", "//a"}}, // fine, prints
 	}
-	for _, c := range cases[:7] {
+	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
 			_, stderr, code := runCmd(t, c.args...)
 			if code == 0 {
 				t.Errorf("exit 0, stderr %q", stderr)
 			}
 		})
+	}
+}
+
+// TestMultipleQueries checks the batch path: one output line per query, in
+// input order, all minimized under the same constraints.
+func TestMultipleQueries(t *testing.T) {
+	out, _, code := runCmd(t,
+		"-c", "Section => Paragraph",
+		"Articles/Article*[//Paragraph, /Section//Paragraph]",
+		"a*[/b, /b]",
+		"OrgUnit*[/Dept/Researcher//DBProject, //Dept//DBProject]")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	want := "Articles/Article*/Section\na*/b\nOrgUnit*/Dept/Researcher//DBProject"
+	if strings.TrimSpace(out) != want {
+		t.Errorf("output:\n%s\nwant:\n%s", out, want)
+	}
+}
+
+// TestParallelFlag checks that -parallel produces the same output as the
+// sequential default, for several worker counts including 0 (= all CPUs).
+func TestParallelFlag(t *testing.T) {
+	queries := []string{
+		"a*[/b, /b/c, //c]",
+		"x*[//y, //y//z]",
+		"Book*[/Title, /Title]",
+		"OrgUnit*[/Dept/Researcher//DBProject, //Dept//DBProject]",
+	}
+	seq, _, code := runCmd(t, queries...)
+	if code != 0 {
+		t.Fatalf("sequential exit %d", code)
+	}
+	for _, n := range []string{"0", "2", "8"} {
+		par, _, code := runCmd(t, append([]string{"-parallel", n}, queries...)...)
+		if code != 0 {
+			t.Fatalf("-parallel %s: exit %d", n, code)
+		}
+		if par != seq {
+			t.Errorf("-parallel %s output differs:\n%s\nwant:\n%s", n, par, seq)
+		}
+	}
+}
+
+// TestVerboseMultiple checks that verbose blocks are emitted per query.
+func TestVerboseMultiple(t *testing.T) {
+	out, _, code := runCmd(t, "-v", "a*[/b, /b]", "x*[//y, //y]")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if got := strings.Count(out, "minimized:"); got != 2 {
+		t.Errorf("%d minimized lines, want 2:\n%s", got, out)
 	}
 }
 

@@ -61,6 +61,13 @@ func Minimize(p *pattern.Pattern, cs *ics.Set) *pattern.Pattern {
 
 // MinimizeWithStats is Minimize with run statistics.
 func MinimizeWithStats(p *pattern.Pattern, cs *ics.Set) (*pattern.Pattern, Stats) {
+	return MinimizeWithOptions(p, cs, cim.Options{})
+}
+
+// MinimizeWithOptions is MinimizeWithStats with explicit options for the
+// CIM phase. The batch engine uses it to route each worker's redundancy
+// tests through that worker's scratch arena.
+func MinimizeWithOptions(p *pattern.Pattern, cs *ics.Set, opts cim.Options) (*pattern.Pattern, Stats) {
 	var st Stats
 	start := time.Now()
 	q := p.Clone()
@@ -73,7 +80,7 @@ func MinimizeWithStats(p *pattern.Pattern, cs *ics.Set) (*pattern.Pattern, Stats
 	st.AugmentTime = time.Since(tAug)
 	st.AugmentedSize = q.Size()
 
-	cimStats := cim.MinimizeInPlace(q, cim.Options{})
+	cimStats := cim.MinimizeInPlace(q, opts)
 	st.Removed = cimStats.Removed
 	st.Tests = cimStats.Tests
 	st.TablesTime = cimStats.TablesTime

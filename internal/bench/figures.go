@@ -8,7 +8,9 @@ import (
 	"tpq/internal/cdm"
 	"tpq/internal/cim"
 	"tpq/internal/data"
+	"tpq/internal/engine"
 	"tpq/internal/genquery"
+	"tpq/internal/ics"
 	"tpq/internal/match"
 	"tpq/internal/pattern"
 )
@@ -363,12 +365,58 @@ func AblationCDM(opts Options) *Table {
 	return t
 }
 
+// BatchWorkload builds the mixed query batch the batch-engine experiment
+// and benchmarks minimize: redundant, right-deep and bushy shapes of
+// moderate size, sharing one constraint set.
+func BatchWorkload(nQueries int) ([]*pattern.Pattern, *ics.Set) {
+	var queries []*pattern.Pattern
+	for i := 0; i < nQueries; i++ {
+		switch i % 3 {
+		case 0:
+			queries = append(queries, genquery.Redundant(40, 15, 2))
+		case 1:
+			q, _ := genquery.Chain(40)
+			queries = append(queries, q)
+		default:
+			q, _ := genquery.Bushy(40, 2)
+			queries = append(queries, q)
+		}
+	}
+	cs := genquery.RelevantConstraints(queries[0], 40)
+	return queries, cs.Closure()
+}
+
+// BatchMinimize measures the batch engine (package engine): wall-clock
+// time to minimize a fixed mixed workload under the auto pipeline as the
+// worker count grows.
+func BatchMinimize(opts Options) *Table {
+	t := &Table{
+		Title:   "Batch engine: wall-clock time to minimize a mixed workload vs workers",
+		XLabel:  "Workers",
+		YLabel:  "batch time",
+		Comment: "time drops with workers until cores or stragglers bound it",
+	}
+	nQueries := 32
+	if opts.Quick {
+		nQueries = 9
+	}
+	queries, cs := BatchWorkload(nQueries)
+	for _, w := range []int{1, 2, 4, 8} {
+		m := engine.New(engine.Options{Workers: w, Algo: engine.Auto, Constraints: cs})
+		t.Add("BatchTime", float64(w), Measure(opts, Timed(func() {
+			m.MinimizeBatch(queries)
+		})))
+	}
+	return t
+}
+
 // All runs every experiment and returns the tables in presentation order.
 func All(opts Options) []*Table {
 	return []*Table{
 		Fig7a(opts), Fig7b(opts), Fig8a(opts), Fig8b(opts),
 		Fig9a(opts), Fig9b(opts), Motivation(opts),
 		AblationCIM(opts), AblationClosure(opts), AblationVirtual(opts), AblationCDM(opts),
+		BatchMinimize(opts),
 	}
 }
 
@@ -398,11 +446,13 @@ func ByName(name string) func(Options) *Table {
 		return AblationVirtual
 	case "ablation-cdm":
 		return AblationCDM
+	case "batch":
+		return BatchMinimize
 	}
 	return nil
 }
 
 // Names lists the experiment ids in presentation order.
 func Names() []string {
-	return []string{"7a", "7b", "8a", "8b", "9a", "9b", "motivation", "ablation-cim", "ablation-closure", "ablation-virtual", "ablation-cdm"}
+	return []string{"7a", "7b", "8a", "8b", "9a", "9b", "motivation", "ablation-cim", "ablation-closure", "ablation-virtual", "ablation-cdm", "batch"}
 }

@@ -1,0 +1,265 @@
+// Package bitset provides the dense set substrate of the integer-indexed
+// execution layer: fixed-capacity sets of small integers packed into
+// uint64 words, plus a sync.Pool-backed arena that recycles rows across
+// the thousands of redundancy tests a minimization run performs.
+//
+// The minimization and matching dynamic programs all reduce to the same
+// two primitives over node-ID sets — "intersect a row with a candidate
+// set" and "does this row contain any ID in a preorder interval" — so a
+// Set is deliberately minimal: a []uint64 with word-parallel And/AndNot/Or,
+// a range-intersection test (ancestor/descendant checks against preorder
+// intervals become one masked word scan), and NextSet iteration.
+//
+// Sets are plain slices, not structs: the capacity is fixed at creation
+// and callers index only within it. All binary operations require equal
+// lengths, which the execution layer guarantees by allocating every row of
+// one DP table from the same arena.
+package bitset
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Word is the machine word a Set is packed into.
+type Word = uint64
+
+const wordBits = 64
+
+// WordsFor returns the number of words needed for n bits.
+func WordsFor(n int) int { return (n + wordBits - 1) / wordBits }
+
+// Set is a fixed-capacity set of integers in [0, 64*len(s)).
+type Set []Word
+
+// New returns a zeroed set with capacity for n bits.
+func New(n int) Set { return make(Set, WordsFor(n)) }
+
+// Has reports whether i is in the set.
+func (s Set) Has(i int) bool { return s[i/wordBits]&(1<<(uint(i)%wordBits)) != 0 }
+
+// Add inserts i.
+func (s Set) Add(i int) { s[i/wordBits] |= 1 << (uint(i) % wordBits) }
+
+// Remove deletes i.
+func (s Set) Remove(i int) { s[i/wordBits] &^= 1 << (uint(i) % wordBits) }
+
+// Reset clears every bit, keeping the capacity.
+func (s Set) Reset() {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// And intersects s with t in place. The sets must have equal length.
+func (s Set) And(t Set) {
+	for i := range s {
+		s[i] &= t[i]
+	}
+}
+
+// AndNot removes every member of t from s in place. Equal lengths required.
+func (s Set) AndNot(t Set) {
+	for i := range s {
+		s[i] &^= t[i]
+	}
+}
+
+// Or unions t into s in place. Equal lengths required.
+func (s Set) Or(t Set) {
+	for i := range s {
+		s[i] |= t[i]
+	}
+}
+
+// CopyFrom overwrites s with t. Equal lengths required.
+func (s Set) CopyFrom(t Set) { copy(s, t) }
+
+// Any reports whether the set is non-empty.
+func (s Set) Any() bool {
+	for _, w := range s {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns the number of members.
+func (s Set) Count() int {
+	c := 0
+	for _, w := range s {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Intersects reports whether s and t share a member. Equal lengths
+// required.
+func (s Set) Intersects(t Set) bool {
+	for i := range s {
+		if s[i]&t[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// NextSet returns the smallest member >= i, or -1 if there is none.
+func (s Set) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	w := i / wordBits
+	if w >= len(s) {
+		return -1
+	}
+	cur := s[w] >> (uint(i) % wordBits)
+	if cur != 0 {
+		return i + bits.TrailingZeros64(cur)
+	}
+	for w++; w < len(s); w++ {
+		if s[w] != 0 {
+			return w*wordBits + bits.TrailingZeros64(s[w])
+		}
+	}
+	return -1
+}
+
+// IntersectsRange reports whether the set contains any member in the
+// inclusive range [lo, hi]. This is the ancestor/descendant primitive: the
+// proper descendants of a node occupy a contiguous preorder-ID interval,
+// so "does this child have a feasible image below s" is one call.
+func (s Set) IntersectsRange(lo, hi int) bool {
+	if lo < 0 {
+		lo = 0
+	}
+	if lo > hi || lo >= len(s)*wordBits {
+		return false
+	}
+	if max := len(s)*wordBits - 1; hi > max {
+		hi = max
+	}
+	loW, hiW := lo/wordBits, hi/wordBits
+	loMask := ^Word(0) << (uint(lo) % wordBits)
+	hiMask := ^Word(0) >> (wordBits - 1 - uint(hi)%wordBits)
+	if loW == hiW {
+		return s[loW]&loMask&hiMask != 0
+	}
+	if s[loW]&loMask != 0 {
+		return true
+	}
+	for w := loW + 1; w < hiW; w++ {
+		if s[w] != 0 {
+			return true
+		}
+	}
+	return s[hiW]&hiMask != 0
+}
+
+// AddRange inserts every integer in the inclusive range [lo, hi],
+// word-parallel. Used to mark whole preorder subtree intervals at once.
+func (s Set) AddRange(lo, hi int) {
+	if lo < 0 {
+		lo = 0
+	}
+	if max := len(s)*wordBits - 1; hi > max {
+		hi = max
+	}
+	if lo > hi {
+		return
+	}
+	loW, hiW := lo/wordBits, hi/wordBits
+	loMask := ^Word(0) << (uint(lo) % wordBits)
+	hiMask := ^Word(0) >> (wordBits - 1 - uint(hi)%wordBits)
+	if loW == hiW {
+		s[loW] |= loMask & hiMask
+		return
+	}
+	s[loW] |= loMask
+	for w := loW + 1; w < hiW; w++ {
+		s[w] = ^Word(0)
+	}
+	s[hiW] |= hiMask
+}
+
+// NextInRange returns the smallest member in [lo, hi], or -1.
+func (s Set) NextInRange(lo, hi int) int {
+	i := s.NextSet(lo)
+	if i < 0 || i > hi {
+		return -1
+	}
+	return i
+}
+
+// Arena recycles word slices across DP-table builds. A minimization run
+// performs one redundancy test per candidate leaf, each needing O(n) rows
+// of O(n/64) words; routing the rows through an arena makes the steady
+// state allocation-free. Arenas are safe for concurrent use (the batch
+// minimizer gives each worker its own to avoid pool contention, but
+// sharing one is correct).
+//
+// The zero Arena is ready to use.
+type Arena struct {
+	pool sync.Pool
+}
+
+// Get returns a zeroed Set with capacity for n bits, reusing a recycled
+// slice when one is large enough.
+func (a *Arena) Get(n int) Set {
+	words := WordsFor(n)
+	if v := a.pool.Get(); v != nil {
+		s := v.(Set)
+		if cap(s) >= words {
+			s = s[:words]
+			s.Reset()
+			return s
+		}
+	}
+	return make(Set, words)
+}
+
+// Put returns a set to the arena for reuse. The caller must not use s
+// afterwards.
+func (a *Arena) Put(s Set) {
+	if s != nil {
+		a.pool.Put(s) //nolint:staticcheck // Set is a slice; boxing is fine here
+	}
+}
+
+// Matrix is a dense table of equal-length rows allocated in one slab —
+// the images tables and DP tables of the execution layer. Row i is the
+// bit-set over columns for node ID i.
+type Matrix struct {
+	rows  int
+	words int
+	bits  Set // rows * words
+}
+
+// NewMatrix allocates a rows x cols bit matrix from the arena (a may be
+// nil for a plain allocation).
+func NewMatrix(a *Arena, rows, cols int) *Matrix {
+	words := WordsFor(cols)
+	var slab Set
+	if a != nil {
+		slab = a.Get(rows * words * wordBits)
+	} else {
+		slab = make(Set, rows*words)
+	}
+	return &Matrix{rows: rows, words: words, bits: slab}
+}
+
+// Release returns the matrix's slab to the arena. The matrix must not be
+// used afterwards.
+func (m *Matrix) Release(a *Arena) {
+	if a != nil && m.bits != nil {
+		a.Put(m.bits)
+	}
+	m.bits = nil
+}
+
+// Row returns row i as a Set sharing the matrix's storage.
+func (m *Matrix) Row(i int) Set { return m.bits[i*m.words : (i+1)*m.words] }
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }

@@ -1,0 +1,189 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New(130)
+	if s.Any() {
+		t.Fatal("new set not empty")
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 128, 129} {
+		s.Add(i)
+		if !s.Has(i) {
+			t.Fatalf("Has(%d) false after Add", i)
+		}
+	}
+	if got := s.Count(); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+	s.Remove(64)
+	if s.Has(64) {
+		t.Fatal("Has(64) true after Remove")
+	}
+	s.Reset()
+	if s.Any() || s.Count() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestWordOps(t *testing.T) {
+	a, b := New(200), New(200)
+	for i := 0; i < 200; i += 2 {
+		a.Add(i)
+	}
+	for i := 0; i < 200; i += 3 {
+		b.Add(i)
+	}
+	and := New(200)
+	and.CopyFrom(a)
+	and.And(b)
+	for i := 0; i < 200; i++ {
+		want := i%2 == 0 && i%3 == 0
+		if and.Has(i) != want {
+			t.Fatalf("And: bit %d = %v, want %v", i, and.Has(i), want)
+		}
+	}
+	andnot := New(200)
+	andnot.CopyFrom(a)
+	andnot.AndNot(b)
+	for i := 0; i < 200; i++ {
+		want := i%2 == 0 && i%3 != 0
+		if andnot.Has(i) != want {
+			t.Fatalf("AndNot: bit %d = %v, want %v", i, andnot.Has(i), want)
+		}
+	}
+	or := New(200)
+	or.CopyFrom(a)
+	or.Or(b)
+	if !or.Intersects(b) || !or.Intersects(a) {
+		t.Fatal("Or result must intersect both inputs")
+	}
+}
+
+func TestNextSet(t *testing.T) {
+	s := New(300)
+	members := []int{3, 64, 65, 190, 299}
+	for _, i := range members {
+		s.Add(i)
+	}
+	got := []int{}
+	for i := s.NextSet(0); i >= 0; i = s.NextSet(i + 1) {
+		got = append(got, i)
+	}
+	if len(got) != len(members) {
+		t.Fatalf("NextSet walk = %v, want %v", got, members)
+	}
+	for k := range got {
+		if got[k] != members[k] {
+			t.Fatalf("NextSet walk = %v, want %v", got, members)
+		}
+	}
+	if s.NextSet(300) != -1 {
+		t.Fatal("NextSet past capacity should be -1")
+	}
+}
+
+// TestIntersectsRange cross-validates the masked word scan against a
+// naive bit loop on random sets and ranges.
+func TestIntersectsRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(300)
+		s := New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(10) == 0 {
+				s.Add(i)
+			}
+		}
+		for rep := 0; rep < 20; rep++ {
+			lo := rng.Intn(n+10) - 5
+			hi := lo + rng.Intn(80) - 5
+			naive := false
+			for i := lo; i <= hi; i++ {
+				if i >= 0 && i < n && s.Has(i) {
+					naive = true
+					break
+				}
+			}
+			if got := s.IntersectsRange(lo, hi); got != naive {
+				t.Fatalf("IntersectsRange(%d,%d) = %v, want %v (n=%d)", lo, hi, got, naive, n)
+			}
+			wantNext := -1
+			for i := lo; i <= hi; i++ {
+				if i >= 0 && i < n && s.Has(i) {
+					wantNext = i
+					break
+				}
+			}
+			if lo >= 0 {
+				if got := s.NextInRange(lo, hi); got != wantNext {
+					t.Fatalf("NextInRange(%d,%d) = %d, want %d", lo, hi, got, wantNext)
+				}
+			}
+		}
+	}
+}
+
+// TestAddRange cross-validates the word-parallel range fill against a
+// naive bit loop on random ranges.
+func TestAddRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(300)
+		s := New(n)
+		want := make([]bool, n)
+		for rep := 0; rep < 5; rep++ {
+			lo := rng.Intn(n+10) - 5
+			hi := lo + rng.Intn(150) - 5
+			s.AddRange(lo, hi)
+			for i := lo; i <= hi; i++ {
+				if i >= 0 && i < n {
+					want[i] = true
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			if s.Has(i) != want[i] {
+				t.Fatalf("trial %d: bit %d = %v, want %v", trial, i, s.Has(i), want[i])
+			}
+		}
+	}
+}
+
+func TestArenaReuse(t *testing.T) {
+	var a Arena
+	s := a.Get(100)
+	s.Add(7)
+	a.Put(s)
+	r := a.Get(90)
+	if r.Has(7) {
+		t.Fatal("recycled set not zeroed")
+	}
+	big := a.Get(10000)
+	if len(big) != WordsFor(10000) {
+		t.Fatalf("Get(10000) len = %d words, want %d", len(big), WordsFor(10000))
+	}
+}
+
+func TestMatrix(t *testing.T) {
+	var a Arena
+	m := NewMatrix(&a, 5, 130)
+	m.Row(2).Add(129)
+	m.Row(3).Add(0)
+	if m.Row(2).Has(0) || !m.Row(2).Has(129) || !m.Row(3).Has(0) {
+		t.Fatal("matrix rows interfere")
+	}
+	if m.Rows() != 5 {
+		t.Fatalf("Rows = %d, want 5", m.Rows())
+	}
+	m.Release(&a)
+	m2 := NewMatrix(&a, 5, 130)
+	for i := 0; i < 5; i++ {
+		if m2.Row(i).Any() {
+			t.Fatal("recycled matrix not zeroed")
+		}
+	}
+}

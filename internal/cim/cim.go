@@ -31,6 +31,7 @@ package cim
 import (
 	"time"
 
+	"tpq/internal/bitset"
 	"tpq/internal/pattern"
 )
 
@@ -61,6 +62,17 @@ type Options struct {
 	// reconsidered. Quadratically more redundancy tests; kept as the
 	// ablation baseline.
 	Naive bool
+
+	// MapTables switches the leaf-redundancy test to the original
+	// nested-map images tables instead of the dense integer-indexed bitset
+	// kernels. Kept as the cross-validation oracle and ablation baseline;
+	// results are identical (the property tests assert it), only slower.
+	MapTables bool
+
+	// Arena, if non-nil, supplies the bitset rows of the dense kernels.
+	// The batch minimizer gives each worker its own arena; nil falls back
+	// to a package-level shared arena.
+	Arena *bitset.Arena
 }
 
 // Minimize returns the unique minimal query equivalent to p, leaving p
@@ -89,7 +101,7 @@ func MinimizeInPlace(p *pattern.Pattern, opts Options) (st Stats) {
 			break
 		}
 		st.Tests++
-		if redundantLeaf(p, l, &st) {
+		if redundantLeaf(p, l, &st, opts) {
 			removeWithTemps(l)
 			st.Removed++
 			if opts.Naive {
@@ -106,7 +118,17 @@ func MinimizeInPlace(p *pattern.Pattern, opts Options) (st Stats) {
 // children) — is redundant. It is the entry point of Figure 3.
 func RedundantLeaf(p *pattern.Pattern, l *pattern.Node) bool {
 	var st Stats
-	return redundantLeaf(p, l, &st)
+	return redundantLeaf(p, l, &st, Options{})
+}
+
+// redundantLeaf dispatches the leaf-redundancy test to the dense
+// integer-indexed kernel or, under Options.MapTables, to the original
+// nested-map implementation.
+func redundantLeaf(p *pattern.Pattern, l *pattern.Node, st *Stats, opts Options) bool {
+	if opts.MapTables {
+		return redundantLeafMap(p, l, st)
+	}
+	return redundantLeafDense(p, l, st, opts.Arena)
 }
 
 // nextCandidate picks the best-ranked effective leaf that is still worth
@@ -163,8 +185,10 @@ func labelCompatible(u, v *pattern.Node) bool {
 	return u.RequiredTypesSubsetOf(v) && v.CondsEntail(u)
 }
 
-// redundantLeaf is Figure 3 with the enhancements of Section 4.
-func redundantLeaf(p *pattern.Pattern, l *pattern.Node, st *Stats) bool {
+// redundantLeafMap is Figure 3 with the enhancements of Section 4, on the
+// original nested-map images tables (see dense.go for the default dense
+// kernel).
+func redundantLeafMap(p *pattern.Pattern, l *pattern.Node, st *Stats) bool {
 	tStart := time.Now()
 	idx := pattern.NewIndex(p)
 

@@ -1,0 +1,210 @@
+package cim
+
+import (
+	"time"
+
+	"tpq/internal/bitset"
+	"tpq/internal/pattern"
+)
+
+// This file is the dense implementation of the Figure 3 images-table
+// procedure: the integer-indexed twin of the nested-map code in cim.go.
+//
+// The pattern is exec-indexed once per redundancy test (dense preorder
+// IDs, subtree intervals, per-label candidate lists — no node-keyed hash
+// maps); the images tables become one flat bit matrix with a row per
+// *permanent* pattern node, each row a bitset over all node IDs.
+// Temporary witness nodes — the overwhelming majority of an augmented
+// query — appear only as columns: they may serve as images but are never
+// requirements, so they need no rows. Initialization — the dominant cost
+// the paper's Figure 7(b) measures — is word-parallel: a node's image row
+// is the AND of the per-type membership bitsets of its required types,
+// with the excluded self-subtree of the tested leaf cleared as one
+// contiguous preorder interval. Pruning uses the same two primitives as
+// the map code, but a d-child's "has an image below s" check is a single
+// IntersectsRange probe instead of a scan of the image set.
+//
+// Children are enumerated by interval walking (first child of i is i+1,
+// the next sibling of c starts at SubtreeEnd(c)+1), so the kernel never
+// needs a node-to-ID map. All rows are drawn from a sync.Pool-backed
+// arena: a minimization run (one redundancy test per candidate leaf)
+// allocates tables only until the pool warms up.
+
+// defaultArena recycles images-table storage across redundancy tests and
+// minimization runs when the caller does not supply an arena.
+var defaultArena bitset.Arena
+
+// redundantLeafDense is Figure 3 with the enhancements of Section 4, on
+// the dense execution layer. It mirrors redundantLeafMap exactly; the
+// package's property tests assert verdict equality on random queries.
+func redundantLeafDense(p *pattern.Pattern, l *pattern.Node, st *Stats, a *bitset.Arena) bool {
+	if a == nil {
+		a = &defaultArena
+	}
+	tStart := time.Now()
+	idx := pattern.NewExecIndex(p)
+	n := idx.Size()
+
+	// Locate l and assign compact row ordinals to the permanent nodes.
+	lid := -1
+	nPerm := 0
+	rowOf := make([]int32, n)
+	for i, v := range idx.Order {
+		if v == l {
+			lid = i
+		}
+		if v.Temp {
+			rowOf[i] = -1
+			continue
+		}
+		rowOf[i] = int32(nPerm)
+		nPerm++
+	}
+
+	// Per-type membership rows, shared by every node requiring the type.
+	typeBits := make(map[pattern.Type]bitset.Set)
+	memberBits := func(t pattern.Type) bitset.Set {
+		if s, ok := typeBits[t]; ok {
+			return s
+		}
+		s := a.Get(n)
+		for _, mi := range idx.Candidates(t) {
+			s.Add(mi)
+		}
+		typeBits[t] = s
+		return s
+	}
+	defer func() {
+		for _, s := range typeBits {
+			a.Put(s)
+		}
+	}()
+
+	// starBits: the images an output node may use.
+	starBits := a.Get(n)
+	defer a.Put(starBits)
+	for i, v := range idx.Order {
+		if v.Star {
+			starBits.Add(i)
+		}
+	}
+
+	// Initialize the images tables. images(l) excludes l itself and any
+	// node of l's temporary subtree — one contiguous preorder interval —
+	// (the endomorphism must avoid what is being deleted); every other
+	// permanent node gets all label-compatible nodes, temporaries included.
+	images := bitset.NewMatrix(a, nPerm, n)
+	defer images.Release(a)
+	for vi, v := range idx.Order {
+		if v.Temp {
+			continue // temporaries are never requirements; no images needed
+		}
+		row := images.Row(int(rowOf[vi]))
+		row.CopyFrom(memberBits(v.Type))
+		for _, t := range v.Extra {
+			if typeIn(v.TempExtra, t) {
+				continue // augmentation extras are capabilities, not obligations
+			}
+			row.And(memberBits(t))
+		}
+		if v.Star {
+			row.And(starBits)
+		}
+		if len(v.Conds) > 0 {
+			// An image must entail v's value conditions; checked per
+			// surviving candidate (rare: most nodes carry no conditions).
+			for mi := row.NextSet(0); mi >= 0; mi = row.NextSet(mi + 1) {
+				if !idx.NodeAt(mi).CondsEntail(v) {
+					row.Remove(mi)
+				}
+			}
+		}
+		if vi == lid {
+			for mi := lid; mi <= idx.SubtreeEnd(lid); mi++ {
+				row.Remove(mi)
+			}
+		}
+	}
+	st.TablesTime += time.Since(tStart)
+
+	if !images.Row(int(rowOf[lid])).Any() {
+		return false
+	}
+
+	marked := make([]bool, n)
+	marked[lid] = true
+
+	// minimizeImages prunes the image sets of vi's permanent descendants
+	// and then of vi itself, marking processed nodes so shared work is not
+	// repeated across the upward walk.
+	var minimize func(vi int)
+	minimize = func(vi int) {
+		if marked[vi] {
+			return
+		}
+		marked[vi] = true
+		end := idx.SubtreeEnd(vi)
+		hasReq := false
+		for ci := vi + 1; ci <= end; ci = idx.SubtreeEnd(ci) + 1 {
+			if !idx.NodeAt(ci).Temp {
+				hasReq = true
+				minimize(ci)
+			}
+		}
+		if !hasReq {
+			return
+		}
+		row := images.Row(int(rowOf[vi]))
+		for si := row.NextSet(0); si >= 0; si = row.NextSet(si + 1) {
+			for ci := vi + 1; ci <= end; ci = idx.SubtreeEnd(ci) + 1 {
+				c := idx.NodeAt(ci)
+				if c.Temp {
+					continue
+				}
+				if !hasImageUnderDense(c.Edge, ci, si, images.Row(int(rowOf[ci])), idx) {
+					row.Remove(si)
+					break
+				}
+			}
+		}
+	}
+
+	for vi := idx.ParentID(lid); vi >= 0; vi = idx.ParentID(vi) {
+		minimize(vi)
+		row := images.Row(int(rowOf[vi]))
+		if !row.Any() {
+			return false
+		}
+		if vi != 0 && row.Has(vi) {
+			// subtree(vi) maps into itself with vi fixed; extend with the
+			// identity outside subtree(vi).
+			return true
+		}
+	}
+	return images.Row(int(rowOf[0])).Any()
+}
+
+func typeIn(ts []pattern.Type, t pattern.Type) bool {
+	for _, x := range ts {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}
+
+// hasImageUnderDense reports whether the pattern child with ID ci (edge
+// kind given) has a surviving image correctly related to the candidate
+// image with ID si of its parent.
+func hasImageUnderDense(edge pattern.EdgeKind, ci, si int, cImages bitset.Set, idx *pattern.Index) bool {
+	end := idx.SubtreeEnd(si)
+	if edge == pattern.Child {
+		for wi := si + 1; wi <= end; wi = idx.SubtreeEnd(wi) + 1 {
+			if idx.NodeAt(wi).Edge == pattern.Child && cImages.Has(wi) {
+				return true
+			}
+		}
+		return false
+	}
+	return cImages.IntersectsRange(si+1, end)
+}

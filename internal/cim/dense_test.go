@@ -1,0 +1,59 @@
+package cim
+
+import (
+	"math/rand"
+	"testing"
+
+	"tpq/internal/chase"
+	"tpq/internal/genquery"
+	"tpq/internal/pattern"
+)
+
+// TestDenseMatchesMapMinimize cross-validates full minimization: the dense
+// images tables and the nested-map oracle must produce byte-identical
+// minimal queries and identical statistics on random inputs.
+func TestDenseMatchesMapMinimize(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 400; trial++ {
+		q := genquery.Random(rng, 1+rng.Intn(14), 3)
+		a := q.Clone()
+		stA := MinimizeInPlace(a, Options{})
+		b := q.Clone()
+		stB := MinimizeInPlace(b, Options{MapTables: true})
+		if a.String() != b.String() {
+			t.Fatalf("trial %d: outputs differ\ninput = %s\ndense = %s\nmap   = %s",
+				trial, q, a, b)
+		}
+		if stA.Removed != stB.Removed || stA.Tests != stB.Tests {
+			t.Fatalf("trial %d: stats differ: dense removed=%d tests=%d, map removed=%d tests=%d",
+				trial, stA.Removed, stA.Tests, stB.Removed, stB.Tests)
+		}
+	}
+}
+
+// TestDenseMatchesMapVerdicts cross-validates the per-leaf redundancy
+// verdict on augmented queries, so temporaries — image candidates that are
+// never requirements — exercise the dense kernel's row elision.
+func TestDenseMatchesMapVerdicts(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 250; trial++ {
+		q := genquery.Random(rng, 2+rng.Intn(10), 3)
+		cs := genquery.RandomConstraints(rng, 4, 3).Closure()
+		chase.Augment(q, cs)
+		var leaves []*pattern.Node
+		q.Walk(func(n *pattern.Node) {
+			if !n.Star && !n.Temp && effectiveLeaf(n) {
+				leaves = append(leaves, n)
+			}
+		})
+		for _, l := range leaves {
+			var stD, stM Stats
+			got := redundantLeafDense(q, l, &stD, nil)
+			want := redundantLeafMap(q, l, &stM)
+			if got != want {
+				t.Fatalf("trial %d: verdict differs for leaf %s: dense=%v map=%v\nquery = %s",
+					trial, l.Type, got, want, q)
+			}
+		}
+	}
+}

@@ -17,15 +17,26 @@
 // drawn from an unbounded alphabet and no wildcards, Q ⊆ P holds iff such a
 // mapping P → Q exists; package tests cross-validate this against
 // brute-force evaluation over canonical databases.
+//
+// Two implementations of the mapping search coexist. FindMapping runs on
+// the integer-indexed execution layer: feasibility rows are bitsets over
+// dense preorder node IDs (package bitset), seeded from the index's
+// per-label candidate lists, with descendant checks answered by one
+// preorder-interval probe per row. FindMappingMap is the original
+// nested-map dynamic program, kept as the cross-validation oracle.
 package containment
 
 import (
+	"tpq/internal/bitset"
 	"tpq/internal/pattern"
 )
 
 // Mapping is a witness containment mapping from the nodes of one pattern to
 // the nodes of another.
 type Mapping map[*pattern.Node]*pattern.Node
+
+// arena recycles feasibility-row storage across mapping searches.
+var arena bitset.Arena
 
 // Exists reports whether a containment mapping from p to q exists.
 func Exists(p, q *pattern.Pattern) bool {
@@ -35,11 +46,93 @@ func Exists(p, q *pattern.Pattern) bool {
 // FindMapping returns a containment mapping from p to q, or nil if none
 // exists.
 //
-// It runs the standard bottom-up dynamic program: for each node u of p (in
-// postorder) and each node v of q, canMap(u,v) holds iff u's label is
-// compatible with v's and every child of u can be mapped under v with the
-// right structural relationship. Worst-case time O(|p|·|q|·(maxFanout·|q|)).
+// It runs the standard bottom-up dynamic program on the dense execution
+// layer: for each node u of p (children before parent, by walking the
+// preorder IDs in reverse) the feasible images form a bitset row over q's
+// preorder IDs. Rows are seeded from q's per-label candidate list for u's
+// primary type — only label-compatible nodes are ever visited — and a
+// d-child's structural check is a single IntersectsRange probe of the
+// child's row against the candidate's preorder interval. Children on both
+// sides are enumerated by interval walking, so no node-keyed maps are
+// built. Worst-case time O(|p|·|q|·(maxFanout + |q|/64)).
 func FindMapping(p, q *pattern.Pattern) Mapping {
+	if p == nil || p.Root == nil || q == nil || q.Root == nil {
+		return nil
+	}
+	qIdx := pattern.NewExecIndex(q)
+	pIdx := pattern.NewExecIndex(p)
+	np, nq := pIdx.Size(), qIdx.Size()
+
+	rows := bitset.NewMatrix(&arena, np, nq)
+	defer rows.Release(&arena)
+
+	// Reverse preorder visits every node after all of its descendants.
+	for ui := np - 1; ui >= 0; ui-- {
+		u := pIdx.NodeAt(ui)
+		row := rows.Row(ui)
+		uEnd := pIdx.SubtreeEnd(ui)
+	candidates:
+		for _, vi := range qIdx.Candidates(u.Type) {
+			if !labelCompatible(u, qIdx.NodeAt(vi)) {
+				continue
+			}
+			for ci := ui + 1; ci <= uEnd; ci = pIdx.SubtreeEnd(ci) + 1 {
+				if pickChildImageDense(pIdx.NodeAt(ci).Edge, vi, rows.Row(ci), qIdx) < 0 {
+					continue candidates
+				}
+			}
+			row.Add(vi)
+		}
+	}
+
+	// Pick any image for the root, then reconstruct the mapping top-down by
+	// choosing, for each child, a compatible image under its parent's image.
+	rootImage := rows.Row(0).NextSet(0)
+	if rootImage < 0 {
+		return nil
+	}
+	m := Mapping{p.Root: qIdx.NodeAt(rootImage)}
+	var build func(ui, vi int) bool
+	build = func(ui, vi int) bool {
+		uEnd := pIdx.SubtreeEnd(ui)
+		for ci := ui + 1; ci <= uEnd; ci = pIdx.SubtreeEnd(ci) + 1 {
+			img := pickChildImageDense(pIdx.NodeAt(ci).Edge, vi, rows.Row(ci), qIdx)
+			if img < 0 {
+				return false // cannot happen if the DP is correct
+			}
+			m[pIdx.NodeAt(ci)] = qIdx.NodeAt(img)
+			if !build(ci, img) {
+				return false
+			}
+		}
+		return true
+	}
+	if !build(0, rootImage) {
+		return nil
+	}
+	return m
+}
+
+// pickChildImageDense returns the ID of a feasible image (per row) of a
+// pattern child with the given edge kind, correctly related to candidate
+// parent image vi, or -1.
+func pickChildImageDense(edge pattern.EdgeKind, vi int, row bitset.Set, qIdx *pattern.Index) int {
+	end := qIdx.SubtreeEnd(vi)
+	if edge == pattern.Child {
+		for wi := vi + 1; wi <= end; wi = qIdx.SubtreeEnd(wi) + 1 {
+			if qIdx.NodeAt(wi).Edge == pattern.Child && row.Has(wi) {
+				return wi
+			}
+		}
+		return -1
+	}
+	return row.NextInRange(vi+1, end)
+}
+
+// FindMappingMap is the original nested-map implementation of the mapping
+// search, kept as the oracle the property tests cross-validate the dense
+// kernel against. Worst-case time O(|p|·|q|·(maxFanout·|q|)).
+func FindMappingMap(p, q *pattern.Pattern) Mapping {
 	if p == nil || p.Root == nil || q == nil || q.Root == nil {
 		return nil
 	}
@@ -73,8 +166,6 @@ func FindMapping(p, q *pattern.Pattern) Mapping {
 	}
 	compute(p.Root)
 
-	// Pick any image for the root, then reconstruct the mapping top-down by
-	// choosing, for each child, a compatible image under its parent's image.
 	var rootImage *pattern.Node
 	for _, v := range qNodes {
 		if canMap[p.Root][v] {
@@ -91,7 +182,7 @@ func FindMapping(p, q *pattern.Pattern) Mapping {
 		for _, c := range u.Children {
 			img := pickChildImage(c, m[u], canMap[c], qIdx)
 			if img == nil {
-				return false // cannot happen if the DP is correct
+				return false
 			}
 			m[c] = img
 			if !build(c) {
@@ -104,6 +195,12 @@ func FindMapping(p, q *pattern.Pattern) Mapping {
 		return nil
 	}
 	return m
+}
+
+// ExistsMap reports whether a containment mapping exists, using the
+// map-based oracle.
+func ExistsMap(p, q *pattern.Pattern) bool {
+	return FindMappingMap(p, q) != nil
 }
 
 // labelCompatible implements condition (1): type-set inclusion plus output

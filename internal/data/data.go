@@ -100,6 +100,13 @@ func (n *Node) IsAncestorOf(m *Node) bool {
 	return n.in < m.in && m.out <= n.out
 }
 
+// SubtreeEnd returns the largest preorder ID in n's subtree: IDs are
+// assigned in preorder, so subtree(n) occupies exactly the contiguous ID
+// interval [n.ID, n.SubtreeEnd()]. Valid only after Forest.Reindex.
+func (n *Node) SubtreeEnd() int {
+	return n.ID + (n.out - n.in)
+}
+
 // Forest is a tree-structured database: an ordered collection of data
 // trees. Order is for reproducibility only; the data model is unordered.
 type Forest struct {

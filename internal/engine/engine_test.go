@@ -1,0 +1,135 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"tpq/internal/acim"
+	"tpq/internal/cdm"
+	"tpq/internal/cim"
+	"tpq/internal/genquery"
+	"tpq/internal/ics"
+	"tpq/internal/pattern"
+)
+
+// workload builds a mixed batch of generated queries with redundancy.
+func workload(t *testing.T, n int) []*pattern.Pattern {
+	t.Helper()
+	var qs []*pattern.Pattern
+	for i := 0; i < n; i++ {
+		switch i % 4 {
+		case 0:
+			qs = append(qs, genquery.Redundant(8+i%5, 2, 2))
+		case 1:
+			q, _ := genquery.Chain(5 + i%7)
+			qs = append(qs, q)
+		case 2:
+			q, _ := genquery.Bushy(7+i%3, 2)
+			qs = append(qs, q)
+		default:
+			q, _ := genquery.Star(4 + i%6)
+			qs = append(qs, q)
+		}
+	}
+	return qs
+}
+
+// TestBatchMatchesSequential checks that every worker count produces
+// exactly the per-query sequential result, for every algorithm.
+func TestBatchMatchesSequential(t *testing.T) {
+	qs := workload(t, 24)
+	cs := ics.NewSet(ics.Child("t0", "t1"), ics.Desc("t1", "t2"))
+
+	for _, algo := range []Algo{Auto, CIM, CDM, ACIM} {
+		var want []string
+		closed := cs.Closure()
+		for _, q := range qs {
+			var out *pattern.Pattern
+			switch algo {
+			case CIM:
+				out = cim.Minimize(q)
+			case CDM:
+				out = q.Clone()
+				cdm.MinimizeInPlace(out, closed)
+			case ACIM:
+				out = acim.Minimize(q, closed)
+			default:
+				pre := q.Clone()
+				cdm.MinimizeInPlace(pre, closed)
+				out = acim.Minimize(pre, closed)
+			}
+			want = append(want, out.String())
+		}
+
+		for _, workers := range []int{1, 3, 8} {
+			m := New(Options{Workers: workers, Algo: algo, Constraints: cs})
+			results := m.MinimizeBatch(qs)
+			if len(results) != len(qs) {
+				t.Fatalf("algo=%s workers=%d: %d results for %d queries", algo, workers, len(results), len(qs))
+			}
+			for i, r := range results {
+				if r.Input != qs[i] {
+					t.Fatalf("algo=%s workers=%d: result %d out of order", algo, workers, i)
+				}
+				if got := r.Output.String(); got != want[i] {
+					t.Errorf("algo=%s workers=%d query %d:\n got  %s\n want %s", algo, workers, i, got, want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestInputNotMutated checks that batch minimization leaves the input
+// patterns untouched.
+func TestInputNotMutated(t *testing.T) {
+	qs := workload(t, 8)
+	var before []string
+	for _, q := range qs {
+		before = append(before, q.String())
+	}
+	New(Options{Workers: 4}).MinimizeBatch(qs)
+	for i, q := range qs {
+		if q.String() != before[i] {
+			t.Fatalf("query %d mutated:\n was  %s\n now  %s", i, before[i], q.String())
+		}
+	}
+}
+
+// TestEmptyAndSmallBatches exercises the pool edge cases.
+func TestEmptyAndSmallBatches(t *testing.T) {
+	m := New(Options{Workers: 8})
+	if got := m.MinimizeBatch(nil); len(got) != 0 {
+		t.Fatalf("nil batch: %d results", len(got))
+	}
+	one := m.MinimizeBatch([]*pattern.Pattern{genquery.Redundant(8, 2, 2)})
+	if len(one) != 1 || one[0].Output == nil {
+		t.Fatal("single-query batch failed")
+	}
+	if one[0].Removed == 0 {
+		t.Error("Redundant(5,2) should lose nodes")
+	}
+}
+
+// TestRemovedCounts checks the reported Removed against the size delta.
+func TestRemovedCounts(t *testing.T) {
+	qs := workload(t, 12)
+	for _, r := range New(Options{Algo: CIM}).MinimizeBatch(qs) {
+		if want := r.Input.Size() - r.Output.Size(); r.Removed != want {
+			t.Errorf("Removed = %d, size delta = %d for %s", r.Removed, want, r.Input)
+		}
+	}
+}
+
+func ExampleMinimizer() {
+	qs := []*pattern.Pattern{
+		pattern.MustParse("a*[/b, /b[/c], //c]"),
+		pattern.MustParse("x*[//y, //y[//z]]"),
+	}
+	m := New(Options{Workers: 2, Algo: CIM})
+	for _, r := range m.MinimizeBatch(qs) {
+		fmt.Printf("%s -> %s (removed %d)\n", r.Input, r.Output, r.Removed)
+	}
+	// Output:
+	// a*[//c, /b, /b/c] -> a*/b/c (removed 2)
+	// x*[//y, //y//z] -> x*//y//z (removed 1)
+}

@@ -17,9 +17,9 @@ func TestCountEmbeddingsBasic(t *testing.T) {
 	}{
 		{"Book*", 2},
 		{"Book*/Title", 2},
-		{"Library*/Book", 2},     // one embedding per Book child choice
-		{"Library*[/Book]", 2},   // same pattern, bracket syntax
-		{"Library*//Title", 2},   // Title at two descendants
+		{"Library*/Book", 2},   // one embedding per Book child choice
+		{"Library*[/Book]", 2}, // same pattern, bracket syntax
+		{"Library*//Title", 2}, // Title at two descendants
 		{"Book*[/Title, /Author]", 1},
 		{"Missing*", 0},
 		{"Title*", 2},

@@ -1,0 +1,87 @@
+package match
+
+import (
+	"math/rand"
+	"testing"
+
+	"tpq/internal/data"
+	"tpq/internal/genquery"
+	"tpq/internal/pattern"
+)
+
+// denseForest returns a generated forest over the same type alphabet
+// genquery.Random draws from, so patterns and data collide often.
+func denseForest(t *testing.T, rng *rand.Rand, size int) *data.Forest {
+	t.Helper()
+	f, err := data.Generate(rng, data.GenOptions{
+		Size:  size,
+		Types: []pattern.Type{"t0", "t1", "t2", "t3"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestBindingsDenseMatchesMap cross-validates the dense bitset engine
+// against the original flat-scan implementation, node by node.
+func TestBindingsDenseMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 120; trial++ {
+		f := denseForest(t, rng, 30+rng.Intn(200))
+		q := genquery.Random(rng, 1+rng.Intn(10), 4)
+		dense := Bindings(q, f)
+		oracle := BindingsMap(q, f)
+		if len(dense) != len(oracle) {
+			t.Fatalf("trial %d: %d vs %d bound nodes", trial, len(dense), len(oracle))
+		}
+		for u, want := range oracle {
+			got := dense[u]
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: node %s binds %d vs %d data nodes\nquery = %s",
+					trial, u.Type, len(got), len(want), q)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d: node %s binding %d: ID %d vs %d",
+						trial, u.Type, i, got[i].ID, want[i].ID)
+				}
+			}
+		}
+	}
+}
+
+// TestCountEmbeddingsDenseMatchesMap cross-validates the flat-row
+// embedding counter against the nested-map oracle.
+func TestCountEmbeddingsDenseMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 120; trial++ {
+		f := denseForest(t, rng, 30+rng.Intn(150))
+		q := genquery.Random(rng, 1+rng.Intn(8), 4)
+		got := CountEmbeddings(q, f)
+		want := CountEmbeddingsMap(q, f)
+		if got.Cmp(want) != 0 {
+			t.Fatalf("trial %d: %s vs %s embeddings\nquery = %s", trial, got, want, q)
+		}
+	}
+}
+
+// TestAnswersIndexedMatchesDense cross-validates the structural-join
+// engine against the dense engine (both rewrites, one oracle chain).
+func TestAnswersIndexedMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 80; trial++ {
+		f := denseForest(t, rng, 30+rng.Intn(200))
+		q := genquery.Random(rng, 1+rng.Intn(10), 4)
+		dense := Answers(q, f)
+		joined := AnswersIndexed(q, NewForestIndex(f))
+		if len(dense) != len(joined) {
+			t.Fatalf("trial %d: %d vs %d answers\nquery = %s", trial, len(dense), len(joined), q)
+		}
+		for i := range dense {
+			if dense[i] != joined[i] {
+				t.Fatalf("trial %d: answer %d differs", trial, i)
+			}
+		}
+	}
+}

@@ -3,6 +3,7 @@ package match
 import (
 	"sort"
 
+	"tpq/internal/bitset"
 	"tpq/internal/data"
 	"tpq/internal/pattern"
 )
@@ -21,10 +22,15 @@ import (
 // inputs, and a benchmark compares them.
 
 // ForestIndex is an inverted index from type to the nodes carrying it, in
-// document order. Build once per forest, reuse across queries.
+// document order. Build once per forest, reuse across queries — both the
+// structural-join engine here and the dense Bindings/CountEmbeddings
+// engines draw their candidates from it.
 type ForestIndex struct {
 	forest *data.Forest
 	byType map[pattern.Type][]*data.Node
+	// bits caches, per type, the bitset over node IDs of byType[t]; built
+	// lazily by typeBits and shared by every pattern node requiring t.
+	bits map[pattern.Type]bitset.Set
 	// pos maps a node to its position in the document-order numbering used
 	// for interval reasoning (its preorder ID).
 }
@@ -38,6 +44,52 @@ func NewForestIndex(f *data.Forest) *ForestIndex {
 		}
 	}
 	return idx
+}
+
+// typeBits returns the cached bitset of node IDs carrying t. The returned
+// set is owned by the index: callers must CopyFrom it, never mutate it.
+func (idx *ForestIndex) typeBits(t pattern.Type) bitset.Set {
+	if s, ok := idx.bits[t]; ok {
+		return s
+	}
+	if idx.bits == nil {
+		idx.bits = make(map[pattern.Type]bitset.Set)
+	}
+	s := bitset.New(idx.forest.Size())
+	for _, v := range idx.byType[t] {
+		s.Add(v.ID)
+	}
+	idx.bits[t] = s
+	return s
+}
+
+// candidateBits overwrites row with the IDs of the nodes satisfying u's
+// local requirements: the intersection of the per-type membership bitsets
+// of u's required types, minus any node failing u's value conditions. The
+// row must have capacity for the forest size.
+func (idx *ForestIndex) candidateBits(u *pattern.Node, row bitset.Set) {
+	row.CopyFrom(idx.typeBits(u.Type))
+	for _, t := range u.Extra {
+		row.And(idx.typeBits(t))
+	}
+	if len(u.Conds) == 0 {
+		return
+	}
+	nodes := idx.forest.Nodes()
+	for vi := row.NextSet(0); vi >= 0; vi = row.NextSet(vi + 1) {
+		v := nodes[vi]
+		ok := true
+		for _, c := range u.Conds {
+			val, has := v.Attrs[c.Attr]
+			if !has || !c.Holds(val) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			row.Remove(vi)
+		}
+	}
 }
 
 // Candidates returns the nodes satisfying the pattern node's local

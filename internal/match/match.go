@@ -18,9 +18,13 @@ package match
 import (
 	"sort"
 
+	"tpq/internal/bitset"
 	"tpq/internal/data"
 	"tpq/internal/pattern"
 )
+
+// arena recycles DP-row storage across evaluations.
+var arena bitset.Arena
 
 // Answers returns the answer set of p over f: the data nodes the output
 // node binds to across all embeddings, in document (preorder) order,
@@ -46,12 +50,110 @@ func Count(p *pattern.Pattern, f *data.Forest) int {
 //
 //   - Bottom-up over the pattern: sat(u) = data nodes v whose subtree can
 //     embed subtree(u) with u ↦ v. For a d-child this needs "v has a proper
-//     descendant in sat(c)", computed in one bottom-up pass over the data
-//     per pattern child.
+//     descendant in sat(c)" — one IntersectsRange probe of the child's row
+//     against v's preorder subtree interval.
 //   - Top-down: bind(root) = sat(root); bind(c) for a child of u keeps only
 //     nodes of sat(c) lying under some bound image of u with the right
 //     relationship.
+//
+// It runs on the dense execution layer: the per-pattern-node sets are
+// bitset rows over data preorder IDs, seeded from a per-type inverted
+// index built once per call and shared by all pattern nodes. BindingsMap
+// is the original flat-scan implementation, kept as the oracle the
+// property tests cross-validate against.
 func Bindings(p *pattern.Pattern, f *data.Forest) map[*pattern.Node][]*data.Node {
+	if p == nil || p.Root == nil || f == nil || f.Size() == 0 {
+		return map[*pattern.Node][]*data.Node{}
+	}
+	return BindingsIndexed(p, NewForestIndex(f))
+}
+
+// BindingsIndexed is Bindings over a prebuilt forest index, for callers
+// evaluating many patterns against one forest.
+func BindingsIndexed(p *pattern.Pattern, idx *ForestIndex) map[*pattern.Node][]*data.Node {
+	if p == nil || p.Root == nil || idx == nil || idx.forest.Size() == 0 {
+		return map[*pattern.Node][]*data.Node{}
+	}
+	nodes := idx.forest.Nodes()
+	n := len(nodes)
+	pIdx := pattern.NewExecIndex(p)
+	k := pIdx.Size()
+
+	sat := bitset.NewMatrix(&arena, k, n)
+	defer sat.Release(&arena)
+
+	// Bottom-up: reverse preorder visits every pattern node after its
+	// children. Children are enumerated by interval walking.
+	for ui := k - 1; ui >= 0; ui-- {
+		row := sat.Row(ui)
+		idx.candidateBits(pIdx.NodeAt(ui), row)
+		uEnd := pIdx.SubtreeEnd(ui)
+		for ci := ui + 1; ci <= uEnd && row.Any(); ci = pIdx.SubtreeEnd(ci) + 1 {
+			cRow := sat.Row(ci)
+			if pIdx.NodeAt(ci).Edge == pattern.Child {
+				hasChild := arena.Get(n)
+				for vi := cRow.NextSet(0); vi >= 0; vi = cRow.NextSet(vi + 1) {
+					if par := nodes[vi].Parent; par != nil {
+						hasChild.Add(par.ID)
+					}
+				}
+				row.And(hasChild)
+				arena.Put(hasChild)
+			} else {
+				for vi := row.NextSet(0); vi >= 0; vi = row.NextSet(vi + 1) {
+					if !cRow.IntersectsRange(vi+1, nodes[vi].SubtreeEnd()) {
+						row.Remove(vi)
+					}
+				}
+			}
+		}
+	}
+
+	// Top-down restriction. Preorder: a node's bound set is final before
+	// its children's are derived from it.
+	bind := bitset.NewMatrix(&arena, k, n)
+	defer bind.Release(&arena)
+	bind.Row(0).CopyFrom(sat.Row(0))
+	for ui := 0; ui < k; ui++ {
+		bu := bind.Row(ui)
+		uEnd := pIdx.SubtreeEnd(ui)
+		for ci := ui + 1; ci <= uEnd; ci = pIdx.SubtreeEnd(ci) + 1 {
+			bc := bind.Row(ci)
+			if pIdx.NodeAt(ci).Edge == pattern.Child {
+				cRow := sat.Row(ci)
+				for vi := bu.NextSet(0); vi >= 0; vi = bu.NextSet(vi + 1) {
+					for _, ch := range nodes[vi].Children {
+						if cRow.Has(ch.ID) {
+							bc.Add(ch.ID)
+						}
+					}
+				}
+			} else {
+				// Union of the bound images' subtree intervals, then mask.
+				for vi := bu.NextSet(0); vi >= 0; vi = bu.NextSet(vi + 1) {
+					bc.AddRange(vi+1, nodes[vi].SubtreeEnd())
+				}
+				bc.And(sat.Row(ci))
+			}
+		}
+	}
+
+	out := make(map[*pattern.Node][]*data.Node, k)
+	for ui := 0; ui < k; ui++ {
+		row := bind.Row(ui)
+		var list []*data.Node
+		for vi := row.NextSet(0); vi >= 0; vi = row.NextSet(vi + 1) {
+			list = append(list, nodes[vi])
+		}
+		out[pIdx.NodeAt(ui)] = list
+	}
+	return out
+}
+
+// BindingsMap is the original implementation of Bindings on per-node
+// boolean slices with full-forest scans, kept as the cross-validation
+// oracle for the dense engine.
+func BindingsMap(p *pattern.Pattern, f *data.Forest) map[*pattern.Node][]*data.Node {
 	if p == nil || p.Root == nil || f == nil || f.Size() == 0 {
 		return map[*pattern.Node][]*data.Node{}
 	}

@@ -543,27 +543,65 @@ func (p *Pattern) Validate() error {
 // them. Intervals answer ancestor/descendant queries in O(1): m is a proper
 // descendant of n iff n.In < m.In && m.Out <= n.Out. The index is a
 // snapshot; it becomes stale if the pattern is edited.
+//
+// The index is also the pattern side of the integer-indexed execution
+// layer: every node gets a stable dense ID (its 0-based preorder
+// position), subtree membership becomes a contiguous ID interval
+// [i+1, SubtreeEnd(i)], and per-label candidate lists enumerate the nodes
+// carrying a type. The dense DP kernels in containment, cim and match
+// address their bitset rows by these IDs.
 type Index struct {
 	In, Out map[*Node]int
-	Order   []*Node // preorder
+	Order   []*Node // preorder; Order[i] has ID i
+
+	id     map[*Node]int
+	end    []int          // end[i]: largest ID in subtree(Order[i])
+	parent []int          // parent[i]: ID of Order[i]'s parent, -1 at root
+	byType map[Type][]int // type -> ascending IDs of nodes carrying it
 }
 
-// NewIndex builds the preorder interval index for p.
+// NewIndex builds the full preorder interval index for p: the dense
+// execution layer plus the node-keyed In/Out/ID maps.
 func NewIndex(p *Pattern) *Index {
-	idx := &Index{In: make(map[*Node]int), Out: make(map[*Node]int)}
-	t := 0
-	var rec func(*Node)
-	rec = func(n *Node) {
-		t++
-		idx.In[n] = t
+	idx := NewExecIndex(p)
+	n := len(idx.Order)
+	idx.In = make(map[*Node]int, n)
+	idx.Out = make(map[*Node]int, n)
+	idx.id = make(map[*Node]int, n)
+	for i, v := range idx.Order {
+		idx.In[v] = i + 1
+		idx.Out[v] = idx.end[i] + 1
+		idx.id[v] = i
+	}
+	return idx
+}
+
+// NewExecIndex builds only the dense, integer-addressed part of the index:
+// Order, subtree intervals, parent IDs and per-label candidate lists. It
+// skips the three node-keyed hash maps, which dominate NewIndex's cost on
+// large (augmented) patterns. The node-keyed accessors — ID, IsDescendant,
+// In, Out — are unavailable on an exec index; the dense kernels address
+// nodes purely by preorder position (children of i are found by walking
+// subtree intervals: the first is i+1, each next sibling starts at
+// SubtreeEnd(prev)+1).
+func NewExecIndex(p *Pattern) *Index {
+	idx := &Index{byType: make(map[Type][]int)}
+	var rec func(*Node, int)
+	rec = func(n *Node, parent int) {
+		i := len(idx.Order)
 		idx.Order = append(idx.Order, n)
-		for _, c := range n.Children {
-			rec(c)
+		idx.end = append(idx.end, i)
+		idx.parent = append(idx.parent, parent)
+		for _, typ := range n.Types() {
+			idx.byType[typ] = append(idx.byType[typ], i)
 		}
-		idx.Out[n] = t
+		for _, c := range n.Children {
+			rec(c, i)
+		}
+		idx.end[i] = len(idx.Order) - 1
 	}
 	if p != nil && p.Root != nil {
-		rec(p.Root)
+		rec(p.Root, -1)
 	}
 	return idx
 }
@@ -573,3 +611,30 @@ func NewIndex(p *Pattern) *Index {
 func (idx *Index) IsDescendant(m, n *Node) bool {
 	return idx.In[n] < idx.In[m] && idx.Out[m] <= idx.Out[n]
 }
+
+// Size returns the number of indexed nodes.
+func (idx *Index) Size() int { return len(idx.Order) }
+
+// ID returns the dense preorder ID of n (0-based). n must belong to the
+// indexed pattern, and the index must have been built with NewIndex (an
+// exec index carries no node-keyed map).
+func (idx *Index) ID(n *Node) int { return idx.id[n] }
+
+// NodeAt returns the node with ID i.
+func (idx *Index) NodeAt(i int) *Node { return idx.Order[i] }
+
+// SubtreeEnd returns the largest ID in the subtree rooted at the node with
+// ID i; the proper descendants of i are exactly the IDs in
+// [i+1, SubtreeEnd(i)].
+func (idx *Index) SubtreeEnd(i int) int { return idx.end[i] }
+
+// ParentID returns the ID of node i's parent, or -1 for the root.
+func (idx *Index) ParentID(i int) int { return idx.parent[i] }
+
+// IsDescendantID reports whether ID m is a proper descendant of ID n.
+func (idx *Index) IsDescendantID(m, n int) bool { return n < m && m <= idx.end[n] }
+
+// Candidates returns the IDs of the nodes carrying type t (primary or
+// extra), in ascending preorder. The returned slice is owned by the index
+// and must not be modified.
+func (idx *Index) Candidates(t Type) []int { return idx.byType[t] }

@@ -40,6 +40,7 @@ import (
 	"tpq/internal/cim"
 	"tpq/internal/containment"
 	"tpq/internal/data"
+	"tpq/internal/engine"
 	"tpq/internal/genquery"
 	"tpq/internal/ics"
 	"tpq/internal/match"
@@ -191,6 +192,22 @@ func MinimizeReport(p *Pattern, cs *Constraints) (*Pattern, Report) {
 	r.OutputSize = out.Size()
 	r.Unsatisfiable = acim.UnsatisfiableUnder(p, closed)
 	return out, r
+}
+
+// MinimizeBatch minimizes every query under cs (which may be nil) over a
+// pool of workers goroutines (0 means all CPUs), using the same CDM+ACIM
+// pipeline as MinimizeUnderConstraints. Results are returned in input
+// order; the inputs are never modified. Use it to minimize a workload of
+// queries — throughput scales with the worker count while each worker
+// reuses its own scratch memory across queries.
+func MinimizeBatch(queries []*Pattern, cs *Constraints, workers int) []*Pattern {
+	m := engine.New(engine.Options{Workers: workers, Constraints: cs})
+	results := m.MinimizeBatch(queries)
+	out := make([]*Pattern, len(results))
+	for i, r := range results {
+		out[i] = r.Output
+	}
+	return out
 }
 
 // Contains reports whether p contains q: on every database, q's answers
