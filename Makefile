@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check build vet test race bench fmt
+.PHONY: check build vet test race race-service fmtcheck bench fmt
 
 # The gate every change must pass before commit.
-check: build vet race
+check: build vet fmtcheck race race-service
 
 build:
 	$(GO) build ./...
@@ -11,11 +11,22 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Fails (and lists the files) when anything is not gofmt-clean.
+fmtcheck:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
+
+# The serving layer's concurrency tests (cache, singleflight, shutdown)
+# get their own race pass so `check` exercises them even if the full
+# race matrix is ever trimmed.
+race-service:
+	$(GO) test -race ./internal/service/...
 
 # Pinned representative benchmark points (full sweeps: cmd/tpqbench).
 bench:

@@ -322,6 +322,46 @@ func BenchmarkBatchMinimize(b *testing.B) {
 	}
 }
 
+// --- Serving layer --------------------------------------------------------
+
+// BenchmarkServiceThroughput measures a repeated workload (8 distinct
+// queries × 8 occurrences each) through the per-call pipeline
+// (MinimizeUnderConstraints semantics: closure + CDM+ACIM every request),
+// a cold cached Minimizer (one pipeline run per distinct query), and a hot
+// one (every request a cache hit). bench_results.txt records the spread.
+func BenchmarkServiceThroughput(b *testing.B) {
+	distinct, workload := bench.ServiceWorkload(8, 8)
+	_, cs := bench.BatchWorkload(8)
+
+	b.Run("uncached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range workload {
+				MinimizeUnderConstraints(q, cs)
+			}
+		}
+	})
+	b.Run("cached-cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m := NewMinimizer(MinimizerOptions{Constraints: cs})
+			for _, q := range workload {
+				m.Minimize(q)
+			}
+		}
+	})
+	b.Run("cached-hot", func(b *testing.B) {
+		m := NewMinimizer(MinimizerOptions{Constraints: cs})
+		for _, q := range distinct {
+			m.Minimize(q)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, q := range workload {
+				m.Minimize(q)
+			}
+		}
+	})
+}
+
 func BenchmarkClosure(b *testing.B) {
 	_, cs := genquery.Chain(60)
 	for i := 0; i < b.N; i++ {

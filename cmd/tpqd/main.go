@@ -1,0 +1,177 @@
+// Command tpqd is the minimization daemon: a long-lived HTTP server that
+// minimizes tree pattern queries under a fixed set of integrity
+// constraints, caching results by canonical form so hot queries cost a
+// hash lookup instead of the full CDM+ACIM pipeline (see
+// internal/service).
+//
+// Usage:
+//
+//	tpqd [-addr :8080] [-f constraints.txt] [-xml doc.xml]
+//	     [-cache N] [-workers N] [-timeout 5s] [-grace 10s]
+//
+// Endpoints:
+//
+//	POST /minimize   {"query": "a*[/b, //c]"} — or {"xpath": ...} or
+//	                 {"queries": [...]} for a parallelized batch
+//	POST /match      minimize (through the cache), then evaluate against
+//	                 the -xml document
+//	GET  /stats      cache and pipeline counters, latency histogram
+//	GET  /healthz    liveness; 503 once shutdown has begun
+//	GET  /debug/vars the same counters in expvar form
+//
+// SIGINT/SIGTERM begin a graceful shutdown: the listener drains for up to
+// -grace, then inflight minimizations are awaited.
+package main
+
+import (
+	"bufio"
+	"context"
+	"expvar"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"tpq/internal/data"
+	"tpq/internal/ics"
+	"tpq/internal/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tpqd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8080", "listen address")
+	consFile := fs.String("f", "", "constraint file (one per line, # comments)")
+	xmlPath := fs.String("xml", "", "XML document served by /match")
+	cacheSize := fs.Int("cache", service.DefaultCacheSize, "query cache capacity (negative disables)")
+	workers := fs.Int("workers", 0, "batch minimization workers (0 = all CPUs)")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-request minimization budget")
+	grace := fs.Duration("grace", 10*time.Second, "shutdown grace period")
+	maxBatch := fs.Int("maxbatch", 1024, "maximum queries per batch request")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cs := ics.NewSet()
+	if *consFile != "" {
+		n, err := loadConstraints(cs, *consFile)
+		if err != nil {
+			fmt.Fprintln(stderr, "tpqd:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "tpqd: loaded %d constraints from %s\n", n, *consFile)
+	}
+	var forest *data.Forest
+	if *xmlPath != "" {
+		f, err := os.Open(*xmlPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "tpqd:", err)
+			return 1
+		}
+		forest, err = data.ParseXML(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(stderr, "tpqd:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "tpqd: loaded %s: %d nodes\n", *xmlPath, forest.Size())
+	}
+
+	svc := service.New(service.Options{
+		Constraints: cs,
+		Workers:     *workers,
+		CacheSize:   *cacheSize,
+	})
+	publishExpvar(svc)
+
+	mux := http.NewServeMux()
+	mux.Handle("/", service.NewHandler(svc, service.HandlerOptions{
+		Forest:   forest,
+		Timeout:  *timeout,
+		MaxBatch: *maxBatch,
+	}))
+	mux.Handle("/debug/vars", expvar.Handler())
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "tpqd:", err)
+		return 1
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	fmt.Fprintf(stdout, "tpqd: listening on http://%s (constraints: %d, closure: %d, cache: %d, workers: %d)\n",
+		ln.Addr(), cs.Len(), svc.Constraints().Len(), *cacheSize, svc.Stats().Workers)
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(stderr, "tpqd:", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(stdout, "tpqd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(stderr, "tpqd: draining connections:", err)
+	}
+	if err := svc.Close(shutdownCtx); err != nil {
+		fmt.Fprintln(stderr, "tpqd: draining minimizations:", err)
+	}
+	snap := svc.Stats()
+	hitRate := 0.0
+	if snap.Requests > 0 {
+		hitRate = float64(snap.Hits) / float64(snap.Requests) * 100
+	}
+	fmt.Fprintf(stdout, "tpqd: served %d requests (%.1f%% cache hits, %d minimizations, %d merged)\n",
+		snap.Requests, hitRate, snap.Minimizations, snap.InflightMerges)
+	return 0
+}
+
+// loadConstraints reads one constraint per line; blank lines and #
+// comments are skipped. Same format as tpqshell -f.
+func loadConstraints(cs *ics.Set, path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		c, err := ics.Parse(text)
+		if err != nil {
+			return 0, err
+		}
+		cs.Add(c)
+	}
+	return cs.Len(), sc.Err()
+}
+
+// publishExpvar exposes the service counters under the "tpqd" expvar.
+// Publish panics on duplicate names, so repeated runs in one process
+// (tests) keep the first registration.
+var publishOnce sync.Once
+
+func publishExpvar(svc *service.Service) {
+	publishOnce.Do(func() {
+		expvar.Publish("tpqd", expvar.Func(func() interface{} { return svc.Stats() }))
+	})
+}

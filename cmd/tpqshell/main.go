@@ -18,8 +18,13 @@
 //	xpath XPATH            convert an XPath expression and minimize it
 //	info QUERY             CDM information-content labels per node
 //	sat QUERY              satisfiability under the loaded constraints
+//	server                 how to serve this session's workload with tpqd
 //	help                   this text
 //	quit                   exit
+//
+// The min command runs through a session-scoped tpq.Minimizer, so
+// repeating a query (or an isomorphic one) is served from its cache; the
+// minimizer is rebuilt whenever the constraint set changes.
 package main
 
 import (
@@ -30,6 +35,7 @@ import (
 	"os"
 	"strings"
 
+	"tpq"
 	"tpq/internal/acim"
 	"tpq/internal/cdm"
 	"tpq/internal/cim"
@@ -48,6 +54,17 @@ type shell struct {
 	cs     *ics.Set
 	forest *data.Forest
 	out    io.Writer
+	// min caches minimizations across the session; it is dropped (and
+	// lazily rebuilt) whenever the constraint set changes, since its cache
+	// key includes the constraint fingerprint.
+	min *tpq.Minimizer
+}
+
+func (sh *shell) minimizer() *tpq.Minimizer {
+	if sh.min == nil {
+		sh.min = tpq.NewMinimizer(tpq.MinimizerOptions{Constraints: sh.cs})
+	}
+	return sh.min
 }
 
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
@@ -115,6 +132,7 @@ func (sh *shell) loadConstraints(path string) error {
 		}
 		sh.cs.Add(c)
 	}
+	sh.min = nil
 	fmt.Fprintf(sh.out, "loaded %d constraints\n", sh.cs.Len())
 	return sc.Err()
 }
@@ -132,6 +150,7 @@ func (sh *shell) exec(line string) {
 			return
 		}
 		sh.cs.Add(c)
+		sh.min = nil // constraint set changed; cached results are stale
 		fmt.Fprintf(sh.out, "ok (%d constraints)\n", sh.cs.Len())
 	case "ics":
 		if sh.cs.Len() == 0 {
@@ -144,12 +163,13 @@ func (sh *shell) exec(line string) {
 		fmt.Fprintf(sh.out, "closure: %d constraints\n", sh.cs.Closure().Len())
 	case "min":
 		sh.withQuery(rest, func(q *pattern.Pattern) {
-			closed := sh.cs.Closure()
-			pre := q.Clone()
-			stC := cdm.MinimizeInPlace(pre, closed)
-			out, stA := acim.MinimizeWithStats(pre, closed)
-			fmt.Fprintf(sh.out, "%s   (%d -> %d nodes; CDM removed %d, ACIM %d)\n",
-				out, q.Size(), out.Size(), stC.Removed, stA.Removed)
+			res, rep := sh.minimizer().MinimizeReport(q)
+			note := ""
+			if rep.CacheHit {
+				note = "; cached"
+			}
+			fmt.Fprintf(sh.out, "%s   (%d -> %d nodes; CDM removed %d, ACIM %d%s)\n",
+				res, rep.InputSize, rep.OutputSize, rep.CDMRemoved, rep.ACIMRemoved, note)
 		})
 	case "cim":
 		sh.withQuery(rest, func(q *pattern.Pattern) {
@@ -208,6 +228,8 @@ func (sh *shell) exec(line string) {
 				fmt.Fprintln(sh.out, "satisfiable")
 			}
 		})
+	case "server":
+		fmt.Fprint(sh.out, serverHint)
 	default:
 		sh.errorf("unknown command %q (try help)", cmd)
 	}
@@ -237,5 +259,17 @@ const helpText = `commands:
   xpath XPATH        convert an XPath expression and minimize it
   info QUERY         CDM information-content labels
   sat QUERY          satisfiability under the loaded constraints
+  server             how to serve this session's workload with tpqd
   quit               exit
+`
+
+const serverHint = `this session's minimize path is already cached in-process; to serve the
+same thing over HTTP to many clients, run the tpqd daemon:
+
+  tpqd -addr :8080 -f constraints.txt -xml doc.xml
+  curl -d '{"query": "a*[/b, //c]"}' localhost:8080/minimize
+
+tpqd keeps one shared cache keyed by canonical form + constraint
+fingerprint, deduplicates concurrent identical requests, and reports
+hit/miss/latency counters at /stats.
 `

@@ -39,6 +39,33 @@ quit
 	}
 }
 
+func TestShellMinimizeCachesWithinSession(t *testing.T) {
+	script := `
+min Articles/Article*[//Paragraph, /Section//Paragraph]
+min Articles/Article*[//Paragraph, /Section//Paragraph]
+ic Section => Paragraph
+min Articles/Article*[//Paragraph, /Section//Paragraph]
+quit
+`
+	out, _, code := runShell(t, script)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if strings.Count(out, "; cached") != 1 {
+		t.Errorf("want exactly one cached repeat (the ic invalidates the session cache):\n%s", out)
+	}
+}
+
+func TestShellServerHint(t *testing.T) {
+	out, _, code := runShell(t, "server\nquit\n")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "tpqd") || !strings.Contains(out, "/minimize") {
+		t.Errorf("server hint missing tpqd pointers:\n%s", out)
+	}
+}
+
 func TestShellEquivalenceAndSat(t *testing.T) {
 	script := `
 ic Book -> Publisher

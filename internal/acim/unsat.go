@@ -26,6 +26,11 @@ func UnsatisfiableUnder(p *pattern.Pattern, cs *ics.Set) bool {
 	if p == nil || p.Root == nil || cs == nil {
 		return false
 	}
+	// Only forbidden forms can make a query unsatisfiable; closure never
+	// introduces one from required/co-occurrence forms alone.
+	if !cs.HasForbidden() {
+		return false
+	}
 	if !cs.IsClosed() {
 		cs = cs.Closure()
 	}

@@ -127,6 +127,15 @@ func TestFigureShapes(t *testing.T) {
 		}
 	})
 
+	t.Run("service hot path beats per-call pipeline", func(t *testing.T) {
+		hot, uncached := ServiceHotSpeedup(opts)
+		// The acceptance figure is 10x on a full run; the smoke test
+		// demands a conservative 5x so CI noise cannot flake it.
+		if hot <= 0 || uncached <= 0 || hot*5 > uncached {
+			t.Errorf("expected cached hot query ≫ per-call pipeline: hot=%v uncached=%v", hot, uncached)
+		}
+	})
+
 	t.Run("7b tables fraction", func(t *testing.T) {
 		tab := Fig7b(opts)
 		var total, tables time.Duration

@@ -416,7 +416,7 @@ func All(opts Options) []*Table {
 		Fig7a(opts), Fig7b(opts), Fig8a(opts), Fig8b(opts),
 		Fig9a(opts), Fig9b(opts), Motivation(opts),
 		AblationCIM(opts), AblationClosure(opts), AblationVirtual(opts), AblationCDM(opts),
-		BatchMinimize(opts),
+		BatchMinimize(opts), ServiceThroughput(opts),
 	}
 }
 
@@ -448,11 +448,13 @@ func ByName(name string) func(Options) *Table {
 		return AblationCDM
 	case "batch":
 		return BatchMinimize
+	case "service":
+		return ServiceThroughput
 	}
 	return nil
 }
 
 // Names lists the experiment ids in presentation order.
 func Names() []string {
-	return []string{"7a", "7b", "8a", "8b", "9a", "9b", "motivation", "ablation-cim", "ablation-closure", "ablation-virtual", "ablation-cdm", "batch"}
+	return []string{"7a", "7b", "8a", "8b", "9a", "9b", "motivation", "ablation-cim", "ablation-closure", "ablation-virtual", "ablation-cdm", "batch", "service"}
 }

@@ -11,6 +11,7 @@
 package engine
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -60,6 +61,10 @@ type Result struct {
 	Output *pattern.Pattern
 	// Removed is the number of nodes eliminated.
 	Removed int
+	// CDMRemoved and ACIMRemoved split Removed between the local
+	// pre-filter and the global phase (both zero outside the Auto
+	// pipeline except for the phase that ran).
+	CDMRemoved, ACIMRemoved int
 	// Tests is the number of leaf-redundancy tests run (zero for CDM).
 	Tests int
 }
@@ -70,6 +75,9 @@ type Minimizer struct {
 	workers int
 	algo    Algo
 	closed  *ics.Set
+	// arenas recycles bitset scratch across single-query Minimize calls;
+	// batch workers hold a private arena for their whole batch instead.
+	arenas sync.Pool
 }
 
 // New returns a Minimizer with the given options.
@@ -84,7 +92,55 @@ func New(opts Options) *Minimizer {
 	if cs == nil {
 		cs = ics.NewSet()
 	}
-	return &Minimizer{workers: opts.Workers, algo: opts.Algo, closed: cs.Closure()}
+	m := &Minimizer{workers: opts.Workers, algo: opts.Algo, closed: cs.Closure()}
+	m.arenas.New = func() interface{} { return new(bitset.Arena) }
+	return m
+}
+
+// Closed returns the minimizer's constraint set, closed once at
+// construction and shared read-only by every worker. Callers must not
+// modify it.
+func (m *Minimizer) Closed() *ics.Set { return m.closed }
+
+// Workers returns the configured worker-pool size.
+func (m *Minimizer) Workers() int { return m.workers }
+
+// Minimize minimizes a single query through the configured pipeline,
+// recycling scratch memory across calls. Safe for concurrent use.
+func (m *Minimizer) Minimize(q *pattern.Pattern) Result {
+	a := m.arenas.Get().(*bitset.Arena)
+	r := m.minimizeOne(q, a)
+	m.arenas.Put(a)
+	return r
+}
+
+// MinimizeContext is Minimize with cancellation between the pipeline
+// phases: the context is checked on entry and again between the CDM
+// pre-filter and the ACIM phase (the expensive part), so a caller whose
+// deadline fires during CDM pays nothing for ACIM. A phase that has
+// started always runs to completion; on cancellation the zero-output
+// Result carries only the input.
+func (m *Minimizer) MinimizeContext(ctx context.Context, q *pattern.Pattern) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{Input: q}, err
+	}
+	if m.algo != Auto {
+		// Single-phase pipelines have no boundary to interrupt at.
+		return m.Minimize(q), nil
+	}
+	a := m.arenas.Get().(*bitset.Arena)
+	defer m.arenas.Put(a)
+	r := Result{Input: q}
+	pre := q.Clone()
+	stPre := cdm.MinimizeInPlace(pre, m.closed)
+	if err := ctx.Err(); err != nil {
+		return Result{Input: q}, err
+	}
+	out, st := acim.MinimizeWithOptions(pre, m.closed, cim.Options{Arena: a})
+	r.Output, r.Tests = out, st.Tests
+	r.CDMRemoved, r.ACIMRemoved = stPre.Removed, st.Removed
+	r.Removed = stPre.Removed + st.Removed
+	return r, nil
 }
 
 // MinimizeBatch minimizes every query and returns the results in input
@@ -128,18 +184,22 @@ func (m *Minimizer) minimizeOne(q *pattern.Pattern, a *bitset.Arena) Result {
 		out := q.Clone()
 		st := cim.MinimizeInPlace(out, cimOpts)
 		r.Output, r.Removed, r.Tests = out, st.Removed, st.Tests
+		r.ACIMRemoved = st.Removed
 	case CDM:
 		out := q.Clone()
 		st := cdm.MinimizeInPlace(out, m.closed)
 		r.Output, r.Removed = out, st.Removed
+		r.CDMRemoved = st.Removed
 	case ACIM:
 		out, st := acim.MinimizeWithOptions(q, m.closed, cimOpts)
 		r.Output, r.Removed, r.Tests = out, st.Removed, st.Tests
+		r.ACIMRemoved = st.Removed
 	default: // Auto
 		pre := q.Clone()
 		stPre := cdm.MinimizeInPlace(pre, m.closed)
 		out, st := acim.MinimizeWithOptions(pre, m.closed, cimOpts)
 		r.Output, r.Removed, r.Tests = out, stPre.Removed+st.Removed, st.Tests
+		r.CDMRemoved, r.ACIMRemoved = stPre.Removed, st.Removed
 	}
 	return r
 }

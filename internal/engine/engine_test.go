@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -132,4 +133,58 @@ func ExampleMinimizer() {
 	// Output:
 	// a*[//c, /b, /b/c] -> a*/b/c (removed 2)
 	// x*[//y, //y//z] -> x*//y//z (removed 1)
+}
+
+// TestSingleMinimizeMatchesBatch checks that the single-query entry point
+// agrees with the batch path for every algorithm.
+func TestSingleMinimizeMatchesBatch(t *testing.T) {
+	qs := workload(t, 12)
+	cs := ics.NewSet(ics.Child("t0", "t1"), ics.Desc("t1", "t2"))
+	for _, algo := range []Algo{Auto, CIM, CDM, ACIM} {
+		m := New(Options{Algo: algo, Constraints: cs})
+		batch := m.MinimizeBatch(qs)
+		for i, q := range qs {
+			one := m.Minimize(q)
+			if !pattern.Isomorphic(one.Output, batch[i].Output) {
+				t.Errorf("%s: query %d: single %s != batch %s", algo, i, one.Output, batch[i].Output)
+			}
+			if one.Removed != batch[i].Removed ||
+				one.CDMRemoved != batch[i].CDMRemoved ||
+				one.ACIMRemoved != batch[i].ACIMRemoved {
+				t.Errorf("%s: query %d: stats diverge: single %+v batch %+v", algo, i, one, batch[i])
+			}
+			if one.Removed != one.CDMRemoved+one.ACIMRemoved {
+				t.Errorf("%s: query %d: Removed=%d but CDM=%d + ACIM=%d", algo, i,
+					one.Removed, one.CDMRemoved, one.ACIMRemoved)
+			}
+		}
+	}
+}
+
+// TestMinimizeContext checks the phase-boundary cancellation contract: a
+// live context minimizes normally, a cancelled one returns the error
+// without an output.
+func TestMinimizeContext(t *testing.T) {
+	q := genquery.Redundant(12, 3, 2)
+	cs := ics.NewSet(ics.Child("t0", "t1"))
+	m := New(Options{Constraints: cs})
+
+	r, err := m.MinimizeContext(context.Background(), q)
+	if err != nil {
+		t.Fatalf("MinimizeContext: %v", err)
+	}
+	want := m.Minimize(q)
+	if !pattern.Isomorphic(r.Output, want.Output) {
+		t.Errorf("context path output %s != plain %s", r.Output, want.Output)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r, err = m.MinimizeContext(ctx, q)
+	if err == nil {
+		t.Fatalf("cancelled context: want error, got result %+v", r)
+	}
+	if r.Output != nil {
+		t.Errorf("cancelled context: output should be nil, got %s", r.Output)
+	}
 }

@@ -1,0 +1,28 @@
+package ics
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// Fingerprint returns a stable hex digest of the set's logical content.
+// Two sets holding the same constraints — regardless of insertion order —
+// share a fingerprint, and a nil set fingerprints like the empty set, so
+// the digest is safe to use as the constraint half of a cache key (the
+// serving layer keys minimization results on pattern canonical form plus
+// the fingerprint of the closed constraint set; see internal/service).
+//
+// The digest covers only the stored constraints, not the closure: callers
+// that want closure-equivalent sets to share a fingerprint (the cache
+// does) should fingerprint the closed set.
+func (s *Set) Fingerprint() string {
+	h := sha256.New()
+	if s != nil {
+		for _, c := range s.Constraints() {
+			h.Write([]byte(c.String()))
+			h.Write([]byte{0})
+		}
+	}
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:16])
+}

@@ -1,0 +1,47 @@
+package ics
+
+import "testing"
+
+func TestFingerprintOrderIndependent(t *testing.T) {
+	a := MustParseSet("A -> B", "B => C", "C ~ D")
+	b := MustParseSet("C ~ D", "A -> B", "B => C")
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("same constraints, different fingerprints: %s vs %s",
+			a.Fingerprint(), b.Fingerprint())
+	}
+}
+
+func TestFingerprintDistinguishesSets(t *testing.T) {
+	seen := map[string]string{}
+	for _, srcs := range [][]string{
+		{},
+		{"A -> B"},
+		{"A => B"},
+		{"A ~ B"},
+		{"B ~ A"},
+		{"A !-> B"},
+		{"A !=> B"},
+		{"A -> B", "B -> C"},
+	} {
+		s := MustParseSet(srcs...)
+		fp := s.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("fingerprint collision between %q and %q", prev, s.String())
+		}
+		seen[fp] = s.String()
+	}
+}
+
+func TestFingerprintNilAndEmpty(t *testing.T) {
+	var nilSet *Set
+	if nilSet.Fingerprint() != NewSet().Fingerprint() {
+		t.Errorf("nil set and empty set should share a fingerprint")
+	}
+}
+
+func TestFingerprintStableAcrossClone(t *testing.T) {
+	s := MustParseSet("A -> B", "A ~ C")
+	if s.Fingerprint() != s.Clone().Fingerprint() {
+		t.Errorf("clone changed the fingerprint")
+	}
+}

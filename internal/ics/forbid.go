@@ -44,6 +44,12 @@ func ForbidDesc(from, to pattern.Type) Constraint {
 	return Constraint{ForbiddenDescendant, from, to}
 }
 
+// HasForbidden reports whether the set contains any forbidden form at
+// all. When it does not, no query is unsatisfiable under the set —
+// required and co-occurrence constraints alone can always be satisfied by
+// growing the database — so unsatisfiability checks can return early.
+func (s *Set) HasForbidden() bool { return len(s.fchild) > 0 || len(s.fdesc) > 0 }
+
 // HasForbidChild reports a !-> b.
 func (s *Set) HasForbidChild(a, b pattern.Type) bool { return s.fchild[a][b] }
 

@@ -1,0 +1,16 @@
+package pattern
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// Fingerprint returns a short stable hex digest of the pattern's canonical
+// form (see Canonical): isomorphic patterns — and only those, up to hash
+// collision — share a fingerprint. The serving layer uses it for compact
+// cache keys and log lines; code that must never confuse distinct patterns
+// should compare Canonical() directly.
+func (p *Pattern) Fingerprint() string {
+	sum := sha256.Sum256([]byte(p.Canonical()))
+	return hex.EncodeToString(sum[:16])
+}

@@ -1,0 +1,32 @@
+package pattern
+
+import "testing"
+
+func TestFingerprintIsomorphismInvariant(t *testing.T) {
+	p := MustParse("a*[/b, //c/d]")
+	q := MustParse("a*[//c/d, /b]") // same pattern, siblings reordered
+	if p.Fingerprint() != q.Fingerprint() {
+		t.Errorf("isomorphic patterns got different fingerprints")
+	}
+	r := MustParse("a*[/b, //c//d]") // d-edge differs
+	if p.Fingerprint() == r.Fingerprint() {
+		t.Errorf("distinct patterns share a fingerprint")
+	}
+}
+
+func TestFingerprintSensitiveToMarkers(t *testing.T) {
+	variants := []string{
+		"a*/b",
+		"a/b*",
+		"a*//b",
+		"a{x}*/b",
+	}
+	seen := map[string]string{}
+	for _, src := range variants {
+		fp := MustParse(src).Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("fingerprint collision between %q and %q", prev, src)
+		}
+		seen[fp] = src
+	}
+}

@@ -1,0 +1,285 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"tpq/internal/data"
+	"tpq/internal/match"
+	"tpq/internal/pattern"
+	"tpq/internal/xpath"
+)
+
+// HandlerOptions configure the HTTP front of a Service.
+type HandlerOptions struct {
+	// Forest is the optional tree database behind /match; without it the
+	// endpoint reports that no document is loaded.
+	Forest *data.Forest
+	// Timeout bounds each request's minimization work; 0 means no limit.
+	Timeout time.Duration
+	// MaxBatch caps the number of queries in one /minimize POST
+	// (default 1024).
+	MaxBatch int
+	// MaxBody caps the request body in bytes (default 1 MiB).
+	MaxBody int64
+}
+
+// NewHandler returns the HTTP+JSON API over s:
+//
+//	POST /minimize  {"query": "a*[/b, //c]"}          — text syntax
+//	                {"xpath": "/a[b]//c"}             — XPath input
+//	                {"queries": ["a*/b", ...]}        — batch, parallelized
+//	GET  /stats     counters, cache state, latency histogram
+//	GET  /healthz   "ok", or 503 once shutdown has begun
+//	POST /match     {"query": ...} minimized (through the cache), then
+//	                evaluated against the loaded document
+//
+// Responses are JSON; errors arrive as {"error": "..."} with a matching
+// status code (400 malformed input, 503 shutting down, 504 deadline).
+func NewHandler(s *Service, opts HandlerOptions) http.Handler {
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = 1024
+	}
+	if opts.MaxBody <= 0 {
+		opts.MaxBody = 1 << 20
+	}
+	h := &handler{svc: s, opts: opts}
+	if opts.Forest != nil {
+		h.index = match.NewForestIndex(opts.Forest)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/minimize", h.minimize)
+	mux.HandleFunc("/match", h.match)
+	mux.HandleFunc("/stats", h.stats)
+	mux.HandleFunc("/healthz", h.healthz)
+	return mux
+}
+
+type handler struct {
+	svc   *Service
+	opts  HandlerOptions
+	index *match.ForestIndex
+}
+
+// minimizeRequest is the /minimize (and /match) wire format. Exactly one
+// of Query, XPath, Queries should be set.
+type minimizeRequest struct {
+	Query   string   `json:"query,omitempty"`
+	XPath   string   `json:"xpath,omitempty"`
+	Queries []string `json:"queries,omitempty"`
+}
+
+// minimizeResponse is one minimization result on the wire.
+type minimizeResponse struct {
+	Output        string `json:"output"`
+	OutputXPath   string `json:"outputXpath,omitempty"`
+	InputSize     int    `json:"inputSize"`
+	OutputSize    int    `json:"outputSize"`
+	CDMRemoved    int    `json:"cdmRemoved"`
+	ACIMRemoved   int    `json:"acimRemoved"`
+	Unsatisfiable bool   `json:"unsatisfiable,omitempty"`
+	CacheHit      bool   `json:"cacheHit"`
+	Merged        bool   `json:"merged,omitempty"`
+	Micros        int64  `json:"micros"`
+}
+
+type batchResponse struct {
+	Results []minimizeResponse `json:"results"`
+}
+
+type matchResponse struct {
+	Count      int    `json:"count"`
+	Output     string `json:"output"`
+	OutputSize int    `json:"outputSize"`
+	CacheHit   bool   `json:"cacheHit"`
+	Micros     int64  `json:"micros"`
+}
+
+func (h *handler) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if h.opts.Timeout > 0 {
+		return context.WithTimeout(r.Context(), h.opts.Timeout)
+	}
+	return r.Context(), func() {}
+}
+
+func (h *handler) readRequest(w http.ResponseWriter, r *http.Request) (*minimizeRequest, bool) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST a JSON body")
+		return nil, false
+	}
+	var req minimizeRequest
+	body := http.MaxBytesReader(w, r.Body, h.opts.MaxBody)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+		return nil, false
+	}
+	return &req, true
+}
+
+// parseOne turns the request's single-query fields into a pattern,
+// remembering whether the caller spoke XPath.
+func parseOne(req *minimizeRequest) (*pattern.Pattern, bool, error) {
+	switch {
+	case req.Query != "":
+		p, err := pattern.Parse(req.Query)
+		return p, false, err
+	case req.XPath != "":
+		p, err := xpath.FromXPath(req.XPath)
+		return p, true, err
+	default:
+		return nil, false, errors.New(`need "query", "xpath" or "queries"`)
+	}
+}
+
+func (h *handler) minimize(w http.ResponseWriter, r *http.Request) {
+	req, ok := h.readRequest(w, r)
+	if !ok {
+		return
+	}
+	ctx, cancel := h.requestCtx(r)
+	defer cancel()
+
+	if len(req.Queries) > 0 {
+		if req.Query != "" || req.XPath != "" {
+			writeError(w, http.StatusBadRequest, `"queries" excludes "query" and "xpath"`)
+			return
+		}
+		if len(req.Queries) > h.opts.MaxBatch {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("batch of %d exceeds limit %d", len(req.Queries), h.opts.MaxBatch))
+			return
+		}
+		queries := make([]*pattern.Pattern, len(req.Queries))
+		for i, src := range req.Queries {
+			p, err := pattern.Parse(src)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Sprintf("query %d: %v", i, err))
+				return
+			}
+			queries[i] = p
+		}
+		start := time.Now()
+		outs, reps, err := h.svc.MinimizeBatch(ctx, queries)
+		if err != nil {
+			writeServiceError(w, err)
+			return
+		}
+		micros := time.Since(start).Microseconds()
+		resp := batchResponse{Results: make([]minimizeResponse, len(outs))}
+		for i := range outs {
+			resp.Results[i] = toResponse(outs[i], reps[i], micros/int64(len(outs)))
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	p, wasXPath, err := parseOne(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	start := time.Now()
+	out, rep, err := h.svc.Minimize(ctx, p)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	resp := toResponse(out, rep, time.Since(start).Microseconds())
+	if wasXPath {
+		if x, err := xpath.ToXPath(out); err == nil {
+			resp.OutputXPath = x
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (h *handler) match(w http.ResponseWriter, r *http.Request) {
+	req, ok := h.readRequest(w, r)
+	if !ok {
+		return
+	}
+	if h.index == nil {
+		writeError(w, http.StatusBadRequest, "no document loaded (start tpqd with -xml)")
+		return
+	}
+	p, _, err := parseOne(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx, cancel := h.requestCtx(r)
+	defer cancel()
+	start := time.Now()
+	out, rep, err := h.svc.Minimize(ctx, p)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	answers := match.AnswersIndexed(out, h.index)
+	writeJSON(w, http.StatusOK, matchResponse{
+		Count:      len(answers),
+		Output:     out.String(),
+		OutputSize: rep.OutputSize,
+		CacheHit:   rep.CacheHit,
+		Micros:     time.Since(start).Microseconds(),
+	})
+}
+
+func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, h.svc.Stats())
+}
+
+func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
+	if h.svc.Closing() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "shutting down")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func toResponse(out *pattern.Pattern, rep Report, micros int64) minimizeResponse {
+	return minimizeResponse{
+		Output:        out.String(),
+		InputSize:     rep.InputSize,
+		OutputSize:    rep.OutputSize,
+		CDMRemoved:    rep.CDMRemoved,
+		ACIMRemoved:   rep.ACIMRemoved,
+		Unsatisfiable: rep.Unsatisfiable,
+		CacheHit:      rep.CacheHit,
+		Merged:        rep.Merged,
+		Micros:        micros,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// writeServiceError maps service/context errors onto status codes.
+func writeServiceError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, err.Error())
+	default:
+		writeError(w, http.StatusBadRequest, err.Error())
+	}
+}

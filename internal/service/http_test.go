@@ -1,0 +1,220 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"tpq/internal/data"
+	"tpq/internal/ics"
+)
+
+func newTestServer(t *testing.T, svcOpts Options, hOpts HandlerOptions) (*Service, *httptest.Server) {
+	t.Helper()
+	svc := New(svcOpts)
+	ts := httptest.NewServer(NewHandler(svc, hOpts))
+	t.Cleanup(ts.Close)
+	return svc, ts
+}
+
+func postJSON(t *testing.T, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+func TestHTTPMinimize(t *testing.T) {
+	_, ts := newTestServer(t,
+		Options{Constraints: ics.MustParseSet("Section => Paragraph")}, HandlerOptions{})
+
+	body := `{"query": "Articles/Article*[//Paragraph, /Section//Paragraph]"}`
+	resp, data := postJSON(t, ts.URL+"/minimize", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var out minimizeResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("decoding %s: %v", data, err)
+	}
+	if out.Output != "Articles/Article*/Section" {
+		t.Errorf("output = %q", out.Output)
+	}
+	if out.InputSize != 5 || out.OutputSize != 3 || out.CacheHit {
+		t.Errorf("first response: %+v", out)
+	}
+
+	resp, data = postJSON(t, ts.URL+"/minimize", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repeat status %d", resp.StatusCode)
+	}
+	json.Unmarshal(data, &out)
+	if !out.CacheHit {
+		t.Errorf("repeat request should be a cache hit: %+v", out)
+	}
+}
+
+func TestHTTPMinimizeXPath(t *testing.T) {
+	_, ts := newTestServer(t, Options{}, HandlerOptions{})
+	resp, data := postJSON(t, ts.URL+"/minimize", `{"xpath": "/a[b]/b"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var out minimizeResponse
+	json.Unmarshal(data, &out)
+	if out.OutputXPath == "" {
+		t.Errorf("xpath input should produce an xpath output: %+v", out)
+	}
+	// XPath queries carry a #document root: /a[b]/b is 4 nodes, its
+	// minimal form (#document/a/b*) is 3.
+	if out.OutputSize != 3 {
+		t.Errorf("redundant [b] predicate should fold away: %+v", out)
+	}
+}
+
+func TestHTTPMinimizeBatch(t *testing.T) {
+	svc, ts := newTestServer(t, Options{Workers: 4}, HandlerOptions{})
+	resp, data := postJSON(t, ts.URL+"/minimize",
+		`{"queries": ["a*[/b, /b]", "c*[//d, //d]", "a*[/b, /b]"]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var out batchResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 3 {
+		t.Fatalf("%d results", len(out.Results))
+	}
+	if out.Results[0].Output != "a*/b" || out.Results[1].Output != "c*//d" || out.Results[2].Output != "a*/b" {
+		t.Errorf("batch outputs: %+v", out.Results)
+	}
+	if snap := svc.Stats(); snap.Minimizations != 2 {
+		t.Errorf("minimizations = %d, want 2 (batch duplicate dedups)", snap.Minimizations)
+	}
+}
+
+func TestHTTPMatch(t *testing.T) {
+	forest, err := data.ParseXML(strings.NewReader(
+		"<lib><book><title/><title/></book><book><title/></book></lib>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Options{}, HandlerOptions{Forest: forest})
+	resp, data := postJSON(t, ts.URL+"/match", `{"query": "book[/title]/title*"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var out matchResponse
+	json.Unmarshal(data, &out)
+	if out.Count != 3 {
+		t.Errorf("count = %d, want 3 titles", out.Count)
+	}
+	if out.OutputSize != 2 {
+		t.Errorf("redundant [/title] should be minimized away before matching: %+v", out)
+	}
+}
+
+func TestHTTPMatchWithoutDocument(t *testing.T) {
+	_, ts := newTestServer(t, Options{}, HandlerOptions{})
+	resp, data := postJSON(t, ts.URL+"/match", `{"query": "a*"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status %d: %s", resp.StatusCode, data)
+	}
+}
+
+func TestHTTPStatsAndHealth(t *testing.T) {
+	svc, ts := newTestServer(t, Options{}, HandlerOptions{})
+	postJSON(t, ts.URL+"/minimize", `{"query": "a*[/b, /b]"}`)
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if snap.Requests != 1 || snap.Minimizations != 1 || snap.CacheCap != DefaultCacheSize {
+		t.Errorf("stats: %+v", snap)
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz = %d", resp.StatusCode)
+	}
+
+	if err := svc.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz after Close = %d, want 503", resp.StatusCode)
+	}
+	resp, data := postJSON(t, ts.URL+"/minimize", `{"query": "a*"}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("minimize after Close = %d: %s", resp.StatusCode, data)
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Options{}, HandlerOptions{MaxBatch: 2})
+	cases := []struct {
+		name, body string
+		want       int
+	}{
+		{"malformed JSON", `{`, http.StatusBadRequest},
+		{"no query", `{}`, http.StatusBadRequest},
+		{"parse error", `{"query": "a*[/"}`, http.StatusBadRequest},
+		{"bad xpath", `{"xpath": "???"}`, http.StatusBadRequest},
+		{"mixed forms", `{"query": "a*", "queries": ["b*"]}`, http.StatusBadRequest},
+		{"oversized batch", `{"queries": ["a*", "b*", "c*"]}`, http.StatusRequestEntityTooLarge},
+		{"bad batch member", `{"queries": ["a*", "[["]}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, data := postJSON(t, ts.URL+"/minimize", tc.body)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, resp.StatusCode, tc.want, data)
+		}
+		var e map[string]string
+		if json.Unmarshal(data, &e) != nil || e["error"] == "" {
+			t.Errorf("%s: error body missing: %s", tc.name, data)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/minimize")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /minimize = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestHTTPTimeout(t *testing.T) {
+	_, ts := newTestServer(t, Options{}, HandlerOptions{Timeout: time.Nanosecond})
+	resp, data := postJSON(t, ts.URL+"/minimize", `{"query": "a*[/b, /b]"}`)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Errorf("status = %d, want 504 (%s)", resp.StatusCode, data)
+	}
+}

@@ -1,0 +1,53 @@
+package service
+
+import "container/list"
+
+// lruCache is a fixed-capacity least-recently-used cache from cache keys
+// to minimization entries. It does its own no locking: the Service guards
+// it with the same mutex that serializes admission, so get/add are plain
+// list-and-map operations.
+type lruCache struct {
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type lruItem struct {
+	key string
+	val *entry
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the entry for key, refreshing its recency.
+func (c *lruCache) get(key string) (*entry, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruItem).val, true
+}
+
+// add inserts (or refreshes) key and returns how many entries were
+// evicted to stay within capacity.
+func (c *lruCache) add(key string, val *entry) int {
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruItem).val = val
+		return 0
+	}
+	c.items[key] = c.ll.PushFront(&lruItem{key: key, val: val})
+	evicted := 0
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*lruItem).key)
+		evicted++
+	}
+	return evicted
+}
+
+func (c *lruCache) len() int { return c.ll.Len() }

@@ -1,0 +1,365 @@
+// Package service is the serving layer: a long-lived, concurrency-safe
+// minimization service that fronts the CDM+ACIM pipeline (package engine)
+// with a canonical-form-keyed LRU cache and singleflight deduplication.
+//
+// The paper frames minimization as a pre-processing step whose cost is
+// amortized across evaluation; that amortization only pays off at scale
+// when a long-lived process remembers its work. Tree-pattern workloads are
+// dominated by repeated, structurally identical queries, so the service
+// keys results on the pattern's canonical form (pattern.Canonical — equal
+// exactly for isomorphic queries) combined with the fingerprint of the
+// closed constraint set (ics.Set.Fingerprint): Theorem 4.1's uniqueness of
+// the minimal query up to isomorphism is what makes this key sound. A hot
+// query therefore costs one hash lookup and a clone rather than an O(n⁶)
+// worst-case minimization, and concurrent identical requests share a
+// single pipeline run.
+//
+// The constraint closure is computed once at construction and shared
+// read-only by every request — per-request Closure() calls are the single
+// largest avoidable cost of the unserved API. Observability is expvar
+// style: monotonic counters (hits, misses, inflight merges, evictions,
+// per-phase CDM/ACIM removals) and a latency histogram, exported as a
+// Snapshot for /stats or expvar publication. Close drains inflight
+// requests for graceful shutdown.
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"tpq/internal/acim"
+	"tpq/internal/engine"
+	"tpq/internal/ics"
+	"tpq/internal/pattern"
+)
+
+// DefaultCacheSize is the cache capacity used when Options.CacheSize is 0.
+const DefaultCacheSize = 1024
+
+// ErrClosed is returned by requests that arrive after Close has begun.
+var ErrClosed = errors.New("service: shutting down")
+
+// errEmptyPattern rejects nil or rootless queries before they reach the
+// pipeline.
+var errEmptyPattern = errors.New("service: empty pattern")
+
+// Options configure a Service.
+type Options struct {
+	// Constraints are the integrity constraints every query is minimized
+	// under; nil means none. The closure is computed once here, never per
+	// request.
+	Constraints *ics.Set
+	// Workers bounds the concurrency of batch minimization; <= 0 means
+	// GOMAXPROCS.
+	Workers int
+	// CacheSize is the LRU capacity in cached queries: 0 picks
+	// DefaultCacheSize, negative disables caching entirely — every request
+	// runs the pipeline with no deduplication, matching the unserved API.
+	CacheSize int
+	// Algo selects the per-query pipeline; empty means engine.Auto
+	// (CDM pre-filter, then ACIM).
+	Algo engine.Algo
+}
+
+// Report describes how one request was served.
+type Report struct {
+	// InputSize and OutputSize are node counts before and after.
+	InputSize, OutputSize int
+	// CDMRemoved and ACIMRemoved split the removals between the phases.
+	CDMRemoved, ACIMRemoved int
+	// Unsatisfiable is set when the query can never return an answer under
+	// the constraints.
+	Unsatisfiable bool
+	// CacheHit is set when the result came from the cache.
+	CacheHit bool
+	// Merged is set when the request joined another request's inflight
+	// minimization instead of running its own.
+	Merged bool
+}
+
+// entry is a cached minimization: the minimized pattern (cloned on every
+// return, never handed out directly) and its report with the per-request
+// flags unset.
+type entry struct {
+	out *pattern.Pattern
+	rep Report
+}
+
+// Service is a long-lived minimization server. It is safe for concurrent
+// use.
+type Service struct {
+	eng    *engine.Minimizer
+	closed *ics.Set
+	fp     string
+	start  time.Time
+	stats  Stats
+
+	mu       sync.Mutex // guards cache, closing
+	cache    *lruCache  // nil when caching is disabled
+	closing  bool
+	flight   flightGroup
+	inflight sync.WaitGroup
+
+	// computeGate, when set (tests only), runs on the leader's goroutine
+	// after it wins the flight and before it computes — the hook the
+	// inflight-merge tests use to hold a minimization open deterministically.
+	computeGate func()
+}
+
+// New returns a Service with the given options. The constraint closure is
+// computed here, once.
+func New(opts Options) *Service {
+	eng := engine.New(engine.Options{
+		Workers:     opts.Workers,
+		Algo:        opts.Algo,
+		Constraints: opts.Constraints,
+	})
+	s := &Service{
+		eng:    eng,
+		closed: eng.Closed(),
+		start:  time.Now(),
+	}
+	s.fp = s.closed.Fingerprint()
+	switch {
+	case opts.CacheSize == 0:
+		s.cache = newLRU(DefaultCacheSize)
+	case opts.CacheSize > 0:
+		s.cache = newLRU(opts.CacheSize)
+	}
+	return s
+}
+
+// Constraints returns the closed constraint set the service minimizes
+// under. Callers must not modify it.
+func (s *Service) Constraints() *ics.Set { return s.closed }
+
+// Fingerprint returns the digest of the closed constraint set — the
+// constraint half of every cache key.
+func (s *Service) Fingerprint() string { return s.fp }
+
+// Stats returns a snapshot of the service counters.
+func (s *Service) Stats() Snapshot {
+	snap := s.stats.snapshot()
+	s.mu.Lock()
+	if s.cache != nil {
+		snap.CacheLen, snap.CacheCap = s.cache.len(), s.cache.cap
+	}
+	s.mu.Unlock()
+	snap.Constraints = s.closed.Len()
+	snap.ConstraintFingerprint = s.fp
+	snap.Workers = s.eng.Workers()
+	snap.UptimeSeconds = time.Since(s.start).Seconds()
+	return snap
+}
+
+// Closing reports whether Close has begun; /healthz turns 503 on it.
+func (s *Service) Closing() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closing
+}
+
+// Close begins graceful shutdown: new requests fail with ErrClosed and
+// Close blocks until inflight requests drain or ctx expires.
+func (s *Service) Close(ctx context.Context) error {
+	s.mu.Lock()
+	s.closing = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Minimize returns the minimal query equivalent to p under the service's
+// constraints, served from the cache when an isomorphic query has been
+// minimized before. The returned pattern is always a private copy. The
+// context cancels waiting and, on the computing path, is honored between
+// the CDM and ACIM phases; errors are only ever context errors, ErrClosed,
+// or a rejection of an empty pattern.
+func (s *Service) Minimize(ctx context.Context, p *pattern.Pattern) (*pattern.Pattern, Report, error) {
+	if p == nil || p.Root == nil {
+		return nil, Report{}, errEmptyPattern
+	}
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		s.stats.errors.Add(1)
+		return nil, Report{}, ErrClosed
+	}
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	defer s.inflight.Done()
+
+	s.stats.requests.Add(1)
+	start := time.Now()
+	out, rep, err := s.minimize(ctx, p)
+	if err != nil {
+		s.stats.errors.Add(1)
+		return nil, Report{}, err
+	}
+	s.stats.lat.observe(time.Since(start))
+	return out, rep, nil
+}
+
+func (s *Service) minimize(ctx context.Context, p *pattern.Pattern) (*pattern.Pattern, Report, error) {
+	if s.cache == nil {
+		s.stats.misses.Add(1)
+		e, err := s.compute(ctx, p)
+		if err != nil {
+			return nil, Report{}, err
+		}
+		return e.out, e.rep, nil
+	}
+	key := p.Canonical() + "\x00" + s.fp
+	for {
+		if e, ok := s.cacheGet(key); ok {
+			rep := e.rep
+			rep.CacheHit = true
+			return e.out.Clone(), rep, nil
+		}
+		c, leader := s.flight.join(key)
+		if !leader {
+			// Another request is minimizing this exact query right now:
+			// merge with it instead of duplicating the work.
+			s.stats.merges.Add(1)
+			select {
+			case <-c.done:
+				if c.err != nil {
+					// The leader aborted (its context died). If ours is
+					// still live, loop: we will find the cache or lead.
+					if err := ctx.Err(); err != nil {
+						return nil, Report{}, err
+					}
+					continue
+				}
+				rep := c.val.rep
+				rep.Merged = true
+				return c.val.out.Clone(), rep, nil
+			case <-ctx.Done():
+				return nil, Report{}, ctx.Err()
+			}
+		}
+		// Leader. A racing leader may have filled the cache between our
+		// lookup and the join; re-check before paying for the pipeline.
+		if e, ok := s.cacheGet(key); ok {
+			s.flight.finish(key, c, e)
+			rep := e.rep
+			rep.CacheHit = true
+			return e.out.Clone(), rep, nil
+		}
+		s.stats.misses.Add(1)
+		if s.computeGate != nil {
+			s.computeGate()
+		}
+		e, err := s.compute(ctx, p)
+		if err != nil {
+			s.flight.fail(key, c, err)
+			return nil, Report{}, err
+		}
+		s.mu.Lock()
+		evicted := s.cache.add(key, e)
+		s.mu.Unlock()
+		if evicted > 0 {
+			s.stats.evictions.Add(int64(evicted))
+		}
+		s.flight.finish(key, c, e)
+		return e.out.Clone(), e.rep, nil
+	}
+}
+
+func (s *Service) cacheGet(key string) (*entry, bool) {
+	s.mu.Lock()
+	e, ok := s.cache.get(key)
+	s.mu.Unlock()
+	if ok {
+		s.stats.hits.Add(1)
+	}
+	return e, ok
+}
+
+// compute runs the actual pipeline plus the unsatisfiability verdict and
+// updates the work counters.
+func (s *Service) compute(ctx context.Context, p *pattern.Pattern) (*entry, error) {
+	r, err := s.eng.MinimizeContext(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	unsat := acim.UnsatisfiableUnder(p, s.closed)
+	s.stats.minimizations.Add(1)
+	s.stats.cdmRemoved.Add(int64(r.CDMRemoved))
+	s.stats.acimRemoved.Add(int64(r.ACIMRemoved))
+	if unsat {
+		s.stats.unsat.Add(1)
+	}
+	return &entry{
+		out: r.Output,
+		rep: Report{
+			InputSize:     p.Size(),
+			OutputSize:    r.Output.Size(),
+			CDMRemoved:    r.CDMRemoved,
+			ACIMRemoved:   r.ACIMRemoved,
+			Unsatisfiable: unsat,
+		},
+	}, nil
+}
+
+// MinimizeBatch minimizes every query concurrently over the engine's
+// worker budget, with each query going through the cache and singleflight
+// individually — duplicates inside one batch share a single minimization.
+// Results are in input order. On error (cancellation or shutdown) the
+// whole batch fails.
+func (s *Service) MinimizeBatch(ctx context.Context, queries []*pattern.Pattern) ([]*pattern.Pattern, []Report, error) {
+	s.stats.batches.Add(1)
+	outs := make([]*pattern.Pattern, len(queries))
+	reps := make([]Report, len(queries))
+	if len(queries) == 0 {
+		return outs, reps, nil
+	}
+	workers := s.eng.Workers()
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	jobs := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out, rep, err := s.Minimize(ctx, queries[i])
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					continue
+				}
+				outs[i], reps[i] = out, rep
+			}
+		}()
+	}
+	for i := range queries {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	return outs, reps, nil
+}

@@ -1,0 +1,55 @@
+package service
+
+import "sync"
+
+// flightGroup deduplicates concurrent work on the same cache key: the
+// first caller to join a key becomes the leader and computes; followers
+// block on the call's done channel and share the leader's entry. Unlike
+// x/sync/singleflight (not vendored here — the module has no external
+// dependencies), the leader decides what to publish, and a leader that
+// fails publishes an error that followers may react to by retrying as the
+// next leader.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  *entry
+	err  error
+}
+
+// join returns the call for key and whether the caller is its leader. The
+// leader must eventually call either finish or fail exactly once.
+func (g *flightGroup) join(key string) (*flightCall, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		return c, false
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	return c, true
+}
+
+// finish publishes the leader's entry and releases the followers.
+func (g *flightGroup) finish(key string, c *flightCall, val *entry) {
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	c.val = val
+	close(c.done)
+}
+
+// fail publishes a leader error; followers typically retry join.
+func (g *flightGroup) fail(key string, c *flightCall, err error) {
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	c.err = err
+	close(c.done)
+}

@@ -1,0 +1,152 @@
+package service
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Stats is the service's observability surface: expvar-style monotonic
+// counters plus a latency histogram, all updated with atomics so the hot
+// path never takes the cache lock just to count. Snapshot renders a
+// consistent-enough copy for /stats and expvar publication.
+type Stats struct {
+	requests      atomic.Int64 // Minimize calls accepted (incl. batch members)
+	hits          atomic.Int64 // served straight from the cache
+	misses        atomic.Int64 // not in cache at lookup time
+	merges        atomic.Int64 // followers that joined an inflight minimization
+	minimizations atomic.Int64 // actual engine pipeline runs
+	evictions     atomic.Int64 // cache entries displaced by capacity
+	unsat         atomic.Int64 // minimized queries found unsatisfiable
+	cdmRemoved    atomic.Int64 // nodes removed by the CDM pre-filter
+	acimRemoved   atomic.Int64 // nodes removed by the ACIM phase
+	batches       atomic.Int64 // MinimizeBatch calls
+	errors        atomic.Int64 // requests failed (cancellation, shutdown)
+
+	lat latencyHist
+}
+
+// latencyBoundsMicros are the histogram bucket upper bounds, in
+// microseconds; an implicit +Inf bucket catches the rest. The spacing is
+// 1-2-5 per decade from 1µs to 1s — minimizations span hash-lookup hits
+// (sub-µs) to O(n⁶) worst cases.
+var latencyBoundsMicros = [...]int64{
+	1, 2, 5, 10, 20, 50, 100, 200, 500,
+	1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000, 200_000, 500_000, 1_000_000,
+}
+
+type latencyHist struct {
+	buckets [len(latencyBoundsMicros) + 1]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // microseconds
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	us := d.Microseconds()
+	i := 0
+	for i < len(latencyBoundsMicros) && us > latencyBoundsMicros[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(us)
+}
+
+// quantile returns an upper bound on the q-quantile in microseconds: the
+// bound of the first bucket at which the cumulative count reaches q·total.
+func (h *latencyHist) quantile(q float64, counts []int64, total int64) int64 {
+	if total == 0 {
+		return 0
+	}
+	need := int64(math.Ceil(q * float64(total)))
+	if need < 1 {
+		need = 1
+	}
+	cum := int64(0)
+	for i, c := range counts {
+		cum += c
+		if cum >= need {
+			if i < len(latencyBoundsMicros) {
+				return latencyBoundsMicros[i]
+			}
+			return -1 // in the +Inf bucket
+		}
+	}
+	return -1
+}
+
+// LatencyBucket is one histogram bar: the count of requests that took at
+// most LEMicros microseconds (and more than the previous bound).
+type LatencyBucket struct {
+	LEMicros int64 `json:"leMicros"` // -1 on the +Inf bucket
+	Count    int64 `json:"count"`
+}
+
+// Snapshot is a point-in-time copy of the counters, shaped for JSON.
+type Snapshot struct {
+	Requests       int64 `json:"requests"`
+	Hits           int64 `json:"hits"`
+	Misses         int64 `json:"misses"`
+	InflightMerges int64 `json:"inflightMerges"`
+	Minimizations  int64 `json:"minimizations"`
+	Evictions      int64 `json:"evictions"`
+	Unsatisfiable  int64 `json:"unsatisfiable"`
+	CDMRemoved     int64 `json:"cdmRemoved"`
+	ACIMRemoved    int64 `json:"acimRemoved"`
+	Batches        int64 `json:"batches"`
+	Errors         int64 `json:"errors"`
+
+	CacheLen int `json:"cacheLen"`
+	CacheCap int `json:"cacheCap"`
+
+	Constraints           int     `json:"constraints"`
+	ConstraintFingerprint string  `json:"constraintFingerprint"`
+	Workers               int     `json:"workers"`
+	UptimeSeconds         float64 `json:"uptimeSeconds"`
+
+	LatencyCount      int64           `json:"latencyCount"`
+	LatencyMeanMicros float64         `json:"latencyMeanMicros"`
+	LatencyP50Micros  int64           `json:"latencyP50Micros"` // -1: beyond the last bound
+	LatencyP90Micros  int64           `json:"latencyP90Micros"`
+	LatencyP99Micros  int64           `json:"latencyP99Micros"`
+	LatencyBuckets    []LatencyBucket `json:"latencyBuckets"`
+}
+
+func (s *Stats) snapshot() Snapshot {
+	snap := Snapshot{
+		Requests:       s.requests.Load(),
+		Hits:           s.hits.Load(),
+		Misses:         s.misses.Load(),
+		InflightMerges: s.merges.Load(),
+		Minimizations:  s.minimizations.Load(),
+		Evictions:      s.evictions.Load(),
+		Unsatisfiable:  s.unsat.Load(),
+		CDMRemoved:     s.cdmRemoved.Load(),
+		ACIMRemoved:    s.acimRemoved.Load(),
+		Batches:        s.batches.Load(),
+		Errors:         s.errors.Load(),
+	}
+	counts := make([]int64, len(s.lat.buckets))
+	for i := range s.lat.buckets {
+		counts[i] = s.lat.buckets[i].Load()
+	}
+	total := s.lat.count.Load()
+	snap.LatencyCount = total
+	if total > 0 {
+		snap.LatencyMeanMicros = float64(s.lat.sum.Load()) / float64(total)
+	}
+	snap.LatencyP50Micros = s.lat.quantile(0.50, counts, total)
+	snap.LatencyP90Micros = s.lat.quantile(0.90, counts, total)
+	snap.LatencyP99Micros = s.lat.quantile(0.99, counts, total)
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		le := int64(-1)
+		if i < len(latencyBoundsMicros) {
+			le = latencyBoundsMicros[i]
+		}
+		snap.LatencyBuckets = append(snap.LatencyBuckets, LatencyBucket{LEMicros: le, Count: c})
+	}
+	return snap
+}

@@ -1,0 +1,133 @@
+package tpq
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+)
+
+func TestMinimizerCachesAcrossCalls(t *testing.T) {
+	cs := NewConstraints(RequiredDescendant("Section", "Paragraph"))
+	m := NewMinimizer(MinimizerOptions{Constraints: cs})
+	q := MustParse("Articles/Article*[//Paragraph, /Section//Paragraph]")
+
+	out1, rep1 := m.MinimizeReport(q)
+	if out1.String() != "Articles/Article*/Section" {
+		t.Fatalf("minimized to %q", out1)
+	}
+	if rep1.CacheHit || rep1.InputSize != 5 || rep1.OutputSize != 3 {
+		t.Errorf("first report: %+v", rep1)
+	}
+
+	// An isomorphic query — branches swapped — must hit the cache.
+	iso := MustParse("Articles/Article*[/Section//Paragraph, //Paragraph]")
+	out2, rep2 := m.MinimizeReport(iso)
+	if !rep2.CacheHit {
+		t.Errorf("isomorphic repeat missed the cache: %+v", rep2)
+	}
+	if !Isomorphic(out1, out2) {
+		t.Errorf("cached output %q not isomorphic to %q", out2, out1)
+	}
+	if s := m.Stats(); s.Hits != 1 || s.Minimizations != 1 {
+		t.Errorf("stats: %+v", s)
+	}
+}
+
+func TestMinimizerReturnsPrivateCopies(t *testing.T) {
+	m := NewMinimizer(MinimizerOptions{})
+	q := MustParse("a*[/b, /b]")
+	out := m.Minimize(q)
+	// Corrupting the returned pattern must not poison the cache.
+	out.Root.Child("zzz")
+	again := m.Minimize(q)
+	if again.String() != "a*/b" {
+		t.Errorf("cache was poisoned by caller mutation: %q", again)
+	}
+}
+
+func TestMinimizerContextCancellation(t *testing.T) {
+	m := NewMinimizer(MinimizerOptions{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.MinimizeContext(ctx, MustParse("a*[/b, /b]")); err == nil {
+		t.Error("cancelled context should fail")
+	}
+	if out, err := m.MinimizeContext(context.Background(), MustParse("a*[/b, /b]")); err != nil || out.String() != "a*/b" {
+		t.Errorf("live context: %q, %v", out, err)
+	}
+}
+
+func TestMinimizerBatchDedups(t *testing.T) {
+	m := NewMinimizer(MinimizerOptions{Workers: 4})
+	queries := []*Pattern{
+		MustParse("a*[/b, /b]"),
+		MustParse("c*[//d, //d]"),
+		MustParse("a*[/b, /b]"), // duplicate of the first
+	}
+	outs, reps, err := m.MinimizeBatch(context.Background(), queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0].String() != "a*/b" || outs[1].String() != "c*//d" || outs[2].String() != "a*/b" {
+		t.Errorf("batch outputs: %v", outs)
+	}
+	if len(reps) != 3 {
+		t.Fatalf("%d reports", len(reps))
+	}
+	if s := m.Stats(); s.Minimizations != 2 {
+		t.Errorf("minimizations = %d, want 2 (duplicate shares one run)", s.Minimizations)
+	}
+}
+
+// The package-level wrappers must agree with a dedicated instance — they
+// are documented as thin wrappers over one.
+func TestPackageWrappersMatchInstance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cs := NewConstraints(
+		RequiredChild("t0", "t1"),
+		RequiredDescendant("t1", "t2"),
+		CoOccurrence("t2", "t3"),
+	)
+	m := NewMinimizer(MinimizerOptions{Constraints: cs})
+	for i := 0; i < 50; i++ {
+		q := GenerateQuery(rng, 4+rng.Intn(10), 5)
+		want, wantRep := MinimizeReport(q, cs)
+		got, gotRep := m.MinimizeReport(q)
+		if !Isomorphic(want, got) {
+			t.Fatalf("query %v: wrapper %q vs instance %q", q, want, got)
+		}
+		gotRep.CacheHit, gotRep.Merged = false, false
+		if wantRep != gotRep {
+			t.Fatalf("query %v: reports differ: %+v vs %+v", q, wantRep, gotRep)
+		}
+		if !Isomorphic(Minimize(q), MinimizeUnderConstraints(q, nil)) {
+			t.Fatalf("query %v: CIM and unconstrained CDM+ACIM disagree", q)
+		}
+	}
+}
+
+// Regression: Unsatisfiable must judge against the closure of the
+// constraint set. Here no stated constraint forbids anything under "a" —
+// only the derived a !=> c (from a ~ b and b !=> c) does.
+func TestUnsatisfiableUsesClosure(t *testing.T) {
+	cs := NewConstraints(
+		CoOccurrence("a", "b"),     // every a node is also a b node
+		ForbidDescendant("b", "c"), // no b node has a c descendant
+	)
+	q := MustParse("a*//c")
+	if !Unsatisfiable(q, cs) {
+		t.Error("closure-derived a !=> c should make a*//c unsatisfiable")
+	}
+	if Unsatisfiable(MustParse("a*//d"), cs) {
+		t.Error("a*//d does not conflict")
+	}
+	if Unsatisfiable(q, nil) {
+		t.Error("nil constraints forbid nothing")
+	}
+	// MinimizeReport must return the same verdict — the two entry points
+	// share the closure now.
+	_, rep := MinimizeReport(q, cs)
+	if !rep.Unsatisfiable {
+		t.Error("MinimizeReport disagrees with Unsatisfiable")
+	}
+}

@@ -31,13 +31,13 @@
 package tpq
 
 import (
+	"context"
 	"io"
 	"math/big"
 	"math/rand"
+	"sync"
 
 	"tpq/internal/acim"
-	"tpq/internal/cdm"
-	"tpq/internal/cim"
 	"tpq/internal/containment"
 	"tpq/internal/data"
 	"tpq/internal/engine"
@@ -138,9 +138,15 @@ func ForbidDescendant(from, to Type) Constraint { return ics.ForbidDesc(from, to
 // Unsatisfiable reports whether p can never produce an answer on any
 // database satisfying cs — for example because the query places a type
 // under a node that forbids it, or uses a type whose own constraints are
-// contradictory.
+// contradictory. The verdict is taken against the closure of cs, exactly
+// as MinimizeReport takes it: a conflict the closure derives (say a !=> c
+// from a ~ b, b !=> c) counts even though no stated constraint mentions
+// it.
 func Unsatisfiable(p *Pattern, cs *Constraints) bool {
-	return acim.UnsatisfiableUnder(p, cs)
+	if cs == nil {
+		return false
+	}
+	return acim.UnsatisfiableUnder(p, cs.Closure())
 }
 
 // NewSchema returns an empty schema; use Declare/DeclareIsA to populate it
@@ -153,19 +159,40 @@ func Required(name Type) ChildDecl { return schema.Required(name) }
 // Optional declares an optional subelement (minOccurs 0) for Schema.Declare.
 func Optional(name Type) ChildDecl { return schema.Optional(name) }
 
+// defaultMinimizer backs the package-level Minimize: a shared
+// constraint-free instance running plain CIM, so repeated minimizations
+// of isomorphic queries are served from its cache.
+var (
+	defaultOnce      sync.Once
+	defaultMinimizer *Minimizer
+)
+
+func sharedMinimizer() *Minimizer {
+	defaultOnce.Do(func() {
+		defaultMinimizer = newMinimizerAlgo(MinimizerOptions{}, engine.CIM)
+	})
+	return defaultMinimizer
+}
+
 // Minimize returns the unique minimal query equivalent to p, with no
-// integrity constraints assumed (Algorithm CIM). p is not modified.
-func Minimize(p *Pattern) *Pattern { return cim.Minimize(p) }
+// integrity constraints assumed (Algorithm CIM). p is not modified. The
+// call is served by a shared package-level Minimizer, so repeats of the
+// same (or an isomorphic) query hit its cache; build your own instance
+// with NewMinimizer to control caching and constraints.
+func Minimize(p *Pattern) *Pattern { return sharedMinimizer().Minimize(p) }
 
 // MinimizeUnderConstraints returns the unique minimal query equivalent to
 // p under cs (Algorithm CDM as a pre-filter, then Algorithm ACIM —
 // Theorem 5.3 guarantees the combination is exact). p is not modified.
+// Each call builds a throwaway Minimizer, closing cs anew; callers
+// minimizing many queries under one constraint set should hold a
+// NewMinimizer instance instead and get its shared closure and cache.
 func MinimizeUnderConstraints(p *Pattern, cs *Constraints) *Pattern {
 	out, _ := MinimizeReport(p, cs)
 	return out
 }
 
-// Report describes what a MinimizeReport run did.
+// Report describes what a minimization run did.
 type Report struct {
 	// InputSize and OutputSize are the node counts before and after.
 	InputSize, OutputSize int
@@ -176,38 +203,31 @@ type Report struct {
 	// the constraints (forbidden-structure conflicts); the query is
 	// returned minimized anyway, but callers can skip evaluation entirely.
 	Unsatisfiable bool
+	// CacheHit and Merged are set only by Minimizer instances: CacheHit
+	// when the result came from the instance's cache, Merged when the
+	// request joined a concurrent identical request's pipeline run.
+	CacheHit, Merged bool
 }
 
 // MinimizeReport is MinimizeUnderConstraints with a breakdown of the work
 // done, including an unsatisfiability verdict when the constraint set
 // contains forbidden forms.
 func MinimizeReport(p *Pattern, cs *Constraints) (*Pattern, Report) {
-	r := Report{InputSize: p.Size()}
-	closed := cs.Closure()
-	pre := p.Clone()
-	st := cdm.MinimizeInPlace(pre, closed)
-	r.CDMRemoved = st.Removed
-	out, ast := acim.MinimizeWithStats(pre, closed)
-	r.ACIMRemoved = ast.Removed
-	r.OutputSize = out.Size()
-	r.Unsatisfiable = acim.UnsatisfiableUnder(p, closed)
-	return out, r
+	m := NewMinimizer(MinimizerOptions{Constraints: cs, CacheSize: -1})
+	return m.MinimizeReport(p)
 }
 
 // MinimizeBatch minimizes every query under cs (which may be nil) over a
 // pool of workers goroutines (0 means all CPUs), using the same CDM+ACIM
 // pipeline as MinimizeUnderConstraints. Results are returned in input
 // order; the inputs are never modified. Use it to minimize a workload of
-// queries — throughput scales with the worker count while each worker
-// reuses its own scratch memory across queries.
+// queries — throughput scales with the worker count, each worker reuses
+// its own scratch memory across queries, and duplicate queries within the
+// batch share a single minimization.
 func MinimizeBatch(queries []*Pattern, cs *Constraints, workers int) []*Pattern {
-	m := engine.New(engine.Options{Workers: workers, Constraints: cs})
-	results := m.MinimizeBatch(queries)
-	out := make([]*Pattern, len(results))
-	for i, r := range results {
-		out[i] = r.Output
-	}
-	return out
+	m := NewMinimizer(MinimizerOptions{Constraints: cs, Workers: workers})
+	outs, _, _ := m.MinimizeBatch(context.Background(), queries)
+	return outs
 }
 
 // Contains reports whether p contains q: on every database, q's answers
