@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check build vet test race race-service fmtcheck bench fmt
+.PHONY: check build vet test race race-service fuzz-smoke fmtcheck bench fmt
 
 # The gate every change must pass before commit.
-check: build vet fmtcheck race race-service
+check: build vet fmtcheck race race-service fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,20 @@ race:
 # race matrix is ever trimmed.
 race-service:
 	$(GO) test -race ./internal/service/...
+
+# Differential fuzzing smoke: the seeded 1200-case sweep through all five
+# oracles, then 10s of coverage-guided mutation per fuzz target on top of
+# the checked-in seed corpora. Open-ended hunting: go test -fuzz=<target>
+# with no -fuzztime, or cmd/tpqfuzz for sweep/triage/replay.
+fuzz-smoke:
+	$(GO) test -run 'TestSeededSweep|TestSweepGenerators' -count=1 ./internal/difffuzz
+	$(GO) test -fuzz='^FuzzMinimizeEquiv$$' -fuzztime=10s ./internal/difffuzz
+	$(GO) test -fuzz='^FuzzMinimizeUnderICs$$' -fuzztime=10s ./internal/difffuzz
+	$(GO) test -fuzz='^FuzzServiceConsistency$$' -fuzztime=10s ./internal/difffuzz
+	$(GO) test -fuzz='^FuzzDecode$$' -fuzztime=10s ./internal/difffuzz
+	$(GO) test -fuzz='^FuzzParse$$' -fuzztime=10s ./internal/pattern
+	$(GO) test -fuzz='^FuzzParseCondition$$' -fuzztime=10s ./internal/pattern
+	$(GO) test -fuzz='^FuzzFromXPath$$' -fuzztime=10s ./internal/xpath
 
 # Pinned representative benchmark points (full sweeps: cmd/tpqbench).
 bench:

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code = run(args, &out, &errBuf)
+	return out.String(), errBuf.String(), code
+}
+
+func TestSweepSmall(t *testing.T) {
+	out, _, code := runCmd(t, "-n", "200", "-seed", "7")
+	if code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "ok: 200 cases") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestSweepDeterministic(t *testing.T) {
+	a, _, _ := runCmd(t, "-n", "50", "-seed", "3")
+	b, _, _ := runCmd(t, "-n", "50", "-seed", "3")
+	if a != b {
+		t.Errorf("same seed produced different output:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestReproMode(t *testing.T) {
+	out, _, code := runCmd(t,
+		"-query", "OrgUnit*[/Dept/Researcher//DBProject, //Dept//DBProject]")
+	if code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "ok: all oracles hold") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestReproModeWithConstraints(t *testing.T) {
+	out, _, code := runCmd(t,
+		"-query", "Articles/Article*[//Paragraph, /Section//Paragraph]",
+		"-c", "Section => Paragraph",
+		"-c", "Article -> Section")
+	if code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "ok") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestServiceOnly(t *testing.T) {
+	out, _, code := runCmd(t, "-service", "-n", "50", "-seed", "11")
+	if code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, out)
+	}
+}
+
+func TestBadQuery(t *testing.T) {
+	_, errOut, code := runCmd(t, "-query", "[[[")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut, "tpqfuzz:") {
+		t.Errorf("stderr = %q", errOut)
+	}
+}
+
+func TestBadConstraint(t *testing.T) {
+	_, errOut, code := runCmd(t, "-query", "a*", "-c", "not a constraint")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if errOut == "" {
+		t.Error("expected an error on stderr")
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if _, _, code := runCmd(t, "-n", "0"); code != 2 {
+		t.Errorf("-n 0: exit %d, want 2", code)
+	}
+	if _, _, code := runCmd(t, "-nosuchflag"); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+}

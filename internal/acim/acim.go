@@ -193,11 +193,18 @@ func makePermanent(p *pattern.Pattern) {
 // (two-way containment under the constraints).
 //
 // Containment a ⊆_C b is decided by chasing a with the consequences of cs
-// that involve types relevant to the pair, then checking for a containment
-// mapping b → chase(a). The chase is bounded at size(b)+2 rounds, which is
-// exact for acyclic (after closure) constraint sets; for required-edge
-// cycles — satisfiable only by infinite databases — the check is sound but
-// may under-approximate.
+// that can matter for a mapping b → chase(a), then searching for that
+// mapping. Required-edge constraints are kept when their target type is
+// wanted in the chase.WantedWitnessTypes sense — the target, one of its
+// co-occurrence types, or a type required below it occurs in the pair.
+// Filtering by the pair's own types alone is not enough: a constraint
+// chain t0 -> t3, t3 ~ t1, t3 -> t5 justifies mapping t1/t5 onto the
+// guaranteed t3 child even when t3 occurs in neither query (found by the
+// difffuzz equivalence oracle). The chase is bounded at size(b) plus the
+// number of kept constraint types plus 2 rounds — enough to build every
+// witness chain on an acyclic (after closure) set, so the check is exact
+// there; for required-edge cycles — satisfiable only by infinite
+// databases — it is sound but may under-approximate.
 func EquivalentUnder(a, b *pattern.Pattern, cs *ics.Set) bool {
 	closed := cs.Closure()
 	return ContainedUnder(a, b, closed) && ContainedUnder(b, a, closed)
@@ -209,13 +216,21 @@ func ContainedUnder(a, b *pattern.Pattern, cs *ics.Set) bool {
 	for t := range b.TypeSet() {
 		relevant[t] = true
 	}
+	wanted := chase.WantedWitnessTypes(cs, relevant)
 	filtered := ics.NewSet()
 	for _, c := range cs.Constraints() {
-		if relevant[c.To] {
-			filtered.Add(c)
+		switch c.Kind {
+		case ics.RequiredChild, ics.RequiredDescendant:
+			if wanted[c.To] {
+				filtered.Add(c)
+			}
+		default:
+			if relevant[c.To] {
+				filtered.Add(c)
+			}
 		}
 	}
 	chased := a.Clone()
-	chase.FullChase(chased, filtered, b.Size()+2)
+	chase.FullChase(chased, filtered, b.Size()+len(filtered.Types())+2)
 	return containment.Exists(b, chased)
 }

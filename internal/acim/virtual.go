@@ -3,6 +3,7 @@ package acim
 import (
 	"time"
 
+	"tpq/internal/chase"
 	"tpq/internal/ics"
 	"tpq/internal/pattern"
 )
@@ -20,15 +21,23 @@ import (
 // (owner node, edge kind, witness type) implied by an integrity constraint
 // at the owner. A benchmark quantifies the difference.
 
+// witness is a virtual chase witness: a node the constraints guarantee
+// to exist without it being materialized in the pattern. Witnesses form
+// chains — a witness has its own guaranteed children, mirroring the
+// recursive chase in chase.Augment — rooted at the real owner node whose
+// types fired the first constraint.
+type witness struct {
+	owner    *pattern.Node // real node the chain hangs from
+	parent   *witness      // nil when directly under owner
+	kind     pattern.EdgeKind
+	typ      pattern.Type
+	children []*witness
+}
+
 // entity is either a real pattern node or a virtual witness.
 type entity struct {
 	real *pattern.Node // non-nil for real nodes
-
-	// Virtual witnesses: the owner node the constraint fires at, the kind
-	// of edge the witness hangs from, and its type.
-	owner *pattern.Node
-	kind  pattern.EdgeKind
-	typ   pattern.Type
+	w    *witness      // non-nil for virtual witnesses
 }
 
 func realEnt(n *pattern.Node) entity { return entity{real: n} }
@@ -47,7 +56,7 @@ func (e entity) hasType(t pattern.Type, cs *ics.Set) bool {
 		}
 		return false
 	}
-	return cs.HasCo(e.typ, t)
+	return cs.HasCo(e.w.typ, t)
 }
 
 // star reports whether the entity carries the output marker (virtual
@@ -59,16 +68,17 @@ func (e entity) isChildOf(s *pattern.Node) bool {
 	if e.real != nil {
 		return e.real.Parent == s && e.real.Edge == pattern.Child
 	}
-	return e.owner == s && e.kind == pattern.Child
+	return e.w.parent == nil && e.w.owner == s && e.w.kind == pattern.Child
 }
 
 // isDescendantOf reports whether the entity is a proper descendant of the
-// real node s.
+// real node s. Every witness of a chain hangs below its owner, so chain
+// position is irrelevant here.
 func (e entity) isDescendantOf(s *pattern.Node, idx *pattern.Index) bool {
 	if e.real != nil {
 		return idx.IsDescendant(e.real, s)
 	}
-	return e.owner == s || idx.IsDescendant(e.owner, s)
+	return e.w.owner == s || idx.IsDescendant(e.w.owner, s)
 }
 
 // MinimizeVirtual returns the unique minimal query equivalent to p under
@@ -115,33 +125,77 @@ func MinimizeVirtualWithStats(p *pattern.Pattern, cs *ics.Set) (*pattern.Pattern
 	return q, st
 }
 
-// virtualWitnesses computes, per original node, the witness entities its
-// types imply under the closed constraint set, restricted — like physical
-// augmentation — to witness types already occurring in the query.
+// virtualWitnesses computes, per original node, the witness chains its
+// types imply under the closed constraint set, restricted — exactly like
+// physical augmentation — to witness types that can matter for a
+// containment mapping (chase.WantedWitnessTypes). Chains are followed
+// only on acyclic-required sets, mirroring chase.Augment's termination
+// guard, so MinimizeVirtual stays observably equivalent to Minimize.
 func virtualWitnesses(q *pattern.Pattern, cs *ics.Set) (map[*pattern.Node][]entity, int) {
-	present := q.TypeSet()
-	out := make(map[*pattern.Node][]entity)
+	base := q.TypeSet()
+	wanted := chase.WantedWitnessTypes(cs, base)
+	deep := cs.AcyclicRequired()
+	maxDepth := len(base) + len(cs.Types()) + 1
+
 	total := 0
+	// grow adds w's guaranteed children. The closure folds constraints of
+	// w's co-occurrence types into its primary type's targets, so — unlike
+	// for real nodes with explicit extra types — iterating the primary
+	// type's targets suffices.
+	var grow func(owner *pattern.Node, w *witness, depth int)
+	grow = func(owner *pattern.Node, w *witness, depth int) {
+		if depth > maxDepth {
+			return // unreachable on an acyclic closed set; defensive bound
+		}
+		childT, descT := chase.WitnessTargets(cs, []pattern.Type{w.typ}, wanted, true)
+		for _, b := range childT {
+			c := &witness{owner: owner, parent: w, kind: pattern.Child, typ: b}
+			w.children = append(w.children, c)
+			total++
+			grow(owner, c, depth+1)
+		}
+		for _, b := range descT {
+			c := &witness{owner: owner, parent: w, kind: pattern.Descendant, typ: b}
+			w.children = append(w.children, c)
+			total++
+			grow(owner, c, depth+1)
+		}
+	}
+
+	out := make(map[*pattern.Node][]entity)
 	q.Walk(func(n *pattern.Node) {
+		childT, descT := chase.WitnessTargets(cs, n.Types(), wanted, deep)
+		var roots []*witness
+		for _, b := range childT {
+			roots = append(roots, &witness{owner: n, kind: pattern.Child, typ: b})
+		}
+		for _, b := range descT {
+			roots = append(roots, &witness{owner: n, kind: pattern.Descendant, typ: b})
+		}
+		if len(roots) == 0 {
+			return
+		}
+		total += len(roots)
 		var ws []entity
-		for _, t := range n.Types() {
-			for _, b := range cs.ChildTargets(t) {
-				if present[b] {
-					ws = append(ws, entity{owner: n, kind: pattern.Child, typ: b})
-				}
+		for _, r := range roots {
+			if deep {
+				grow(n, r, 1)
 			}
-			for _, b := range cs.DescTargets(t) {
-				if present[b] {
-					ws = append(ws, entity{owner: n, kind: pattern.Descendant, typ: b})
-				}
+			for _, w := range flatten(r, nil) {
+				ws = append(ws, entity{w: w})
 			}
 		}
-		if len(ws) > 0 {
-			out[n] = ws
-			total += len(ws)
-		}
+		out[n] = ws
 	})
 	return out, total
+}
+
+func flatten(w *witness, acc []*witness) []*witness {
+	acc = append(acc, w)
+	for _, c := range w.children {
+		acc = flatten(c, acc)
+	}
+	return acc
 }
 
 func nextVirtualCandidate(q *pattern.Pattern, nonRedundant map[*pattern.Node]bool) *pattern.Node {
@@ -193,7 +247,7 @@ func redundantLeafVirtual(q *pattern.Pattern, l *pattern.Node, witnesses map[*pa
 	for _, v := range idx.Order {
 		set := make(map[int]bool)
 		for i, e := range candidates {
-			if v == l && (e.real == l || e.owner == l) {
+			if v == l && (e.real == l || (e.w != nil && e.w.owner == l)) {
 				continue
 			}
 			if labelCompatVirtual(v, e, cs) {
@@ -224,15 +278,9 @@ func redundantLeafVirtual(q *pattern.Pattern, l *pattern.Node, witnesses map[*pa
 		set := images[v]
 		for i := range set {
 			s := candidates[i]
-			if s.real == nil {
-				// Virtual witnesses have no children: no internal node can
-				// map onto one.
-				delete(set, i)
-				continue
-			}
 			ok := true
 			for _, u := range v.Children {
-				if !childHasImageUnder(u, s.real, images[u], candidates, idx) {
+				if !childHasImageUnder(u, s, images[u], candidates, idx) {
 					ok = false
 					break
 				}
@@ -264,17 +312,47 @@ func redundantLeafVirtual(q *pattern.Pattern, l *pattern.Node, witnesses map[*pa
 	return len(images[q.Root]) > 0
 }
 
-func childHasImageUnder(u *pattern.Node, s *pattern.Node, uImages map[int]bool, candidates []entity, idx *pattern.Index) bool {
+// childHasImageUnder reports whether child u of a query node has an image
+// correctly placed relative to its parent's image s. When s is a virtual
+// witness, u's image must be a witness of the same chain: real nodes
+// never hang below witnesses.
+func childHasImageUnder(u *pattern.Node, s entity, uImages map[int]bool, candidates []entity, idx *pattern.Index) bool {
+	if s.real != nil {
+		if u.Edge == pattern.Child {
+			for i := range uImages {
+				if candidates[i].isChildOf(s.real) {
+					return true
+				}
+			}
+			return false
+		}
+		for i := range uImages {
+			if candidates[i].isDescendantOf(s.real, idx) {
+				return true
+			}
+		}
+		return false
+	}
 	if u.Edge == pattern.Child {
 		for i := range uImages {
-			if candidates[i].isChildOf(s) {
+			if c := candidates[i]; c.w != nil && c.w.parent == s.w && c.w.kind == pattern.Child {
 				return true
 			}
 		}
 		return false
 	}
 	for i := range uImages {
-		if candidates[i].isDescendantOf(s, idx) {
+		if c := candidates[i]; c.w != nil && witnessBelow(c.w, s.w) {
+			return true
+		}
+	}
+	return false
+}
+
+// witnessBelow reports whether c hangs strictly below anc in a chain.
+func witnessBelow(c, anc *witness) bool {
+	for p := c.parent; p != nil; p = p.parent {
+		if p == anc {
 			return true
 		}
 	}

@@ -110,7 +110,7 @@ func TestEntityPredicates(t *testing.T) {
 	if !e.hasType("b", cs) || !e.hasType("c", cs) || e.hasType("z", cs) {
 		t.Error("real entity type closure wrong")
 	}
-	w := entity{owner: n, kind: pattern.Child, typ: "b"}
+	w := entity{w: &witness{owner: n, kind: pattern.Child, typ: "b"}}
 	if !w.hasType("c", cs) || w.hasType("z", cs) || w.star() {
 		t.Error("virtual entity predicates wrong")
 	}

@@ -9,14 +9,18 @@
 // infinite chains), so augmentation restricts it three ways:
 //
 //  1. the constraint set must be logically closed (see ics.Set.Closure),
-//  2. constraints are applied only to nodes that existed before the chase,
-//     and only when the target type already occurs in the original query,
+//  2. witnesses are added only when they can matter for a containment
+//     mapping: the witness's type set must meet the query's types, or the
+//     witness must sit on a required-edge chain leading to one that does
+//     (chains are followed only on acyclic-required sets, so they
+//     terminate),
 //  3. everything added is marked temporary so minimization can treat it as
 //     witness-only and strip it at the end.
 //
-// Under these restrictions the augmented query keeps the original type set,
-// grows its depth by at most one, and has size O(n²) in the size of the
-// original query.
+// Under these restrictions the augmented query's size is bounded by
+// O(n·k) where n is the original query size and k the number of types
+// mentioned by the query and the closed constraint set; witness chains
+// are no longer than k.
 package chase
 
 import (
@@ -29,6 +33,23 @@ import (
 // number of nodes added. cs must be logically closed; Augment closes it
 // defensively if it is not (callers on a hot path should pass a closed
 // set).
+//
+// Witnesses are chased too: a fresh witness receives its own co-occurrence
+// types and required children, recursively, because a query node may have
+// to map onto the witness — and then the witness must exhibit everything
+// the constraints guarantee about it. A witness of type t1 with t1 ~ t3
+// and t1 -> t2 stands for a node that is also a t3 and has a t2 child; a
+// query branch t3/t2 is redundant exactly because it can map onto that
+// guaranteed structure, which a bare childless t1 node cannot witness
+// (found by the difffuzz minimality/agreement oracles). Recursion follows
+// required edges of the closed constraint graph, admitting witness types
+// beyond the query's own when the chain they start leads to one a query
+// node can map onto — necessary for CDM;ACIM = ACIM (Theorem 5.3), since
+// CDM may delete the only node of an intermediate chain type. On an
+// acyclic-required set recursion terminates with witness chains no longer
+// than the number of mentioned types; on a cyclic set — satisfiable only
+// by infinite databases — witnesses stay one level deep, which keeps the
+// old sound under-approximation.
 func Augment(p *pattern.Pattern, cs *ics.Set) int {
 	if p == nil || p.Root == nil || cs == nil {
 		return 0
@@ -38,49 +59,194 @@ func Augment(p *pattern.Pattern, cs *ics.Set) int {
 	}
 	origTypes := p.TypeSet()
 	origNodes := p.Nodes()
+	deep := cs.AcyclicRequired()
+	wanted := WantedWitnessTypes(cs, origTypes)
 
+	maxDepth := len(origTypes) + len(cs.Types()) + 1
 	added := 0
-	for _, n := range origNodes {
-		if n.Temp {
-			continue
-		}
-		// Apply constraints for every type the node carried before the
-		// chase. The closure makes cascading through co-occurrence targets
-		// unnecessary.
+	var chaseNode func(n *pattern.Node, depth int)
+	chaseNode = func(n *pattern.Node, depth int) {
+		// Co-occurrence types first, so the child/descendant pass below sees
+		// the full type set. The closure makes cascading through
+		// co-occurrence targets unnecessary. Only query types are associated:
+		// a required type of a mapped node is always a query type.
 		for _, t := range n.Types() {
 			for _, b := range cs.CoTargets(t) {
 				if origTypes[b] {
 					n.AddType(b, true)
 				}
 			}
-			for _, b := range cs.ChildTargets(t) {
-				if origTypes[b] && addTempChild(n, pattern.Child, b) {
-					added++
+		}
+		if depth > maxDepth {
+			return // unreachable on an acyclic closed set; defensive bound
+		}
+		childT, descT := WitnessTargets(cs, n.Types(), wanted, deep)
+		for _, b := range childT {
+			if w, isNew := ensureTempChild(n, pattern.Child, b); isNew {
+				added++
+				if deep {
+					chaseNode(w, depth+1)
 				}
 			}
-			for _, b := range cs.DescTargets(t) {
-				if origTypes[b] && addTempChild(n, pattern.Descendant, b) {
-					added++
+		}
+		for _, b := range descT {
+			if w, isNew := ensureTempChild(n, pattern.Descendant, b); isNew {
+				added++
+				if deep {
+					chaseNode(w, depth+1)
 				}
 			}
 		}
 	}
+	for _, n := range origNodes {
+		if n.Temp {
+			continue
+		}
+		chaseNode(n, 0)
+	}
 	return added
 }
 
-// addTempChild attaches a temporary witness and reports whether it did;
-// an exact duplicate witness (same type, same edge kind, already
-// temporary) is skipped so that re-augmenting a query is idempotent.
-func addTempChild(n *pattern.Node, k pattern.EdgeKind, t pattern.Type) bool {
-	for _, c := range n.Children {
-		if c.Temp && c.Type == t && c.Edge == k && len(c.Children) == 0 {
+// WantedWitnessTypes computes, for a closed constraint set and a base set
+// of query types, every type whose chase witnesses can matter for a
+// containment mapping from a query drawn from base. Query nodes carry
+// only query types, so a witness of type b contributes only if its type
+// set — b plus its co-occurrence targets — meets base, or (when the
+// set's required edges are acyclic, so chains terminate) some type
+// reachable from b through required edges qualifies: the chain then
+// passes through b even though nothing maps onto b itself. Without the
+// reachability case, deleting the only node of an intermediate chain
+// type (as the CDM pre-filter legitimately does) would cut the witness
+// chains ACIM still needs, breaking CDM;ACIM = ACIM (Theorem 5.3). The
+// same predicate decides which constraints the equivalence judge may
+// drop before its bounded full chase.
+func WantedWitnessTypes(cs *ics.Set, base map[pattern.Type]bool) map[pattern.Type]bool {
+	deep := cs.AcyclicRequired()
+	memo := make(map[pattern.Type]int) // 0 unknown, 1 wanted, 2 not, 3 visiting
+	var wanted func(b pattern.Type) bool
+	wanted = func(b pattern.Type) bool {
+		if base[b] {
+			return true
+		}
+		switch memo[b] {
+		case 1:
+			return true
+		case 2, 3:
 			return false
+		}
+		memo[b] = 3
+		res := false
+		for _, t := range cs.CoTargets(b) {
+			if base[t] {
+				res = true
+				break
+			}
+		}
+		if !res && deep {
+			for _, t := range cs.ChildTargets(b) {
+				if wanted(t) {
+					res = true
+					break
+				}
+			}
+		}
+		if !res && deep {
+			for _, t := range cs.DescTargets(b) {
+				if wanted(t) {
+					res = true
+					break
+				}
+			}
+		}
+		if res {
+			memo[b] = 1
+		} else {
+			memo[b] = 2
+		}
+		return res
+	}
+	out := make(map[pattern.Type]bool, len(base))
+	for t := range base {
+		out[t] = true
+	}
+	for _, t := range cs.Types() {
+		if wanted(t) {
+			out[t] = true
+		}
+	}
+	return out
+}
+
+// WitnessTargets returns the child- and descendant-witness types to spawn
+// at a node carrying types ts, restricted to wanted. Every wanted child
+// target is kept — a child edge cannot be served by deeper structure —
+// but a wanted descendant target is dropped when it duplicates a child
+// target or, when prune is set (witness chains are grown), when another
+// kept target already requires it below itself: that witness's chain
+// will contain the type, and a descendant-edge query node maps across
+// any depth. Without this pruning the closed set's transitive
+// descendant constraints would unfold every descending type sequence
+// into its own chain — exponential on deep chain workloads.
+func WitnessTargets(cs *ics.Set, ts []pattern.Type, wanted map[pattern.Type]bool, prune bool) (childT, descT []pattern.Type) {
+	seen := make(map[pattern.Type]bool)
+	for _, t := range ts {
+		for _, b := range cs.ChildTargets(t) {
+			if wanted[b] && !seen[b] {
+				seen[b] = true
+				childT = append(childT, b)
+			}
+		}
+	}
+	var descAll []pattern.Type
+	for _, t := range ts {
+		for _, b := range cs.DescTargets(t) {
+			if wanted[b] && !seen[b] {
+				seen[b] = true
+				descAll = append(descAll, b)
+			}
+		}
+	}
+	if !prune {
+		return childT, descAll
+	}
+	// On acyclic sets coverage cannot be mutual, so checking each
+	// descendant target against all other kept targets is order-free.
+	for _, d := range descAll {
+		covered := false
+		for _, b := range childT {
+			if cs.HasChild(b, d) || cs.HasDesc(b, d) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			for _, b := range descAll {
+				if b != d && (cs.HasChild(b, d) || cs.HasDesc(b, d)) {
+					covered = true
+					break
+				}
+			}
+		}
+		if !covered {
+			descT = append(descT, d)
+		}
+	}
+	return childT, descT
+}
+
+// ensureTempChild returns n's temporary witness child of the given type
+// and edge kind, creating it if absent — the lookup is what makes
+// re-augmenting a query idempotent — and reports whether it created it.
+func ensureTempChild(n *pattern.Node, k pattern.EdgeKind, t pattern.Type) (*pattern.Node, bool) {
+	for _, c := range n.Children {
+		if c.Temp && c.Type == t && c.Edge == k {
+			return c, false
 		}
 	}
 	w := pattern.NewNode(t)
 	w.Temp = true
 	n.AddChild(k, w)
-	return true
+	return w, true
 }
 
 // FullChase applies the unrestricted chase for up to maxRounds rounds,

@@ -83,26 +83,64 @@ func TestAugmentCoOccurrence(t *testing.T) {
 	}
 }
 
-func TestAugmentOnlyOriginalNodes(t *testing.T) {
-	// Witnesses do not receive witnesses: depth grows by at most one.
+func TestAugmentChasesWitnesses(t *testing.T) {
+	// Witnesses are chased too: the b witness under a stands for a node
+	// the constraints guarantee, so it must exhibit its own guaranteed
+	// c child — otherwise a query branch b/c could never map onto it and
+	// ACIM misses redundancies (the difffuzz agreement/minimality bugs).
 	p := pattern.MustParse("a*[/b, /c]")
 	cs := ics.NewSet(ics.Child("a", "b"), ics.Child("b", "c"))
 	Augment(p, cs)
-	maxDepth := 0
-	p.Walk(func(n *pattern.Node) {
-		if d := n.Depth(); d > maxDepth {
-			maxDepth = d
-		}
-	})
-	if maxDepth > 2 {
-		t.Errorf("augmentation grew depth to %d", maxDepth)
-	}
-	// The b witness under a must NOT have a c witness of its own.
+	found := false
 	for _, c := range p.Root.Children {
-		if c.Temp {
-			if len(c.Children) != 0 {
-				t.Error("temporary witness has children")
+		if c.Temp && c.Type == "b" {
+			for _, g := range c.Children {
+				if g.Temp && g.Type == "c" {
+					found = true
+				}
 			}
+		}
+	}
+	if !found {
+		t.Error("b witness was not given its guaranteed c child")
+	}
+}
+
+func TestAugmentDeepChainStaysLinear(t *testing.T) {
+	// On a closed chain t0 -> t1 -> ... -> t19 every DescTargets(t0)
+	// contains all later types; spawning a chain per transitive target
+	// unfolds every descending type sequence — exponential, and it hung
+	// the Section 6 bench workloads. WitnessTargets prunes descendant
+	// targets already required below another spawned witness, so the
+	// chain is materialized once per node.
+	cons := make([]ics.Constraint, 0, 19)
+	types := make([]pattern.Type, 20)
+	for i := range types {
+		types[i] = pattern.Type(string(rune('a'+i/10)) + string(rune('a'+i%10)))
+	}
+	for i := 0; i+1 < len(types); i++ {
+		cons = append(cons, ics.Child(types[i], types[i+1]))
+	}
+	p := pattern.MustParse("aa*//" + string(types[len(types)-1]))
+	added := Augment(p, ics.NewSet(cons...).Closure())
+	if added == 0 {
+		t.Fatal("chain augmentation added nothing")
+	}
+	if s := p.Size(); s > 3*len(types) {
+		t.Errorf("augmented size %d on a %d-type chain; want linear", s, len(types))
+	}
+}
+
+func TestAugmentCyclicStaysShallow(t *testing.T) {
+	// On a cyclic required set — satisfiable only by infinite databases —
+	// witness chasing would not terminate, so witnesses stay one level
+	// deep (the sound under-approximation).
+	p := pattern.MustParse("a*[/b, /c]")
+	cs := ics.NewSet(ics.Child("a", "b"), ics.Child("b", "c"), ics.Child("c", "a"))
+	Augment(p, cs)
+	for _, c := range p.Root.Children {
+		if c.Temp && len(c.Children) != 0 {
+			t.Error("temporary witness has children despite cyclic constraints")
 		}
 	}
 }

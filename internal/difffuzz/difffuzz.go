@@ -1,0 +1,297 @@
+// Package difffuzz is the differential fuzzing harness for the
+// minimization pipeline: it runs a query (and optionally a constraint set)
+// through every implemented pipeline variant and checks the invariants the
+// paper proves about them. Theorems 4.1 and 5.1 guarantee a *unique*
+// minimal equivalent query — with and without integrity constraints —
+// which makes a perfect oracle: any divergence between two variants, or
+// between a variant and the containment-based equivalence judge, is a bug
+// by construction. No reference implementation or ground-truth corpus is
+// needed.
+//
+// Five oracles are checked (Check runs them all):
+//
+//  1. Equivalence: the minimized output is equivalent to the input —
+//     two-way containment (Section 4), judged under the constraints by the
+//     bounded-chase procedure of acim.EquivalentUnder. The CDM pre-filter's
+//     intermediate output is checked too (Theorem 5.2: CDM is sound).
+//  2. Minimality: no single leaf of the output can be removed without
+//     breaking equivalence (Proposition 4.1: a minimal query has no
+//     redundant node; removing a whole redundant subtree is equivalent iff
+//     removing one of its leaves is, by containment monotonicity).
+//  3. Agreement: CDM-then-ACIM yields the same query as ACIM alone
+//     (Theorem 5.3), and CIM is independent of the elimination order
+//     (Theorem 4.1 via the MEO lemmas).
+//  4. Kernels: the dense integer-indexed bitset kernels produce canonical
+//     forms byte-identical to the nested-map oracles, for both the
+//     leaf-redundancy test (cim.Options.MapTables) and the containment
+//     mapping search (containment.FindMappingMap).
+//  5. Service: the cached, singleflight-deduplicated serving path returns
+//     results isomorphic to a direct engine run — on a cold miss, on a hot
+//     cache hit, with caching disabled, and across a duplicate-heavy batch
+//     — with consistent report flags.
+//
+// The package is pure tooling: it must never mutate its inputs, and a nil
+// error means every oracle held.
+package difffuzz
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"tpq/internal/acim"
+	"tpq/internal/cdm"
+	"tpq/internal/cim"
+	"tpq/internal/containment"
+	"tpq/internal/engine"
+	"tpq/internal/ics"
+	"tpq/internal/pattern"
+	"tpq/internal/service"
+)
+
+// Failure is one oracle violation. Oracle names the invariant that broke
+// ("equivalence", "minimality", "agreement", "kernel", "service"); Query
+// and Constraints reproduce the failing case.
+type Failure struct {
+	Oracle      string
+	Detail      string
+	Query       *pattern.Pattern
+	Constraints *ics.Set
+}
+
+// Error renders the failure with its repro strings.
+func (f *Failure) Error() string {
+	return fmt.Sprintf("difffuzz: oracle %q failed: %s\n  query: %s\n  ics:   %s",
+		f.Oracle, f.Detail, f.Query, constraintString(f.Constraints))
+}
+
+func constraintString(cs *ics.Set) string {
+	if cs == nil || cs.Len() == 0 {
+		return "(none)"
+	}
+	return cs.String()
+}
+
+func fail(q *pattern.Pattern, cs *ics.Set, oracle, format string, args ...interface{}) *Failure {
+	return &Failure{Oracle: oracle, Detail: fmt.Sprintf(format, args...), Query: q, Constraints: cs}
+}
+
+// Check runs all five oracles on q under cs (nil means no constraints)
+// and returns the first violation, or nil. q is never mutated.
+func Check(q *pattern.Pattern, cs *ics.Set) *Failure {
+	if f := CheckMinimize(q, cs); f != nil {
+		return f
+	}
+	return CheckService(q, cs)
+}
+
+// CheckMinimize runs oracles 1-4: equivalence, minimality, pipeline
+// agreement and kernel identity. cs may be nil.
+func CheckMinimize(q *pattern.Pattern, cs *ics.Set) *Failure {
+	if q == nil || q.Validate() != nil {
+		return nil // only well-formed queries are in scope
+	}
+	if cs == nil {
+		cs = ics.NewSet()
+	}
+	closed := cs.Closure()
+
+	// Reference run: ACIM alone, dense kernels.
+	out, _ := acim.MinimizeWithStats(q, closed)
+
+	// Structural sanity: the output must be a well-formed query with no
+	// augmentation residue.
+	if err := out.Validate(); err != nil {
+		return fail(q, cs, "equivalence", "minimized output is invalid: %v", err)
+	}
+	var residue *pattern.Node
+	out.Walk(func(n *pattern.Node) {
+		if residue == nil && (n.Temp || len(n.TempExtra) > 0) {
+			residue = n
+		}
+	})
+	if residue != nil {
+		return fail(q, cs, "equivalence", "temporary node/type survived StripTemp at %q (output %s)", residue.Type, out)
+	}
+
+	// Oracle 1a: the output is equivalent to the input under the
+	// constraints.
+	if !acim.EquivalentUnder(q, out, closed) {
+		return fail(q, cs, "equivalence", "minimized output %s is not equivalent to the input", out)
+	}
+
+	// Oracle 1b: the CDM pre-filter on its own is sound (Theorem 5.2).
+	pre := cdm.Minimize(q, closed)
+	if !acim.EquivalentUnder(q, pre, closed) {
+		return fail(q, cs, "equivalence", "CDM output %s is not equivalent to the input", pre)
+	}
+
+	// Oracle 3a: CDM-then-ACIM agrees with ACIM alone (Theorem 5.3).
+	both := acim.Minimize(pre, closed)
+	if !pattern.Isomorphic(out, both) {
+		return fail(q, cs, "agreement", "CDM+ACIM produced %s, ACIM alone produced %s", both, out)
+	}
+
+	// Oracle 3c: virtual augmentation (§6.1, witnesses only in the images
+	// tables) agrees with physical augmentation. The one-level virtual
+	// witness model silently diverged once physical witnesses became
+	// chains — this oracle pins the two engines together.
+	virt := acim.MinimizeVirtual(q, closed)
+	if !pattern.Isomorphic(out, virt) {
+		return fail(q, cs, "agreement", "physical ACIM produced %s, virtual ACIM produced %s", out, virt)
+	}
+
+	// Oracle 3b: CIM's result is independent of the elimination order
+	// (Theorem 4.1). Reverse the preference among candidate leaves.
+	// Uniqueness is up to type-set isomorphism: either of two mutually
+	// redundant twins may survive, each spelling the same type set with a
+	// different primary/extra split (t0{t2} vs t2{t0}), so both sides are
+	// normalized before comparing.
+	reversed := q.Clone()
+	order := make(map[*pattern.Node]int)
+	rank := 0
+	reversed.Walk(func(n *pattern.Node) { order[n] = -rank; rank++ })
+	cim.MinimizeInPlace(reversed, cim.Options{Order: order})
+	forward := cim.Minimize(q)
+	if !pattern.Isomorphic(normalizeTypeRepr(forward), normalizeTypeRepr(reversed)) {
+		return fail(q, cs, "agreement", "CIM order-dependence: forward %s vs reversed %s", forward, reversed)
+	}
+
+	// Oracle 4a: the dense CIM kernel is byte-identical to the nested-map
+	// oracle through the whole ACIM pipeline.
+	mapOut, _ := acim.MinimizeWithOptions(q, closed, cim.Options{MapTables: true})
+	if out.Canonical() != mapOut.Canonical() {
+		return fail(q, cs, "kernel", "dense ACIM produced %s, map-tables ACIM produced %s", out, mapOut)
+	}
+
+	// Oracle 4b: the dense containment-mapping kernel agrees with the map
+	// oracle in both directions between input and output, and any witness
+	// mapping verifies.
+	for _, pair := range [][2]*pattern.Pattern{{q, out}, {out, q}} {
+		a, b := pair[0], pair[1]
+		dense := containment.FindMapping(a, b)
+		mapped := containment.FindMappingMap(a, b)
+		if (dense != nil) != (mapped != nil) {
+			return fail(q, cs, "kernel", "FindMapping(%s, %s): dense found=%v, map found=%v",
+				a, b, dense != nil, mapped != nil)
+		}
+		if dense != nil && !containment.Verify(a, b, dense) {
+			return fail(q, cs, "kernel", "dense FindMapping(%s, %s) returned an invalid witness", a, b)
+		}
+		if mapped != nil && !containment.Verify(a, b, mapped) {
+			return fail(q, cs, "kernel", "map FindMappingMap(%s, %s) returned an invalid witness", a, b)
+		}
+	}
+
+	// Oracle 2: true minimality — no single leaf of the output is
+	// removable without breaking equivalence. (Removing any redundant
+	// subtree is equivalent iff removing one of its leaves is: the trimmed
+	// queries are nested by containment.)
+	var leaves []*pattern.Node
+	out.Walk(func(n *pattern.Node) {
+		if n.IsLeaf() && !n.Star && n.Parent != nil {
+			leaves = append(leaves, n)
+		}
+	})
+	for _, l := range leaves {
+		trimmed, m := out.CloneMap()
+		m[l].Detach()
+		if acim.EquivalentUnder(out, trimmed, closed) {
+			return fail(q, cs, "minimality", "leaf %q of output %s is still redundant (trimmed: %s)",
+				l.Type, out, trimmed)
+		}
+	}
+	return nil
+}
+
+// normalizeTypeRepr returns a clone of p in which every node's primary
+// type is the lexicographically smallest member of its type set, with the
+// rest in Extra. The primary/extra split is parse syntax, not semantics —
+// a node matches data carrying all of its types regardless of spelling —
+// so oracles comparing two independently minimized results must ignore
+// it.
+func normalizeTypeRepr(p *pattern.Pattern) *pattern.Pattern {
+	out := p.Clone()
+	out.Walk(func(n *pattern.Node) {
+		if len(n.Extra) == 0 {
+			return
+		}
+		ts := n.Types()
+		sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+		n.Type = ts[0]
+		n.Extra = ts[1:]
+	})
+	return out
+}
+
+// CheckService runs oracle 5: the serving layer returns results identical
+// to a direct engine run on the cold path, the hot (cached) path, the
+// cache-disabled path, and a duplicate-heavy batch, with consistent
+// report flags. cs may be nil.
+func CheckService(q *pattern.Pattern, cs *ics.Set) *Failure {
+	if q == nil || q.Validate() != nil {
+		return nil
+	}
+	if cs == nil {
+		cs = ics.NewSet()
+	}
+	ctx := context.Background()
+
+	eng := engine.New(engine.Options{Constraints: cs, Workers: 1})
+	want := eng.Minimize(q).Output
+	wantUnsat := acim.UnsatisfiableUnder(q, eng.Closed())
+
+	check := func(label string, got *pattern.Pattern, rep service.Report, err error) *Failure {
+		if err != nil {
+			return fail(q, cs, "service", "%s: unexpected error %v", label, err)
+		}
+		if !pattern.Isomorphic(got, want) {
+			return fail(q, cs, "service", "%s: served %s, direct engine %s", label, got, want)
+		}
+		if rep.Unsatisfiable != wantUnsat {
+			return fail(q, cs, "service", "%s: Unsatisfiable=%v, direct check %v", label, rep.Unsatisfiable, wantUnsat)
+		}
+		if rep.OutputSize != got.Size() {
+			return fail(q, cs, "service", "%s: OutputSize=%d, actual %d", label, rep.OutputSize, got.Size())
+		}
+		return nil
+	}
+
+	svc := service.New(service.Options{Constraints: cs, Workers: 2})
+	cold, coldRep, err := svc.Minimize(ctx, q)
+	if f := check("cold", cold, coldRep, err); f != nil {
+		return f
+	}
+	if coldRep.CacheHit {
+		return fail(q, cs, "service", "cold request reported CacheHit")
+	}
+	// An isomorphic clone must hit the canonical-form cache.
+	hot, hotRep, err := svc.Minimize(ctx, q.Clone())
+	if f := check("hot", hot, hotRep, err); f != nil {
+		return f
+	}
+	if !hotRep.CacheHit {
+		return fail(q, cs, "service", "repeat request missed the cache")
+	}
+
+	nocache := service.New(service.Options{Constraints: cs, Workers: 2, CacheSize: -1})
+	direct, directRep, err := nocache.Minimize(ctx, q)
+	if f := check("nocache", direct, directRep, err); f != nil {
+		return f
+	}
+	if directRep.CacheHit {
+		return fail(q, cs, "service", "cache-disabled request reported CacheHit")
+	}
+
+	// A duplicate-heavy batch: every element must minimize identically.
+	outs, reps, err := svc.MinimizeBatch(ctx, []*pattern.Pattern{q, q.Clone(), q})
+	if err != nil {
+		return fail(q, cs, "service", "batch: unexpected error %v", err)
+	}
+	for i, got := range outs {
+		if f := check(fmt.Sprintf("batch[%d]", i), got, reps[i], nil); f != nil {
+			return f
+		}
+	}
+	return nil
+}

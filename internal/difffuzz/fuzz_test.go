@@ -1,0 +1,97 @@
+package difffuzz
+
+import (
+	"testing"
+
+	"tpq/internal/genquery"
+	"tpq/internal/ics"
+)
+
+// Native differential fuzz targets. `go test` runs them over the seed
+// corpus; extended fuzzing via e.g.
+//
+//	go test -fuzz=FuzzMinimizeUnderICs ./internal/difffuzz
+//
+// The byte string is decoded into a query (and constraint set) by
+// genquery.FromBytes / FromBytesWithICs, so the fuzzer mutates query
+// structure directly. Failures report the decoded repro strings; shrink
+// and triage them with cmd/tpqfuzz.
+
+// seeds covers the structural corners: single node, chains, fans, shared
+// types, deep trees. The decoders read bytes positionally, so these are
+// starting points for mutation, not meaningful cases by themselves.
+var seeds = [][]byte{
+	{},
+	{0},
+	{1, 1, 0, 0},
+	{5, 2, 0, 0, 0, 1, 0, 1, 1, 0, 2, 1, 1},
+	{9, 1, 0, 0, 0, 0, 1, 0, 0, 2, 1, 0, 3, 0, 0, 4, 1, 0, 5, 0, 0},
+	{13, 3, 2, 0, 1, 1, 1, 0, 2, 2, 1, 0, 3, 0, 1, 4, 1, 2, 5, 0, 0, 6, 1, 1},
+	{7, 2, 1, 0, 0, 0, 1, 1, 1, 2, 0, 0, 3, 1, 1, 4, 0, 0, 3, 0, 1, 2, 0, 1, 0, 3, 1, 2, 4},
+}
+
+func FuzzMinimizeEquiv(f *testing.F) {
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q := genquery.FromBytes(data)
+		if err := CheckMinimize(q, nil).err(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func FuzzMinimizeUnderICs(f *testing.F) {
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, cs := genquery.FromBytesWithICs(data)
+		if err := CheckMinimize(q, cs).err(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func FuzzServiceConsistency(f *testing.F) {
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, cs := genquery.FromBytesWithICs(data)
+		if err := CheckService(q, cs).err(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// err converts a *Failure into an error without the nil-interface trap.
+func (f *Failure) err() error {
+	if f == nil {
+		return nil
+	}
+	return f
+}
+
+// FuzzDecode keeps the byte decoders themselves honest: every input must
+// decode to a query that validates, deterministically.
+func FuzzDecode(f *testing.F) {
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, cs := genquery.FromBytesWithICs(data)
+		if err := q.Validate(); err != nil {
+			t.Fatalf("decoded query invalid: %v", err)
+		}
+		q2, cs2 := genquery.FromBytesWithICs(data)
+		if q.Canonical() != q2.Canonical() || cs.String() != cs2.String() {
+			t.Fatalf("decode not deterministic")
+		}
+		if !cs.Closure().AcyclicRequired() {
+			t.Fatalf("decoded constraints have a cyclic closure: %s", cs)
+		}
+		_ = ics.NewSet(cs.Constraints()...)
+	})
+}

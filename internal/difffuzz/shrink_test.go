@@ -1,0 +1,110 @@
+package difffuzz
+
+import (
+	"strings"
+	"testing"
+
+	"tpq/internal/genquery"
+	"tpq/internal/ics"
+	"tpq/internal/pattern"
+)
+
+// The sweeps exercise Shrink only when an oracle actually fires, so these
+// tests drive it with synthetic failing predicates: the shrinker must
+// terminate, reach a local minimum, and never mutate its inputs.
+
+// TestShrinkSynthetic shrinks a 30-node query with 5 constraints under a
+// predicate that only needs one node type and one constraint; the result
+// must be drastically smaller and still failing.
+func TestShrinkSynthetic(t *testing.T) {
+	q := genquery.Redundant(30, 5, 3)
+	cs := ics.MustParseSet("t0 -> t1", "t1 => t2", "t2 ~ t3", "t3 -> t4", "t0 => t5")
+	failing := func(q *pattern.Pattern, cs *ics.Set) bool {
+		hasType := false
+		q.Walk(func(n *pattern.Node) {
+			if n.Type == "red" {
+				hasType = true
+			}
+		})
+		hasCon := false
+		for _, c := range cs.Constraints() {
+			if c.String() == "t0 -> t1" {
+				hasCon = true
+			}
+		}
+		return hasType && hasCon
+	}
+	if !failing(q, cs) {
+		t.Fatal("predicate does not hold on the unshrunk case")
+	}
+	qBefore, csBefore := q.Canonical(), cs.String()
+
+	sq, scs := Shrink(q, cs, failing)
+	if !failing(sq, scs) {
+		t.Fatalf("shrunk case no longer fails: %s", Repro(sq, scs))
+	}
+	if scs.Len() != 1 {
+		t.Errorf("shrunk constraints = %q, want just the one needed", scs)
+	}
+	// The minimum is the root plus at most the t1 node (the root itself may
+	// be t1 and the star constrains deletion, so allow a little slack).
+	if sq.Size() > 3 {
+		t.Errorf("shrunk query still has %d nodes: %s", sq.Size(), sq)
+	}
+	if q.Canonical() != qBefore || cs.String() != csBefore {
+		t.Error("Shrink mutated its inputs")
+	}
+}
+
+// TestShrinkNotFailing: a case the predicate rejects comes back unchanged.
+func TestShrinkNotFailing(t *testing.T) {
+	q, cs := genquery.Chain(4)
+	never := func(*pattern.Pattern, *ics.Set) bool { return false }
+	sq, scs := Shrink(q, cs, never)
+	if !pattern.Isomorphic(sq, q) || scs.Len() != cs.Len() {
+		t.Errorf("non-failing case was altered: %s", Repro(sq, scs))
+	}
+}
+
+// TestShrinkPreservesStar: the output node survives any amount of
+// shrinking, so every repro is still a well-formed query.
+func TestShrinkPreservesStar(t *testing.T) {
+	q := genquery.Redundant(20, 4, 2)
+	always := func(q *pattern.Pattern, _ *ics.Set) bool { return q.Validate() == nil }
+	sq, _ := Shrink(q, nil, always)
+	if err := sq.Validate(); err != nil {
+		t.Fatalf("shrunk query invalid: %v", err)
+	}
+	stars := 0
+	sq.Walk(func(n *pattern.Node) {
+		if n.Star {
+			stars++
+		}
+	})
+	if stars != 1 {
+		t.Errorf("shrunk query has %d output nodes", stars)
+	}
+}
+
+// TestStillFailsMatchesOracle: StillFails must only accept the oracle it
+// was built for — shrinking a kernel bug must not wander onto an
+// unrelated equivalence failure.
+func TestStillFailsMatchesOracle(t *testing.T) {
+	q, cs := genquery.Chain(3)
+	if StillFails("kernel")(q, cs) {
+		t.Error("StillFails reported a failure on a healthy case")
+	}
+}
+
+func TestReproRendersBothHalves(t *testing.T) {
+	q, cs := genquery.Chain(3)
+	r := Repro(q, cs)
+	if !strings.Contains(r, "query ") || !strings.Contains(r, "ics ") {
+		t.Errorf("Repro = %q", r)
+	}
+	// The quoted query must parse back to an isomorphic pattern.
+	parsed, err := pattern.Parse(q.String())
+	if err != nil || !pattern.Isomorphic(parsed, q) {
+		t.Errorf("repro query %q does not round-trip (err=%v)", q.String(), err)
+	}
+}

@@ -1,0 +1,69 @@
+package difffuzz
+
+import (
+	"math/rand"
+	"testing"
+
+	"tpq/internal/genquery"
+	"tpq/internal/ics"
+	"tpq/internal/pattern"
+)
+
+// TestSeededSweep is the CI-runnable face of the harness: a fixed-seed
+// sweep of random byte strings through all five oracles. The acceptance
+// bar for the harness is >= 1000 query/constraint pairs; the sweep runs
+// 1200 (300 in -short mode) so the gate holds with margin. Any failure
+// is shrunk before reporting, so the log carries a minimal repro.
+func TestSeededSweep(t *testing.T) {
+	n := 1200
+	if testing.Short() {
+		n = 300
+	}
+	rng := rand.New(rand.NewSource(20260805))
+	buf := make([]byte, 48)
+	for i := 0; i < n; i++ {
+		rng.Read(buf)
+		data := buf[:rng.Intn(len(buf))]
+		q, cs := genquery.FromBytesWithICs(data)
+		if f := Check(q, cs); f != nil {
+			sq, scs := Shrink(q, cs, StillFails(f.Oracle))
+			t.Fatalf("case %d: %v\nshrunk repro: %s", i, f, Repro(sq, scs))
+		}
+	}
+}
+
+// TestSweepGenerators complements the byte sweep with the structured
+// generators of genquery, whose redundancy patterns the decoders only hit
+// by luck: chains, bushy trees, stars, half-local queries and deep
+// witnesses, at a few sizes each.
+func TestSweepGenerators(t *testing.T) {
+	type tcase struct {
+		name string
+		q    *pattern.Pattern
+		cs   *ics.Set
+	}
+	var cases []tcase
+	add := func(name string, q *pattern.Pattern, cs *ics.Set) {
+		cases = append(cases, tcase{name, q, cs})
+	}
+	q, cs := genquery.Chain(5)
+	add("chain5", q, cs)
+	q, cs = genquery.Chain(9)
+	add("chain9", q, cs)
+	q, cs = genquery.Bushy(7, 2)
+	add("bushy7", q, cs)
+	q, cs = genquery.Star(6)
+	add("star6", q, cs)
+	q, cs = genquery.HalfLocal(10)
+	add("halflocal10", q, cs)
+	q, cs = genquery.DeepWitness(3)
+	add("deepwitness3", q, cs)
+	add("redundant", genquery.Redundant(9, 2, 2), nil)
+	add("fan", genquery.Fan(6), genquery.FanRedundancy(3))
+
+	for _, tc := range cases {
+		if f := Check(tc.q, tc.cs); f != nil {
+			t.Fatalf("%s: %v", tc.name, f)
+		}
+	}
+}

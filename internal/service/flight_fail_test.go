@@ -1,0 +1,187 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"tpq/internal/genquery"
+	"tpq/internal/pattern"
+)
+
+// These tests pin two edge cases the differential fuzzer's service oracle
+// motivated: the cache-disabled configuration must never touch the cache
+// counters, and a singleflight follower that observes its leader failing
+// must surface an error or a real result — never a nil entry. Both run
+// under -race via the race-service make target.
+
+// TestNoCacheStatsStayZero: with CacheSize < 0 there is no cache and no
+// singleflight, so hits, evictions and merges must stay exactly zero no
+// matter how many identical or concurrent requests arrive, and every
+// request is a miss that runs the pipeline.
+func TestNoCacheStatsStayZero(t *testing.T) {
+	svc := New(Options{Constraints: testConstraints(), Workers: 4, CacheSize: -1})
+	ctx := context.Background()
+	q := genquery.Redundant(8, 2, 2)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				_, rep, err := svc.Minimize(ctx, q.Clone())
+				if err != nil {
+					t.Errorf("Minimize: %v", err)
+					return
+				}
+				if rep.CacheHit || rep.Merged {
+					t.Errorf("cache-disabled request reported CacheHit=%v Merged=%v", rep.CacheHit, rep.Merged)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// A duplicate-heavy batch goes down the same no-cache path.
+	if _, _, err := svc.MinimizeBatch(ctx, []*pattern.Pattern{q, q.Clone(), q.Clone()}); err != nil {
+		t.Fatalf("MinimizeBatch: %v", err)
+	}
+
+	snap := svc.Stats()
+	if snap.Hits != 0 || snap.Evictions != 0 || snap.InflightMerges != 0 {
+		t.Errorf("cache-disabled counters inflated: hits=%d evictions=%d merges=%d",
+			snap.Hits, snap.Evictions, snap.InflightMerges)
+	}
+	if snap.Misses != snap.Requests {
+		t.Errorf("misses=%d != requests=%d: some request skipped the pipeline", snap.Misses, snap.Requests)
+	}
+	if snap.Minimizations != snap.Requests {
+		t.Errorf("minimizations=%d != requests=%d", snap.Minimizations, snap.Requests)
+	}
+	if snap.CacheLen != 0 || snap.CacheCap != 0 {
+		t.Errorf("cache-disabled snapshot reports a cache: len=%d cap=%d", snap.CacheLen, snap.CacheCap)
+	}
+}
+
+// gatedService returns a service whose FIRST computing leader parks inside
+// the compute gate until release is closed; later leaders (a follower
+// retrying after the first leader failed) pass straight through.
+func gatedService(t *testing.T) (svc *Service, inGate, release chan struct{}) {
+	t.Helper()
+	svc = New(Options{Constraints: testConstraints(), Workers: 2})
+	inGate = make(chan struct{})
+	release = make(chan struct{})
+	var once sync.Once
+	svc.computeGate = func() {
+		once.Do(func() {
+			close(inGate)
+			<-release
+		})
+	}
+	return svc, inGate, release
+}
+
+type flightResult struct {
+	out *pattern.Pattern
+	rep Report
+	err error
+}
+
+// waitMerged polls until a follower has joined the inflight minimization.
+func waitMerged(t *testing.T, svc *Service) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for svc.Stats().InflightMerges == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("follower never joined the flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestFlightLeaderFailSharedContext: leader and follower share a context
+// that is cancelled while the leader holds the flight. Both must return the
+// context error — the follower must not treat the leader's failure as a nil
+// entry and must not loop forever on its own dead context.
+func TestFlightLeaderFailSharedContext(t *testing.T) {
+	svc, inGate, release := gatedService(t)
+	q := genquery.Redundant(10, 2, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	leaderCh := make(chan flightResult, 1)
+	go func() {
+		out, rep, err := svc.Minimize(ctx, q)
+		leaderCh <- flightResult{out, rep, err}
+	}()
+	<-inGate
+	followerCh := make(chan flightResult, 1)
+	go func() {
+		out, rep, err := svc.Minimize(ctx, q.Clone())
+		followerCh <- flightResult{out, rep, err}
+	}()
+	waitMerged(t, svc)
+	cancel()
+	close(release)
+
+	for name, ch := range map[string]chan flightResult{"leader": leaderCh, "follower": followerCh} {
+		r := <-ch
+		if !errors.Is(r.err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled (out=%v rep=%+v)", name, r.err, r.out, r.rep)
+		}
+		if r.out != nil {
+			t.Errorf("%s: returned a pattern alongside the error: %s", name, r.out)
+		}
+	}
+}
+
+// TestFlightLeaderFailFollowerRetries: only the leader's context dies. The
+// follower, whose context is live, must observe the failure and retry as
+// the next leader, returning the correct minimization rather than an error
+// or nil entry.
+func TestFlightLeaderFailFollowerRetries(t *testing.T) {
+	svc, inGate, release := gatedService(t)
+	q := genquery.Redundant(10, 2, 2)
+	want, _ := referenceMinimize(q, svc.Constraints())
+	leaderCtx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	leaderCh := make(chan flightResult, 1)
+	go func() {
+		out, rep, err := svc.Minimize(leaderCtx, q)
+		leaderCh <- flightResult{out, rep, err}
+	}()
+	<-inGate
+	followerCh := make(chan flightResult, 1)
+	go func() {
+		out, rep, err := svc.Minimize(context.Background(), q.Clone())
+		followerCh <- flightResult{out, rep, err}
+	}()
+	waitMerged(t, svc)
+	cancel()
+	close(release)
+
+	leader := <-leaderCh
+	if !errors.Is(leader.err, context.Canceled) {
+		t.Errorf("leader: err = %v, want context.Canceled", leader.err)
+	}
+	follower := <-followerCh
+	if follower.err != nil {
+		t.Fatalf("follower with live context: %v", follower.err)
+	}
+	if follower.out == nil {
+		t.Fatal("follower returned a nil pattern without an error")
+	}
+	if !pattern.Isomorphic(follower.out, want) {
+		t.Errorf("follower output %s, want %s", follower.out, want)
+	}
+
+	// The retried result must now be cached for everyone else.
+	_, rep, err := svc.Minimize(context.Background(), q.Clone())
+	if err != nil || !rep.CacheHit {
+		t.Errorf("post-retry request: err=%v hit=%v, want cached", err, rep.CacheHit)
+	}
+}
