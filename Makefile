@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check build vet test race race-service fuzz-smoke fmtcheck bench fmt
+.PHONY: check build vet test race race-service fuzz-smoke bench-smoke fmtcheck bench fmt
 
 # The gate every change must pass before commit.
-check: build vet fmtcheck race race-service fuzz-smoke
+check: build vet fmtcheck race race-service fuzz-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,12 @@ fuzz-smoke:
 	$(GO) test -fuzz='^FuzzParse$$' -fuzztime=10s ./internal/pattern
 	$(GO) test -fuzz='^FuzzParseCondition$$' -fuzztime=10s ./internal/pattern
 	$(GO) test -fuzz='^FuzzFromXPath$$' -fuzztime=10s ./internal/xpath
+
+# One-iteration run of the incremental-vs-scratch ablation benchmark: the
+# benchmark b.Fatals if the kernels' outputs ever diverge, so this is a
+# correctness gate as much as a perf smoke test.
+bench-smoke:
+	$(GO) test -run xxx -bench '^BenchmarkFig7bIncremental$$' -benchtime 1x -count=1 .
 
 # Pinned representative benchmark points (full sweeps: cmd/tpqbench).
 bench:

@@ -63,6 +63,43 @@ func BenchmarkFig7bTables(b *testing.B) {
 	}
 }
 
+// BenchmarkFig7bIncremental pins the images-table reuse ablation on the
+// Figure 7(b) workload: the incremental engine (one master per run,
+// per-leaf tables derived by interval masking) against the per-leaf
+// from-scratch dense kernel. It doubles as the bench-smoke verdict gate —
+// any output divergence between the two kernels fails the benchmark.
+func BenchmarkFig7bIncremental(b *testing.B) {
+	q := genquery.Fan(101)
+	csRaw := genquery.RelevantConstraints(q, 100)
+	for _, c := range genquery.FanRedundancy(50).Constraints() {
+		csRaw.Add(c)
+	}
+	cs := csRaw.Closure()
+	kernels := []struct {
+		name string
+		opts cim.Options
+	}{
+		{"Incremental", cim.Options{}},
+		{"Scratch", cim.Options{Scratch: true}},
+	}
+	want, _ := acim.MinimizeWithOptions(q, cs, cim.Options{MapTables: true})
+	wantCanon := want.Canonical()
+	for _, k := range kernels {
+		b.Run(k.name, func(b *testing.B) {
+			var built, derived int
+			for i := 0; i < b.N; i++ {
+				out, st := acim.MinimizeWithOptions(q, cs, k.opts)
+				built, derived = st.TablesBuilt, st.TablesDerived
+				if out.Canonical() != wantCanon {
+					b.Fatalf("%s kernel diverged from the map oracle: got %s, want %s", k.name, out, want)
+				}
+			}
+			b.ReportMetric(float64(built), "tables-built")
+			b.ReportMetric(float64(derived), "tables-derived")
+		})
+	}
+}
+
 // --- Figure 8(a): CDM vs stored constraints ------------------------------
 
 func BenchmarkFig8aCDMConstraints(b *testing.B) {

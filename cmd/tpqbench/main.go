@@ -9,9 +9,10 @@
 //	tpqbench -fig 8b -csv    # machine-readable output
 //	tpqbench -quick          # sparse grids (smoke test)
 //	tpqbench -budget 200ms   # more careful timing per point
+//	tpqbench -fig 7b-incremental -cpuprofile cpu.out
 //
-// Experiments: 7a 7b 8a 8b 9a 9b motivation ablation-cim ablation-closure
-// ablation-virtual.
+// Experiments: 7a 7b 7b-incremental 8a 8b 9a 9b motivation ablation-cim
+// ablation-closure ablation-virtual ablation-cdm batch service.
 package main
 
 import (
@@ -19,6 +20,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -33,10 +36,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("tpqbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	fig := fs.String("fig", "all", "experiment id or 'all': "+strings.Join(bench.Names(), " "))
+	fs.StringVar(fig, "figure", *fig, "alias for -fig")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	quick := fs.Bool("quick", false, "sparse parameter grids (fast smoke run)")
 	budget := fs.Duration("budget", 50*time.Millisecond, "minimum measurement time per point")
 	runs := fs.Int("runs", 3, "minimum runs per point")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the measured experiments to this file")
+	memprofile := fs.String("memprofile", "", "write an allocation profile taken after the run to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -52,6 +58,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		names = []string{*fig}
 	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(stderr, "tpqbench: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "tpqbench: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
 	for i, name := range names {
 		tab := bench.ByName(name)(opts)
 		if *csv {
@@ -61,6 +80,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintln(stdout)
 			}
 			fmt.Fprint(stdout, tab)
+		}
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(stderr, "tpqbench: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(stderr, "tpqbench: %v\n", err)
+			return 1
 		}
 	}
 	return 0

@@ -42,6 +42,11 @@ type Stats struct {
 	Removed int
 	// Tests is the number of leaf-redundancy tests run by the CIM phase.
 	Tests int
+	// TablesBuilt and TablesDerived split the CIM phase's images tables
+	// into full constructions and tables derived from a run's master state
+	// by interval masking (see cim.Stats); TablesDerived : TablesBuilt is
+	// the amortization ratio of the incremental engine.
+	TablesBuilt, TablesDerived int
 	// TablesTime is the time spent building images and ancestor/descendant
 	// tables (Figure 7(b) reports this fraction of TotalTime).
 	TablesTime time.Duration
@@ -68,6 +73,17 @@ func MinimizeWithStats(p *pattern.Pattern, cs *ics.Set) (*pattern.Pattern, Stats
 // CIM phase. The batch engine uses it to route each worker's redundancy
 // tests through that worker's scratch arena.
 func MinimizeWithOptions(p *pattern.Pattern, cs *ics.Set, opts cim.Options) (*pattern.Pattern, Stats) {
+	return MinimizeWithRunner(p, cs, func(q *pattern.Pattern) cim.Stats {
+		return cim.MinimizeInPlace(q, opts)
+	})
+}
+
+// MinimizeWithRunner is MinimizeWithOptions with the CIM phase supplied by
+// the caller: run receives the augmented query and minimizes it in place.
+// The engine package injects its parallel screening loop here, so the
+// concurrency policy lives with the worker pool while augmentation and
+// temporary-stripping stay in one place.
+func MinimizeWithRunner(p *pattern.Pattern, cs *ics.Set, run func(*pattern.Pattern) cim.Stats) (*pattern.Pattern, Stats) {
 	var st Stats
 	start := time.Now()
 	q := p.Clone()
@@ -80,9 +96,11 @@ func MinimizeWithOptions(p *pattern.Pattern, cs *ics.Set, opts cim.Options) (*pa
 	st.AugmentTime = time.Since(tAug)
 	st.AugmentedSize = q.Size()
 
-	cimStats := cim.MinimizeInPlace(q, opts)
+	cimStats := run(q)
 	st.Removed = cimStats.Removed
 	st.Tests = cimStats.Tests
+	st.TablesBuilt = cimStats.TablesBuilt
+	st.TablesDerived = cimStats.TablesDerived
 	st.TablesTime = cimStats.TablesTime
 
 	q.StripTemp()

@@ -102,6 +102,57 @@ func Fig7b(opts Options) *Table {
 	return t
 }
 
+// Fig7bIncremental is the reuse ablation on the Figure 7(b) workload: the
+// same 101-node, 100-constraint sweep run once with the incremental
+// images-table engine (one master per run, per-leaf tables derived by
+// interval masking) and once with the per-leaf from-scratch dense kernel
+// (cim.Options.Scratch). Outputs are cross-checked every iteration; the
+// comment reports the built:derived amortization of the incremental runs.
+func Fig7bIncremental(opts Options) *Table {
+	t := &Table{
+		Title:  "Figure 7(b) ablation: incremental vs from-scratch images tables (101 nodes, 100 constraints)",
+		XLabel: "RedNodes*Deg",
+		YLabel: "time",
+	}
+	q := genquery.Fan(101)
+	base := genquery.RelevantConstraints(q, 100)
+	var built, derived int
+	for red := 10; red <= 90; red += opts.step(10) {
+		cs := base.Clone()
+		for _, c := range genquery.FanRedundancy(red).Constraints() {
+			cs.Add(c)
+		}
+		cs = cs.Closure()
+		var incOut, scrOut *pattern.Pattern
+		var incTotal, incTables, scrTotal, scrTables time.Duration
+		Measure(opts, func() time.Duration {
+			out, st := acim.MinimizeWithOptions(q, cs, cim.Options{})
+			if incTotal == 0 || st.TotalTime < incTotal {
+				incOut, incTotal, incTables = out, st.TotalTime, st.TablesTime
+				built, derived = st.TablesBuilt, st.TablesDerived
+			}
+			return st.TotalTime
+		})
+		Measure(opts, func() time.Duration {
+			out, st := acim.MinimizeWithOptions(q, cs, cim.Options{Scratch: true})
+			if scrTotal == 0 || st.TotalTime < scrTotal {
+				scrOut, scrTotal, scrTables = out, st.TotalTime, st.TablesTime
+			}
+			return st.TotalTime
+		})
+		if incOut.Canonical() != scrOut.Canonical() {
+			panic("bench: incremental and from-scratch kernels disagree on the Figure 7(b) workload at red=" + itoa(red))
+		}
+		t.Add("IncrTotal", float64(red), incTotal)
+		t.Add("IncrTables", float64(red), incTables)
+		t.Add("ScratchTotal", float64(red), scrTotal)
+		t.Add("ScratchTables", float64(red), scrTables)
+	}
+	t.Comment = "outputs verified identical; last incremental run built " +
+		itoa(built) + " master table(s) and derived " + itoa(derived) + " test tables from them"
+	return t
+}
+
 // Fig8a reproduces Figure 8(a): CDM time on a fixed 127-node query is flat
 // in the number of stored constraints, because every probe is a hash
 // lookup keyed by an argument pair. Two flavours are measured: growing
@@ -413,7 +464,7 @@ func BatchMinimize(opts Options) *Table {
 // All runs every experiment and returns the tables in presentation order.
 func All(opts Options) []*Table {
 	return []*Table{
-		Fig7a(opts), Fig7b(opts), Fig8a(opts), Fig8b(opts),
+		Fig7a(opts), Fig7b(opts), Fig7bIncremental(opts), Fig8a(opts), Fig8b(opts),
 		Fig9a(opts), Fig9b(opts), Motivation(opts),
 		AblationCIM(opts), AblationClosure(opts), AblationVirtual(opts), AblationCDM(opts),
 		BatchMinimize(opts), ServiceThroughput(opts),
@@ -428,6 +479,8 @@ func ByName(name string) func(Options) *Table {
 		return Fig7a
 	case "7b":
 		return Fig7b
+	case "7b-incremental":
+		return Fig7bIncremental
 	case "8a":
 		return Fig8a
 	case "8b":
@@ -456,5 +509,5 @@ func ByName(name string) func(Options) *Table {
 
 // Names lists the experiment ids in presentation order.
 func Names() []string {
-	return []string{"7a", "7b", "8a", "8b", "9a", "9b", "motivation", "ablation-cim", "ablation-closure", "ablation-virtual", "ablation-cdm", "batch", "service"}
+	return []string{"7a", "7b", "7b-incremental", "8a", "8b", "9a", "9b", "motivation", "ablation-cim", "ablation-closure", "ablation-virtual", "ablation-cdm", "batch", "service"}
 }

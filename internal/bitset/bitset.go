@@ -183,6 +183,45 @@ func (s Set) AddRange(lo, hi int) {
 	s[hiW] |= hiMask
 }
 
+// RemoveRange deletes every integer in the inclusive range [lo, hi],
+// word-parallel. The incremental images-table engine uses it to mask a
+// tested leaf's excluded subtree interval and to clear the columns of a
+// removed subtree from every surviving row.
+func (s Set) RemoveRange(lo, hi int) {
+	if lo < 0 {
+		lo = 0
+	}
+	if max := len(s)*wordBits - 1; hi > max {
+		hi = max
+	}
+	if lo > hi {
+		return
+	}
+	loW, hiW := lo/wordBits, hi/wordBits
+	loMask := ^Word(0) << (uint(lo) % wordBits)
+	hiMask := ^Word(0) >> (wordBits - 1 - uint(hi)%wordBits)
+	if loW == hiW {
+		s[loW] &^= loMask & hiMask
+		return
+	}
+	s[loW] &^= loMask
+	for w := loW + 1; w < hiW; w++ {
+		s[w] = 0
+	}
+	s[hiW] &^= hiMask
+}
+
+// Equal reports whether s and t contain exactly the same members. Equal
+// lengths required.
+func (s Set) Equal(t Set) bool {
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // NextInRange returns the smallest member in [lo, hi], or -1.
 func (s Set) NextInRange(lo, hi int) int {
 	i := s.NextSet(lo)

@@ -187,3 +187,45 @@ func TestMatrix(t *testing.T) {
 		}
 	}
 }
+
+func TestRemoveRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(200)
+		s := New(n)
+		want := make([]bool, n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				s.Add(i)
+				want[i] = true
+			}
+		}
+		lo := rng.Intn(n+20) - 10
+		hi := lo + rng.Intn(n+20) - 5
+		s.RemoveRange(lo, hi)
+		for i := 0; i < n; i++ {
+			if i >= lo && i <= hi {
+				want[i] = false
+			}
+			if s.Has(i) != want[i] {
+				t.Fatalf("trial %d: RemoveRange(%d,%d): bit %d = %v, want %v",
+					trial, lo, hi, i, s.Has(i), want[i])
+			}
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, b := New(130), New(130)
+	if !a.Equal(b) {
+		t.Fatal("empty sets not equal")
+	}
+	a.Add(129)
+	if a.Equal(b) {
+		t.Fatal("sets differing at bit 129 reported equal")
+	}
+	b.Add(129)
+	if !a.Equal(b) {
+		t.Fatal("identical sets not equal")
+	}
+}

@@ -62,10 +62,22 @@ func Augment(p *pattern.Pattern, cs *ics.Set) int {
 	deep := cs.AcyclicRequired()
 	wanted := WantedWitnessTypes(cs, origTypes)
 
-	maxDepth := len(origTypes) + len(cs.Types()) + 1
+	// A fresh witness's whole chain — its temporary co-occurrence types and
+	// its recursively chased required children — is a function of its type
+	// alone (witnesses start with a single type; everything else follows
+	// from the closed constraint set and the query's type set). Building
+	// the chain once per type as a template and instantiating it per
+	// witness turns the chase from O(nodes added × constraint lookups)
+	// into O(types × constraint lookups) + O(nodes added): on Figure 7(b)
+	// workloads the augmented query is ~100× the original, so this is
+	// where augmentation time goes.
+	tmpls := &witnessTemplates{cs: cs, origTypes: origTypes, wanted: wanted, memo: make(map[pattern.Type]*witnessTemplate)}
+
 	added := 0
-	var chaseNode func(n *pattern.Node, depth int)
-	chaseNode = func(n *pattern.Node, depth int) {
+	for _, n := range origNodes {
+		if n.Temp {
+			continue
+		}
 		// Co-occurrence types first, so the child/descendant pass below sees
 		// the full type set. The closure makes cascading through
 		// co-occurrence targets unnecessary. Only query types are associated:
@@ -77,15 +89,12 @@ func Augment(p *pattern.Pattern, cs *ics.Set) int {
 				}
 			}
 		}
-		if depth > maxDepth {
-			return // unreachable on an acyclic closed set; defensive bound
-		}
 		childT, descT := WitnessTargets(cs, n.Types(), wanted, deep)
 		for _, b := range childT {
 			if w, isNew := ensureTempChild(n, pattern.Child, b); isNew {
 				added++
 				if deep {
-					chaseNode(w, depth+1)
+					added += tmpls.instantiate(w)
 				}
 			}
 		}
@@ -93,18 +102,109 @@ func Augment(p *pattern.Pattern, cs *ics.Set) int {
 			if w, isNew := ensureTempChild(n, pattern.Descendant, b); isNew {
 				added++
 				if deep {
-					chaseNode(w, depth+1)
+					added += tmpls.instantiate(w)
 				}
 			}
 		}
 	}
-	for _, n := range origNodes {
-		if n.Temp {
-			continue
+	return added
+}
+
+// witnessTemplate is the memoized chase result below a fresh witness of
+// one type: the temporary co-occurrence types it receives and the
+// witness children it spawns, each carrying its own template.
+type witnessTemplate struct {
+	extras   []pattern.Type
+	children []witnessChild
+}
+
+type witnessChild struct {
+	edge pattern.EdgeKind
+	typ  pattern.Type
+	sub  *witnessTemplate
+}
+
+type witnessTemplates struct {
+	cs        *ics.Set
+	origTypes map[pattern.Type]bool
+	wanted    map[pattern.Type]bool
+	memo      map[pattern.Type]*witnessTemplate
+	building  map[pattern.Type]bool
+}
+
+// template builds (or returns) the chain template for witness type t,
+// mirroring exactly what the per-node recursion used to do: associate
+// the query co-occurrence types, then spawn the witness targets of the
+// resulting type set. Templates are only built when chains are grown,
+// i.e. on acyclic-required sets, so the recursion terminates; the
+// building guard is the defensive bound the recursion depth used to be.
+func (ts *witnessTemplates) template(t pattern.Type) *witnessTemplate {
+	if m, ok := ts.memo[t]; ok {
+		return m
+	}
+	if ts.building[t] {
+		return nil // required-edge cycle: unreachable when chains are grown
+	}
+	if ts.building == nil {
+		ts.building = make(map[pattern.Type]bool)
+	}
+	ts.building[t] = true
+	w := &witnessTemplate{}
+	types := []pattern.Type{t}
+	for _, b := range ts.cs.CoTargets(t) {
+		if ts.origTypes[b] && !typeIn(types, b) {
+			w.extras = append(w.extras, b)
+			types = append(types, b)
 		}
-		chaseNode(n, 0)
+	}
+	childT, descT := WitnessTargets(ts.cs, types, ts.wanted, true)
+	for _, b := range childT {
+		w.children = append(w.children, witnessChild{pattern.Child, b, ts.template(b)})
+	}
+	for _, b := range descT {
+		w.children = append(w.children, witnessChild{pattern.Descendant, b, ts.template(b)})
+	}
+	delete(ts.building, t)
+	ts.memo[t] = w
+	return w
+}
+
+// instantiate expands the chain template under the fresh witness w and
+// returns the number of nodes added. Witness children are deduplicated at
+// template-build time, and w has no children yet, so no existence scans
+// are needed.
+func (ts *witnessTemplates) instantiate(w *pattern.Node) int {
+	tmpl := ts.template(w.Type)
+	if tmpl == nil {
+		return 0
+	}
+	return ts.instantiateFrom(w, tmpl)
+}
+
+func (ts *witnessTemplates) instantiateFrom(w *pattern.Node, tmpl *witnessTemplate) int {
+	added := 0
+	for _, b := range tmpl.extras {
+		w.AddType(b, true)
+	}
+	for _, c := range tmpl.children {
+		cw := pattern.NewNode(c.typ)
+		cw.Temp = true
+		w.AddChild(c.edge, cw)
+		added++
+		if c.sub != nil {
+			added += ts.instantiateFrom(cw, c.sub)
+		}
 	}
 	return added
+}
+
+func typeIn(ts []pattern.Type, t pattern.Type) bool {
+	for _, x := range ts {
+		if x == t {
+			return true
+		}
+	}
+	return false
 }
 
 // WantedWitnessTypes computes, for a closed constraint set and a base set

@@ -41,9 +41,18 @@ type Stats struct {
 	Removed int
 	// Tests is the number of leaf-redundancy tests executed.
 	Tests int
-	// TablesTime is the time spent building the images and
-	// ancestor/descendant (preorder interval) tables across all redundancy
-	// tests. The paper's Figure 7(b) reports this fraction for ACIM.
+	// TablesBuilt counts full images-table constructions: one per test for
+	// the from-scratch kernels, one per master build (initial plus
+	// compactions) for the incremental engine.
+	TablesBuilt int
+	// TablesDerived counts per-leaf tables the incremental engine derived
+	// from a master by interval masking instead of rebuilding. The
+	// amortization ratio of a run is TablesDerived : TablesBuilt.
+	TablesDerived int
+	// TablesTime is the time spent building, deriving and patching the
+	// images and ancestor/descendant (preorder interval) tables across all
+	// redundancy tests. The paper's Figure 7(b) reports this fraction for
+	// ACIM.
 	TablesTime time.Duration
 	// TotalTime is the wall-clock time of the whole minimization.
 	TotalTime time.Duration
@@ -69,6 +78,13 @@ type Options struct {
 	// results are identical (the property tests assert it), only slower.
 	MapTables bool
 
+	// Scratch switches to the per-test from-scratch dense kernel: exec
+	// index and image matrix rebuilt for every candidate leaf. Kept as the
+	// cross-validation oracle and ablation baseline for the default
+	// incremental engine, which builds the master state once per run and
+	// derives each per-leaf table from it.
+	Scratch bool
+
 	// Arena, if non-nil, supplies the bitset rows of the dense kernels.
 	// The batch minimizer gives each worker its own arena; nil falls back
 	// to a package-level shared arena.
@@ -86,6 +102,10 @@ func Minimize(p *pattern.Pattern) *pattern.Pattern {
 // MinimizeInPlace removes every redundant node of p and returns statistics
 // about the run. The output node and temporary nodes are never removed
 // (temporary subtrees hanging under a removed node go with it).
+//
+// By default the run uses the incremental images-table engine (master
+// state built once, per-leaf tables derived); Options.Scratch and
+// Options.MapTables select the per-test oracle kernels instead.
 func MinimizeInPlace(p *pattern.Pattern, opts Options) (st Stats) {
 	start := time.Now()
 	defer func() { st.TotalTime = time.Since(start) }()
@@ -94,23 +114,38 @@ func MinimizeInPlace(p *pattern.Pattern, opts Options) (st Stats) {
 		return st
 	}
 
-	nonRedundant := make(map[*pattern.Node]bool)
-	for {
-		l := nextCandidate(p, nonRedundant, opts.Order)
-		if l == nil {
-			break
-		}
-		st.Tests++
-		if redundantLeaf(p, l, &st, opts) {
-			removeWithTemps(l)
-			st.Removed++
-			if opts.Naive {
-				nonRedundant = make(map[*pattern.Node]bool)
+	if opts.MapTables || opts.Scratch {
+		wl := newWorklist(p, opts.Order)
+		for l := wl.pop(); l != nil; l = wl.pop() {
+			st.Tests++
+			if redundantLeaf(p, l, &st, opts) {
+				parent := l.Parent
+				removeWithTemps(l)
+				st.Removed++
+				wl.noteRemoved(parent)
+				if opts.Naive {
+					wl.reviveMarked()
+				}
+			} else {
+				wl.markNonRedundant(l)
 			}
+		}
+		return st
+	}
+
+	e := NewEngine(p, opts)
+	defer e.Close()
+	for l := e.Pop(); l != nil; l = e.Pop() {
+		if e.Test(l) {
+			e.Remove(l)
 		} else {
-			nonRedundant[l] = true
+			e.MarkNonRedundant(l)
 		}
 	}
+	es := e.Stats()
+	st.Removed, st.Tests = es.Removed, es.Tests
+	st.TablesBuilt, st.TablesDerived = es.TablesBuilt, es.TablesDerived
+	st.TablesTime = es.TablesTime
 	return st
 }
 
@@ -121,9 +156,11 @@ func RedundantLeaf(p *pattern.Pattern, l *pattern.Node) bool {
 	return redundantLeaf(p, l, &st, Options{})
 }
 
-// redundantLeaf dispatches the leaf-redundancy test to the dense
-// integer-indexed kernel or, under Options.MapTables, to the original
-// nested-map implementation.
+// redundantLeaf dispatches a standalone leaf-redundancy test to the
+// from-scratch dense kernel or, under Options.MapTables, to the original
+// nested-map implementation. (The default minimization path does not go
+// through here — it derives per-leaf tables from the run's master state;
+// see incremental.go.)
 func redundantLeaf(p *pattern.Pattern, l *pattern.Node, st *Stats, opts Options) bool {
 	if opts.MapTables {
 		return redundantLeafMap(p, l, st)
@@ -133,6 +170,9 @@ func redundantLeaf(p *pattern.Pattern, l *pattern.Node, st *Stats, opts Options)
 
 // nextCandidate picks the best-ranked effective leaf that is still worth
 // testing: not the output node, not temporary, not known non-redundant.
+// It re-walks the whole pattern per call; the minimization loops use the
+// maintained worklist instead, and this walk is kept as the ordering
+// oracle the worklist tests compare against.
 func nextCandidate(p *pattern.Pattern, nonRedundant map[*pattern.Node]bool, order map[*pattern.Node]int) *pattern.Node {
 	var best *pattern.Node
 	bestRank := int(^uint(0) >> 1)
@@ -190,6 +230,7 @@ func labelCompatible(u, v *pattern.Node) bool {
 // kernel).
 func redundantLeafMap(p *pattern.Pattern, l *pattern.Node, st *Stats) bool {
 	tStart := time.Now()
+	st.TablesBuilt++
 	idx := pattern.NewIndex(p)
 
 	// Initialize the images tables. images(l) excludes l itself and any

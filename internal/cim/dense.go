@@ -42,6 +42,7 @@ func redundantLeafDense(p *pattern.Pattern, l *pattern.Node, st *Stats, a *bitse
 		a = &defaultArena
 	}
 	tStart := time.Now()
+	st.TablesBuilt++
 	idx := pattern.NewExecIndex(p)
 	n := idx.Size()
 

@@ -1,0 +1,235 @@
+package cim
+
+import (
+	"math/rand"
+	"testing"
+
+	"tpq/internal/chase"
+	"tpq/internal/genquery"
+	"tpq/internal/pattern"
+)
+
+// TestIncrementalPropertySweep is the difffuzz-style cross-validation of
+// the incremental engine: over >=1k random queries (half of them
+// augmented), the incremental, from-scratch dense, and nested-map kernels
+// must produce identical final patterns and identical Removed/Tests
+// counts, and the incremental run must have built exactly as many master
+// tables as compactions required while deriving one table per test.
+func TestIncrementalPropertySweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 1200; trial++ {
+		q := genquery.Random(rng, 1+rng.Intn(14), 3)
+		if trial%2 == 1 {
+			cs := genquery.RandomConstraints(rng, 4, 3).Closure()
+			chase.Augment(q, cs)
+		}
+		inc := q.Clone()
+		stInc := MinimizeInPlace(inc, Options{})
+		scr := q.Clone()
+		stScr := MinimizeInPlace(scr, Options{Scratch: true})
+		mp := q.Clone()
+		stMap := MinimizeInPlace(mp, Options{MapTables: true})
+
+		if inc.String() != scr.String() || inc.String() != mp.String() {
+			t.Fatalf("trial %d: outputs differ\ninput = %s\nincr  = %s\nscratch = %s\nmap   = %s",
+				trial, q, inc, scr, mp)
+		}
+		if stInc.Removed != stScr.Removed || stInc.Tests != stScr.Tests ||
+			stInc.Removed != stMap.Removed || stInc.Tests != stMap.Tests {
+			t.Fatalf("trial %d: stats differ: incr removed=%d tests=%d, scratch removed=%d tests=%d, map removed=%d tests=%d",
+				trial, stInc.Removed, stInc.Tests, stScr.Removed, stScr.Tests, stMap.Removed, stMap.Tests)
+		}
+		if stInc.TablesDerived != stInc.Tests {
+			t.Fatalf("trial %d: incremental derived %d tables for %d tests", trial, stInc.TablesDerived, stInc.Tests)
+		}
+		if stInc.Tests > 0 && stInc.TablesBuilt < 1 {
+			t.Fatalf("trial %d: incremental run built no master", trial)
+		}
+		if stScr.TablesBuilt != stScr.Tests || stScr.TablesDerived != 0 {
+			t.Fatalf("trial %d: scratch accounting built=%d derived=%d for %d tests",
+				trial, stScr.TablesBuilt, stScr.TablesDerived, stScr.Tests)
+		}
+	}
+}
+
+// TestIncrementalVerdictsMatchScratch checks the per-leaf verdicts of one
+// shared master against the from-scratch kernels on augmented queries —
+// the derived-table walk against the full Figure 3 rebuild — without any
+// removals in between.
+func TestIncrementalVerdictsMatchScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 250; trial++ {
+		q := genquery.Random(rng, 2+rng.Intn(10), 3)
+		cs := genquery.RandomConstraints(rng, 4, 3).Closure()
+		chase.Augment(q, cs)
+		e := NewEngine(q, Options{})
+		for _, l := range e.Candidates() {
+			var stD, stM Stats
+			got := e.Test(l)
+			dense := redundantLeafDense(q, l, &stD, nil)
+			mp := redundantLeafMap(q, l, &stM)
+			if got != dense || got != mp {
+				t.Fatalf("trial %d: verdict differs for leaf %s: incr=%v dense=%v map=%v\nquery = %s",
+					trial, l.Type, got, dense, mp, q)
+			}
+		}
+		e.Close()
+	}
+}
+
+// imageNodes reads a master row back as a set of image nodes, so states
+// built over different exec indices (different ordinals) compare.
+func imageNodes(e *Engine, v *pattern.Node) map[*pattern.Node]bool {
+	vi := e.id[v]
+	row := e.master.Row(int(e.rowOf[vi]))
+	out := make(map[*pattern.Node]bool)
+	for mi := row.NextSet(0); mi >= 0; mi = row.NextSet(mi + 1) {
+		out[e.idx.NodeAt(mi)] = true
+	}
+	return out
+}
+
+// checkMasterConsistent asserts that e's patched master state is
+// identical — row by row, as node sets — to a master freshly built over
+// the mutated pattern.
+func checkMasterConsistent(t *testing.T, trial int, e *Engine, p *pattern.Pattern) {
+	t.Helper()
+	fresh := NewEngine(p, Options{})
+	defer fresh.Close()
+	p.Walk(func(v *pattern.Node) {
+		if v.Temp {
+			return
+		}
+		got := imageNodes(e, v)
+		want := imageNodes(fresh, v)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: master row of %s has %d images, fresh build has %d\npattern = %s",
+				trial, v.Type, len(got), len(want), p)
+		}
+		for m := range want {
+			if !got[m] {
+				t.Fatalf("trial %d: master row of %s misses image %s\npattern = %s",
+					trial, v.Type, m.Type, p)
+			}
+		}
+	})
+}
+
+// TestFailedTestThenDistantRemoval is the regression demanded by the
+// issue: a failed (negative) test must leave the master untouched, and a
+// subsequent removal in a distant subtree must patch it to exactly the
+// state a fresh build over the mutated pattern produces.
+func TestFailedTestThenDistantRemoval(t *testing.T) {
+	// r has two independent arms: the left arm's leaf b is not redundant
+	// (nothing else can host an a/b branch), the right arm's duplicated
+	// //d leaves are mutually redundant.
+	q := pattern.MustParse("r*[a[b], c[//d, //d]]")
+	e := NewEngine(q, Options{})
+	defer e.Close()
+
+	var b, d *pattern.Node
+	q.Walk(func(n *pattern.Node) {
+		switch n.Type {
+		case "b":
+			b = n
+		case "d":
+			if d == nil {
+				d = n
+			}
+		}
+	})
+	if e.Test(b) {
+		t.Fatal("left-arm leaf b should not be redundant")
+	}
+	e.MarkNonRedundant(b)
+	if !e.Test(d) {
+		t.Fatal("duplicated //d leaf should be redundant")
+	}
+	e.Remove(d)
+	checkMasterConsistent(t, 0, e, q)
+
+	// And the remaining verdicts still agree with a from-scratch test.
+	for _, l := range e.Candidates() {
+		var st Stats
+		if got, want := e.Test(l), redundantLeafDense(q, l, &st, nil); got != want {
+			t.Fatalf("verdict for %s after patch: incr=%v scratch=%v", l.Type, got, want)
+		}
+	}
+}
+
+// TestMasterConsistentAfterRandomRuns drives random minimization
+// schedules — interleaving failed tests and removals — and checks after
+// every commit that the patched master equals a fresh build. This
+// exercises the repair sweep's two regimes (ancestors recomputed from
+// initial rows, non-ancestors re-filtered in place) and the compaction
+// path.
+func TestMasterConsistentAfterRandomRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 150; trial++ {
+		q := genquery.Random(rng, 4+rng.Intn(12), 3)
+		if trial%2 == 1 {
+			cs := genquery.RandomConstraints(rng, 3, 3).Closure()
+			chase.Augment(q, cs)
+		}
+		e := NewEngine(q, Options{})
+		for l := e.Pop(); l != nil; l = e.Pop() {
+			if e.Test(l) {
+				e.Remove(l)
+				checkMasterConsistent(t, trial, e, q)
+			} else {
+				e.MarkNonRedundant(l)
+			}
+		}
+		e.Close()
+	}
+}
+
+// TestWorklistMatchesWalkOracle replays random minimization traces and
+// asserts that the maintained worklist pops candidates in exactly the
+// order the old full-pattern walk (nextCandidate, kept as the oracle)
+// would pick them — with and without an explicit Order map, and across
+// Naive-style revivals.
+func TestWorklistMatchesWalkOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 400; trial++ {
+		q := genquery.Random(rng, 2+rng.Intn(12), 3)
+		if trial%3 == 2 {
+			cs := genquery.RandomConstraints(rng, 3, 3).Closure()
+			chase.Augment(q, cs)
+		}
+		var order map[*pattern.Node]int
+		if trial%2 == 1 {
+			order = make(map[*pattern.Node]int)
+			q.Walk(func(n *pattern.Node) {
+				if rng.Intn(2) == 0 {
+					order[n] = rng.Intn(1000)
+				}
+			})
+		}
+		naive := trial%5 == 0
+		wl := newWorklist(q, order)
+		nonRed := make(map[*pattern.Node]bool)
+		for step := 0; ; step++ {
+			want := nextCandidate(q, nonRed, order)
+			got := wl.pop()
+			if got != want {
+				t.Fatalf("trial %d step %d: worklist popped %v, walk picked %v", trial, step, got, want)
+			}
+			if got == nil {
+				break
+			}
+			if rng.Intn(2) == 0 { // pretend redundant: remove it
+				parent := got.Parent
+				got.Detach()
+				wl.noteRemoved(parent)
+				if naive {
+					nonRed = make(map[*pattern.Node]bool)
+					wl.reviveMarked()
+				}
+			} else {
+				nonRed[got] = true
+				wl.markNonRedundant(got)
+			}
+		}
+	}
+}

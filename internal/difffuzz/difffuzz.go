@@ -24,7 +24,9 @@
 //  4. Kernels: the dense integer-indexed bitset kernels produce canonical
 //     forms byte-identical to the nested-map oracles, for both the
 //     leaf-redundancy test (cim.Options.MapTables) and the containment
-//     mapping search (containment.FindMappingMap).
+//     mapping search (containment.FindMappingMap); the incremental
+//     images-table engine agrees with the per-leaf from-scratch dense
+//     kernel (cim.Options.Scratch).
 //  5. Service: the cached, singleflight-deduplicated serving path returns
 //     results isomorphic to a direct engine run — on a cold miss, on a hot
 //     cache hit, with caching disabled, and across a duplicate-heavy batch
@@ -162,6 +164,14 @@ func CheckMinimize(q *pattern.Pattern, cs *ics.Set) *Failure {
 	mapOut, _ := acim.MinimizeWithOptions(q, closed, cim.Options{MapTables: true})
 	if out.Canonical() != mapOut.Canonical() {
 		return fail(q, cs, "kernel", "dense ACIM produced %s, map-tables ACIM produced %s", out, mapOut)
+	}
+
+	// Oracle 4c: the incremental images-table engine (the default kernel,
+	// already in `out`) agrees with the per-leaf from-scratch dense
+	// kernel — master derivation and removal patching vs full rebuilds.
+	scratchOut, _ := acim.MinimizeWithOptions(q, closed, cim.Options{Scratch: true})
+	if out.Canonical() != scratchOut.Canonical() {
+		return fail(q, cs, "kernel", "incremental ACIM produced %s, from-scratch ACIM produced %s", out, scratchOut)
 	}
 
 	// Oracle 4b: the dense containment-mapping kernel agrees with the map

@@ -67,6 +67,11 @@ type Result struct {
 	CDMRemoved, ACIMRemoved int
 	// Tests is the number of leaf-redundancy tests run (zero for CDM).
 	Tests int
+	// TablesBuilt and TablesDerived report the images-table reuse of the
+	// run: full constructions vs tables derived from a master state by
+	// interval masking (see cim.Stats). The serving layer exports their
+	// totals so the amortization ratio is visible in /stats.
+	TablesBuilt, TablesDerived int
 }
 
 // Minimizer minimizes batches of queries over a worker pool. It is safe
@@ -106,10 +111,13 @@ func (m *Minimizer) Closed() *ics.Set { return m.closed }
 func (m *Minimizer) Workers() int { return m.workers }
 
 // Minimize minimizes a single query through the configured pipeline,
-// recycling scratch memory across calls. Safe for concurrent use.
+// recycling scratch memory across calls. Safe for concurrent use. With
+// more than one worker configured, the CIM phase screens candidate
+// leaves in parallel against the shared master state (see screen.go);
+// batch runs keep their per-query parallelism instead.
 func (m *Minimizer) Minimize(q *pattern.Pattern) Result {
 	a := m.arenas.Get().(*bitset.Arena)
-	r := m.minimizeOne(q, a)
+	r := m.minimizeOne(q, a, m.workers > 1)
 	m.arenas.Put(a)
 	return r
 }
@@ -136,11 +144,28 @@ func (m *Minimizer) MinimizeContext(ctx context.Context, q *pattern.Pattern) (Re
 	if err := ctx.Err(); err != nil {
 		return Result{Input: q}, err
 	}
-	out, st := acim.MinimizeWithOptions(pre, m.closed, cim.Options{Arena: a})
+	out, st := m.runACIM(pre, cim.Options{Arena: a}, m.workers > 1)
 	r.Output, r.Tests = out, st.Tests
+	r.TablesBuilt, r.TablesDerived = st.TablesBuilt, st.TablesDerived
 	r.CDMRemoved, r.ACIMRemoved = stPre.Removed, st.Removed
 	r.Removed = stPre.Removed + st.Removed
 	return r, nil
+}
+
+// runCIM minimizes q in place through the incremental engine, screening
+// candidates in parallel when screen is set.
+func (m *Minimizer) runCIM(q *pattern.Pattern, opts cim.Options, screen bool) cim.Stats {
+	if screen {
+		return screenMinimize(q, opts, m.workers)
+	}
+	return cim.MinimizeInPlace(q, opts)
+}
+
+// runACIM is the ACIM pipeline with the CIM phase routed through runCIM.
+func (m *Minimizer) runACIM(q *pattern.Pattern, opts cim.Options, screen bool) (*pattern.Pattern, acim.Stats) {
+	return acim.MinimizeWithRunner(q, m.closed, func(aug *pattern.Pattern) cim.Stats {
+		return m.runCIM(aug, opts, screen)
+	})
 }
 
 // MinimizeBatch minimizes every query and returns the results in input
@@ -164,7 +189,9 @@ func (m *Minimizer) MinimizeBatch(queries []*pattern.Pattern) []Result {
 			// recycles rows here, with no cross-worker pool contention.
 			var arena bitset.Arena
 			for i := range jobs {
-				out[i] = m.minimizeOne(queries[i], &arena)
+				// No intra-query screening here: the batch already keeps
+				// every worker busy with its own query.
+				out[i] = m.minimizeOne(queries[i], &arena, false)
 			}
 		}()
 	}
@@ -176,14 +203,15 @@ func (m *Minimizer) MinimizeBatch(queries []*pattern.Pattern) []Result {
 	return out
 }
 
-func (m *Minimizer) minimizeOne(q *pattern.Pattern, a *bitset.Arena) Result {
+func (m *Minimizer) minimizeOne(q *pattern.Pattern, a *bitset.Arena, screen bool) Result {
 	r := Result{Input: q}
 	cimOpts := cim.Options{Arena: a}
 	switch m.algo {
 	case CIM:
 		out := q.Clone()
-		st := cim.MinimizeInPlace(out, cimOpts)
+		st := m.runCIM(out, cimOpts, screen)
 		r.Output, r.Removed, r.Tests = out, st.Removed, st.Tests
+		r.TablesBuilt, r.TablesDerived = st.TablesBuilt, st.TablesDerived
 		r.ACIMRemoved = st.Removed
 	case CDM:
 		out := q.Clone()
@@ -191,14 +219,16 @@ func (m *Minimizer) minimizeOne(q *pattern.Pattern, a *bitset.Arena) Result {
 		r.Output, r.Removed = out, st.Removed
 		r.CDMRemoved = st.Removed
 	case ACIM:
-		out, st := acim.MinimizeWithOptions(q, m.closed, cimOpts)
+		out, st := m.runACIM(q, cimOpts, screen)
 		r.Output, r.Removed, r.Tests = out, st.Removed, st.Tests
+		r.TablesBuilt, r.TablesDerived = st.TablesBuilt, st.TablesDerived
 		r.ACIMRemoved = st.Removed
 	default: // Auto
 		pre := q.Clone()
 		stPre := cdm.MinimizeInPlace(pre, m.closed)
-		out, st := acim.MinimizeWithOptions(pre, m.closed, cimOpts)
+		out, st := m.runACIM(pre, cimOpts, screen)
 		r.Output, r.Removed, r.Tests = out, stPre.Removed+st.Removed, st.Tests
+		r.TablesBuilt, r.TablesDerived = st.TablesBuilt, st.TablesDerived
 		r.CDMRemoved, r.ACIMRemoved = stPre.Removed, st.Removed
 	}
 	return r

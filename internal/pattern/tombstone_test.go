@@ -1,0 +1,119 @@
+package pattern
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomTree builds a random pattern of the given size directly (the
+// genquery package depends on pattern, so tests here roll their own).
+func randomTree(rng *rand.Rand, size int) *Pattern {
+	types := []Type{"a", "b", "c", "d"}
+	root := NewNode(types[rng.Intn(len(types))])
+	nodes := []*Node{root}
+	for len(nodes) < size {
+		n := NewNode(types[rng.Intn(len(types))])
+		parent := nodes[rng.Intn(len(nodes))]
+		k := Child
+		if rng.Intn(3) == 0 {
+			k = Descendant
+		}
+		parent.AddChild(k, n)
+		nodes = append(nodes, n)
+	}
+	return &Pattern{Root: root}
+}
+
+func TestRemoveSubtreeTombstones(t *testing.T) {
+	p := MustParse("r*[a[b, c], /d[e]]")
+	idx := NewExecIndex(p)
+	if idx.LiveSize() != 6 || idx.DeadCount() != 0 {
+		t.Fatalf("fresh index: live=%d dead=%d", idx.LiveSize(), idx.DeadCount())
+	}
+	// a is ID 1, subtree [1,3]; d is ID 4, subtree [4,5].
+	idx.RemoveSubtree(1)
+	if idx.LiveSize() != 3 || idx.DeadCount() != 3 {
+		t.Fatalf("after removing a: live=%d dead=%d", idx.LiveSize(), idx.DeadCount())
+	}
+	for i := 0; i < 6; i++ {
+		wantAlive := i == 0 || i >= 4
+		if idx.Alive(i) != wantAlive {
+			t.Fatalf("Alive(%d) = %v, want %v", i, idx.Alive(i), wantAlive)
+		}
+	}
+	if idx.LiveRoot() != 0 {
+		t.Fatalf("LiveRoot = %d, want 0", idx.LiveRoot())
+	}
+	if got := idx.NextAlive(1); got != 4 {
+		t.Fatalf("NextAlive(1) = %d, want 4", got)
+	}
+	// Subtree intervals and parents of survivors are untouched.
+	if idx.SubtreeEnd(4) != 5 || idx.ParentID(5) != 4 {
+		t.Fatal("surviving intervals changed by tombstoning")
+	}
+	// Removing an already-dead subtree is a no-op.
+	idx.RemoveSubtree(2)
+	if idx.DeadCount() != 3 {
+		t.Fatalf("re-removal changed dead count to %d", idx.DeadCount())
+	}
+}
+
+// TestCompactMatchesFreshIndex removes random subtrees from random
+// patterns, mirroring each removal with a real Detach, and checks that
+// Compact rebuilds exactly the index NewExecIndex builds from the
+// detached pattern.
+func TestCompactMatchesFreshIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 300; trial++ {
+		p := randomTree(rng, 2+rng.Intn(20))
+		idx := NewExecIndex(p)
+		removals := 1 + rng.Intn(3)
+		for r := 0; r < removals; r++ {
+			// Pick a live non-root node to remove.
+			var victims []int
+			for i := 1; i < idx.Size(); i++ {
+				if idx.Alive(i) && idx.Alive(idx.ParentID(i)) {
+					victims = append(victims, i)
+				}
+			}
+			if len(victims) == 0 {
+				break
+			}
+			vi := victims[rng.Intn(len(victims))]
+			idx.Order[vi].Detach()
+			idx.RemoveSubtree(vi)
+		}
+		got := idx.Compact()
+		want := NewExecIndex(p)
+		if len(got.Order) != len(want.Order) {
+			t.Fatalf("trial %d: compact size %d, fresh size %d", trial, len(got.Order), len(want.Order))
+		}
+		for i := range want.Order {
+			if got.Order[i] != want.Order[i] {
+				t.Fatalf("trial %d: node at ID %d differs", trial, i)
+			}
+			if got.SubtreeEnd(i) != want.SubtreeEnd(i) {
+				t.Fatalf("trial %d: SubtreeEnd(%d) = %d, want %d",
+					trial, i, got.SubtreeEnd(i), want.SubtreeEnd(i))
+			}
+			if got.ParentID(i) != want.ParentID(i) {
+				t.Fatalf("trial %d: ParentID(%d) = %d, want %d",
+					trial, i, got.ParentID(i), want.ParentID(i))
+			}
+		}
+		for typ, wantIDs := range want.byType {
+			gotIDs := got.Candidates(typ)
+			if len(gotIDs) != len(wantIDs) {
+				t.Fatalf("trial %d: Candidates(%s) = %v, want %v", trial, typ, gotIDs, wantIDs)
+			}
+			for j := range wantIDs {
+				if gotIDs[j] != wantIDs[j] {
+					t.Fatalf("trial %d: Candidates(%s) = %v, want %v", trial, typ, gotIDs, wantIDs)
+				}
+			}
+		}
+		if got.DeadCount() != 0 || got.LiveSize() != len(want.Order) {
+			t.Fatalf("trial %d: compacted index still carries tombstones", trial)
+		}
+	}
+}

@@ -298,6 +298,8 @@ func (s *Service) compute(ctx context.Context, p *pattern.Pattern) (*entry, erro
 	s.stats.minimizations.Add(1)
 	s.stats.cdmRemoved.Add(int64(r.CDMRemoved))
 	s.stats.acimRemoved.Add(int64(r.ACIMRemoved))
+	s.stats.tablesBuilt.Add(int64(r.TablesBuilt))
+	s.stats.tablesDerived.Add(int64(r.TablesDerived))
 	if unsat {
 		s.stats.unsat.Add(1)
 	}

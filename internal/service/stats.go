@@ -20,6 +20,8 @@ type Stats struct {
 	unsat         atomic.Int64 // minimized queries found unsatisfiable
 	cdmRemoved    atomic.Int64 // nodes removed by the CDM pre-filter
 	acimRemoved   atomic.Int64 // nodes removed by the ACIM phase
+	tablesBuilt   atomic.Int64 // full images-table constructions in the CIM phase
+	tablesDerived atomic.Int64 // per-leaf tables derived from a run's master state
 	batches       atomic.Int64 // MinimizeBatch calls
 	errors        atomic.Int64 // requests failed (cancellation, shutdown)
 
@@ -93,6 +95,8 @@ type Snapshot struct {
 	Unsatisfiable  int64 `json:"unsatisfiable"`
 	CDMRemoved     int64 `json:"cdmRemoved"`
 	ACIMRemoved    int64 `json:"acimRemoved"`
+	TablesBuilt    int64 `json:"tablesBuilt"`
+	TablesDerived  int64 `json:"tablesDerived"`
 	Batches        int64 `json:"batches"`
 	Errors         int64 `json:"errors"`
 
@@ -123,6 +127,8 @@ func (s *Stats) snapshot() Snapshot {
 		Unsatisfiable:  s.unsat.Load(),
 		CDMRemoved:     s.cdmRemoved.Load(),
 		ACIMRemoved:    s.acimRemoved.Load(),
+		TablesBuilt:    s.tablesBuilt.Load(),
+		TablesDerived:  s.tablesDerived.Load(),
 		Batches:        s.batches.Load(),
 		Errors:         s.errors.Load(),
 	}
