@@ -1,0 +1,166 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tpq/internal/bench"
+)
+
+// writeBenchFile drops a hand-built BENCH json fixture for the compare
+// tests — no benchmarks run, the gate logic is what is under test.
+func writeBenchFile(t *testing.T, path string, results ...bench.JSONResult) {
+	t.Helper()
+	data, err := json.Marshal(bench.JSONFile{Schema: bench.JSONSchema, Figure: "test", Results: results})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func res(name string, ns float64) bench.JSONResult {
+	return bench.JSONResult{Name: name, Figure: "test", NsPerOp: ns}
+}
+
+func TestJSONMode(t *testing.T) {
+	dir := t.TempDir()
+	out, stderr, code := runCmd(t, "-json", "-quick", "-budget", "1ms", "-runs", "1", "-outdir", dir)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	for _, name := range []string{"BENCH_fig7b.json", "BENCH_service.json"} {
+		path := filepath.Join(dir, name)
+		if !strings.Contains(out, name) {
+			t.Errorf("stdout does not mention %s:\n%s", name, out)
+		}
+		f, err := bench.ReadJSON(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if f.Schema != bench.JSONSchema || len(f.Results) == 0 {
+			t.Fatalf("%s: schema %q, %d results", name, f.Schema, len(f.Results))
+		}
+		for _, r := range f.Results {
+			if r.Name == "" || r.NsPerOp <= 0 {
+				t.Errorf("%s: degenerate result %+v", name, r)
+			}
+		}
+	}
+	// The fig7b results carry the per-phase breakdown the CI gate graphs.
+	f, _ := bench.ReadJSON(filepath.Join(dir, "BENCH_fig7b.json"))
+	for _, r := range f.Results {
+		if len(r.PhaseNs) == 0 {
+			t.Errorf("result %s has no phase breakdown", r.Name)
+		}
+		if r.Counters["tests"] <= 0 {
+			t.Errorf("result %s: counters = %v, want tests > 0", r.Name, r.Counters)
+		}
+	}
+}
+
+func TestJSONMerged(t *testing.T) {
+	dir := t.TempDir()
+	merged := filepath.Join(dir, "BENCH_baseline.json")
+	_, stderr, code := runCmd(t, "-json", "-quick", "-budget", "1ms", "-runs", "1", "-o", merged)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	f, err := bench.ReadJSON(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, r := range f.Results {
+		names[r.Name] = true
+	}
+	if !names["fig7b/incremental/red=10"] || !names["service/hot"] {
+		t.Fatalf("merged file missing figures: %v", names)
+	}
+	// Per-figure files are not written in merged mode.
+	if _, err := os.Stat(filepath.Join(dir, "BENCH_fig7b.json")); !os.IsNotExist(err) {
+		t.Errorf("merged mode still wrote per-figure files")
+	}
+}
+
+func TestComparePasses(t *testing.T) {
+	dir := t.TempDir()
+	base, head := filepath.Join(dir, "old.json"), filepath.Join(dir, "new.json")
+	writeBenchFile(t, base, res("a", 100), res("b", 200), res("only-old", 1))
+	writeBenchFile(t, head, res("a", 120), res("b", 190), res("only-new", 1))
+	out, stderr, code := runCmd(t, "-compare", base, head, "-threshold", "1.5x")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(out, "2 result(s) within 1.50x") {
+		t.Errorf("output:\n%s", out)
+	}
+	if strings.Contains(out, "only-old") || strings.Contains(out, "only-new") {
+		t.Errorf("non-intersecting results compared:\n%s", out)
+	}
+}
+
+// TestCompareFailsOnRegression is the acceptance check: a synthetic
+// 2x-slower input must trip the gate.
+func TestCompareFailsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	base, head := filepath.Join(dir, "old.json"), filepath.Join(dir, "new.json")
+	writeBenchFile(t, base, res("a", 100), res("b", 200))
+	writeBenchFile(t, head, res("a", 200), res("b", 210))
+	out, stderr, code := runCmd(t, "-compare", base, head, "-threshold", "1.5x")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr %q", code, stderr)
+	}
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(stderr, "1 regression(s)") {
+		t.Errorf("stdout:\n%s\nstderr:\n%s", out, stderr)
+	}
+	// A looser threshold lets the same pair pass — the trailing
+	// -threshold placement must survive flag.Parse stopping at
+	// positionals.
+	if _, _, code := runCmd(t, "-compare", base, head, "-threshold", "2.5x"); code != 0 {
+		t.Errorf("2x growth failed a 2.5x threshold: exit %d", code)
+	}
+	if _, _, code := runCmd(t, "-compare", base, head, "-threshold=2.5x"); code != 0 {
+		t.Errorf("-threshold=2.5x form: exit %d", code)
+	}
+	if _, _, code := runCmd(t, "-threshold", "2.5x", "-compare", base, head); code != 0 {
+		t.Errorf("leading -threshold form: exit %d", code)
+	}
+}
+
+func TestCompareUsageErrors(t *testing.T) {
+	dir := t.TempDir()
+	one := filepath.Join(dir, "one.json")
+	writeBenchFile(t, one, res("a", 100))
+
+	if _, stderr, code := runCmd(t, "-compare", one); code != 2 || !strings.Contains(stderr, "exactly two files") {
+		t.Errorf("one file: exit %d, stderr %q", code, stderr)
+	}
+	if _, stderr, code := runCmd(t, "-compare", one, one, "-threshold", "zero"); code != 2 || !strings.Contains(stderr, "bad -threshold") {
+		t.Errorf("bad threshold: exit %d, stderr %q", code, stderr)
+	}
+	if _, _, code := runCmd(t, "-compare", one, filepath.Join(dir, "missing.json")); code != 1 {
+		t.Errorf("missing file: exit %d", code)
+	}
+
+	// Disjoint result names compare nothing — that is a failure, not a
+	// silent pass.
+	other := filepath.Join(dir, "other.json")
+	writeBenchFile(t, other, res("z", 100))
+	if _, stderr, code := runCmd(t, "-compare", one, other); code != 1 || !strings.Contains(stderr, "no result names") {
+		t.Errorf("disjoint: exit %d, stderr %q", code, stderr)
+	}
+
+	// Wrong schema version is rejected up front.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"tpq-bench/99","results":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, code := runCmd(t, "-compare", one, bad); code != 1 {
+		t.Errorf("bad schema: exit %d", code)
+	}
+}

@@ -11,17 +11,33 @@
 //	tpqbench -budget 200ms   # more careful timing per point
 //	tpqbench -fig 7b-incremental -cpuprofile cpu.out
 //
+// Machine-readable mode (the CI perf gate):
+//
+//	tpqbench -json                        # write BENCH_fig7b.json, BENCH_service.json
+//	tpqbench -json -outdir out            # ... under out/
+//	tpqbench -json -o BENCH_baseline.json # one merged file (the committed baseline)
+//	tpqbench -compare BENCH_baseline.json out/BENCH_fig7b.json -threshold 1.5x
+//
+// -compare matches results by name over the two files' intersection and
+// exits 1 when any time grew past the threshold (counters that changed
+// are reported but never fail the gate — they are algorithmic changes,
+// not noise). -threshold may be given before or after the file names.
+//
 // Experiments: 7a 7b 7b-incremental 8a 8b 9a 9b motivation ablation-cim
 // ablation-closure ablation-virtual ablation-cdm batch service.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -43,11 +59,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 	runs := fs.Int("runs", 3, "minimum runs per point")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the measured experiments to this file")
 	memprofile := fs.String("memprofile", "", "write an allocation profile taken after the run to this file")
+	jsonMode := fs.Bool("json", false, "run the pinned benchmarks and write BENCH_<figure>.json files")
+	outdir := fs.String("outdir", ".", "directory for -json output files")
+	merged := fs.String("o", "", "with -json: write one merged file here instead of per-figure files")
+	compare := fs.Bool("compare", false, "compare two BENCH json files: tpqbench -compare old.json new.json [-threshold 1.5x]")
+	threshold := fs.String("threshold", "1.5x", "regression threshold for -compare (ratio, optional x suffix)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	opts := bench.Options{MinRuns: *runs, Budget: *budget, Quick: *quick}
+
+	if *compare {
+		return runCompare(fs.Args(), *threshold, stdout, stderr)
+	}
+	if *jsonMode {
+		return runJSON(opts, *outdir, *merged, stdout, stderr)
+	}
 
 	names := bench.Names()
 	if *fig != "all" {
@@ -95,5 +123,105 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	}
+	return 0
+}
+
+// runJSON runs the pinned machine-readable benchmarks, writing one
+// BENCH_<figure>.json per figure under outdir — or, with merged set, the
+// union into that single file (how BENCH_baseline.json is refreshed).
+func runJSON(opts bench.Options, outdir, merged string, stdout, stderr io.Writer) int {
+	figures := bench.JSONFigures()
+	ids := make([]string, 0, len(figures))
+	for id := range figures {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var files []bench.JSONFile
+	for _, id := range ids {
+		f := figures[id](opts)
+		files = append(files, f)
+		if merged != "" {
+			continue
+		}
+		path, err := bench.WriteJSON(outdir, f)
+		if err != nil {
+			fmt.Fprintf(stderr, "tpqbench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "tpqbench: wrote %s (%d results)\n", path, len(f.Results))
+	}
+	if merged != "" {
+		f := bench.MergeJSON("baseline", files...)
+		data, err := json.MarshalIndent(f, "", "  ")
+		if err != nil {
+			fmt.Fprintf(stderr, "tpqbench: %v\n", err)
+			return 1
+		}
+		if dir := filepath.Dir(merged); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fmt.Fprintf(stderr, "tpqbench: %v\n", err)
+				return 1
+			}
+		}
+		if err := os.WriteFile(merged, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stderr, "tpqbench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "tpqbench: wrote %s (%d results)\n", merged, len(f.Results))
+	}
+	return 0
+}
+
+// runCompare handles `-compare old.json new.json [-threshold 1.5x]`.
+// flag.Parse stops at the first positional argument, so a trailing
+// -threshold lands in args; it is picked out here to keep the documented
+// invocation order working.
+func runCompare(args []string, threshold string, stdout, stderr io.Writer) int {
+	var files []string
+	for i := 0; i < len(args); i++ {
+		switch {
+		case args[i] == "-threshold" || args[i] == "--threshold":
+			if i+1 >= len(args) {
+				fmt.Fprintln(stderr, "tpqbench: -threshold needs a value")
+				return 2
+			}
+			i++
+			threshold = args[i]
+		case strings.HasPrefix(args[i], "-threshold="), strings.HasPrefix(args[i], "--threshold="):
+			threshold = args[i][strings.Index(args[i], "=")+1:]
+		default:
+			files = append(files, args[i])
+		}
+	}
+	ratio, err := strconv.ParseFloat(strings.TrimSuffix(threshold, "x"), 64)
+	if err != nil || ratio <= 0 {
+		fmt.Fprintf(stderr, "tpqbench: bad -threshold %q (want e.g. 1.5x)\n", threshold)
+		return 2
+	}
+	if len(files) != 2 {
+		fmt.Fprintln(stderr, "tpqbench: -compare needs exactly two files: old.json new.json")
+		return 2
+	}
+	older, err := bench.ReadJSON(files[0])
+	if err != nil {
+		fmt.Fprintf(stderr, "tpqbench: %v\n", err)
+		return 1
+	}
+	newer, err := bench.ReadJSON(files[1])
+	if err != nil {
+		fmt.Fprintf(stderr, "tpqbench: %v\n", err)
+		return 1
+	}
+	comps, regressions := bench.CompareJSON(older, newer, ratio)
+	if len(comps) == 0 {
+		fmt.Fprintln(stderr, "tpqbench: the two files share no result names — nothing compared")
+		return 1
+	}
+	fmt.Fprint(stdout, bench.FormatComparisons(comps, ratio))
+	if regressions > 0 {
+		fmt.Fprintf(stderr, "tpqbench: %d regression(s) beyond %.2fx\n", regressions, ratio)
+		return 1
+	}
+	fmt.Fprintf(stdout, "tpqbench: %d result(s) within %.2fx of baseline\n", len(comps), ratio)
 	return 0
 }

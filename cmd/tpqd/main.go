@@ -8,6 +8,7 @@
 //
 //	tpqd [-addr :8080] [-f constraints.txt] [-xml doc.xml]
 //	     [-cache N] [-workers N] [-timeout 5s] [-grace 10s]
+//	     [-slowlog 100ms] [-debug-addr 127.0.0.1:6060]
 //
 // Endpoints:
 //
@@ -16,8 +17,17 @@
 //	POST /match      minimize (through the cache), then evaluate against
 //	                 the -xml document
 //	GET  /stats      cache and pipeline counters, latency histogram
+//	GET  /metrics    Prometheus text exposition: counters, gauges, and
+//	                 per-phase duration histograms
+//	                 (parse/chase/cdm/acim/cim/compact)
 //	GET  /healthz    liveness; 503 once shutdown has begun
 //	GET  /debug/vars the same counters in expvar form
+//
+// -slowlog D turns on the structured slow-query log: every pipeline run
+// that takes at least D is one JSON line on stderr (pattern fingerprint,
+// per-phase breakdown; see service.SlowQuery). -debug-addr serves
+// net/http/pprof on a second listener, kept off the public address so
+// profiling endpoints are never exposed by default.
 //
 // SIGINT/SIGTERM begin a graceful shutdown: the listener drains for up to
 // -grace, then inflight minimizations are awaited.
@@ -32,6 +42,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -61,6 +72,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	timeout := fs.Duration("timeout", 5*time.Second, "per-request minimization budget")
 	grace := fs.Duration("grace", 10*time.Second, "shutdown grace period")
 	maxBatch := fs.Int("maxbatch", 1024, "maximum queries per batch request")
+	slowlog := fs.Duration("slowlog", 0, "log pipeline runs at least this slow as JSON lines on stderr (0 disables)")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof on this extra address (empty disables)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -91,11 +104,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 
 	svc := service.New(service.Options{
-		Constraints: cs,
-		Workers:     *workers,
-		CacheSize:   *cacheSize,
+		Constraints:      cs,
+		Workers:          *workers,
+		CacheSize:        *cacheSize,
+		SlowLogThreshold: *slowlog,
+		SlowLog:          stderr,
 	})
 	publishExpvar(svc)
+	if *slowlog > 0 {
+		fmt.Fprintf(stdout, "tpqd: slow-query log on: threshold %v\n", *slowlog)
+	}
 
 	mux := http.NewServeMux()
 	mux.Handle("/", service.NewHandler(svc, service.HandlerOptions{
@@ -104,6 +122,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		MaxBatch: *maxBatch,
 	}))
 	mux.Handle("/debug/vars", expvar.Handler())
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugLn, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(stderr, "tpqd:", err)
+			return 1
+		}
+		debugSrv = &http.Server{Handler: debugMux(), ReadHeaderTimeout: 10 * time.Second}
+		go debugSrv.Serve(debugLn)
+		fmt.Fprintf(stdout, "tpqd: pprof on http://%s/debug/pprof/\n", debugLn.Addr())
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -129,6 +159,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		fmt.Fprintln(stderr, "tpqd: draining connections:", err)
 	}
+	if debugSrv != nil {
+		debugSrv.Close()
+	}
 	if err := svc.Close(shutdownCtx); err != nil {
 		fmt.Fprintln(stderr, "tpqd: draining minimizations:", err)
 	}
@@ -140,6 +173,21 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "tpqd: served %d requests (%.1f%% cache hits, %d minimizations, %d merged)\n",
 		snap.Requests, hitRate, snap.Minimizations, snap.InflightMerges)
 	return 0
+}
+
+// debugMux is the pprof surface served on -debug-addr: its own mux
+// (never the DefaultServeMux, never the public listener), registered
+// explicitly so importing net/http/pprof cannot leak handlers anywhere
+// else.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
 }
 
 // loadConstraints reads one constraint per line; blank lines and #

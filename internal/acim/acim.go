@@ -29,6 +29,7 @@ import (
 	"tpq/internal/containment"
 	"tpq/internal/ics"
 	"tpq/internal/pattern"
+	"tpq/internal/trace"
 )
 
 // Stats describes an ACIM run.
@@ -84,7 +85,20 @@ func MinimizeWithOptions(p *pattern.Pattern, cs *ics.Set, opts cim.Options) (*pa
 // concurrency policy lives with the worker pool while augmentation and
 // temporary-stripping stay in one place.
 func MinimizeWithRunner(p *pattern.Pattern, cs *ics.Set, run func(*pattern.Pattern) cim.Stats) (*pattern.Pattern, Stats) {
+	return MinimizeWithRunnerTraced(p, cs, nil, run)
+}
+
+// MinimizeWithRunnerTraced is MinimizeWithRunner recording the run into
+// tr: the whole pipeline under the ACIM phase, augmentation under the
+// nested Chase phase, the temporary strip under Compact, and removals
+// under the ACIMRemoved counter. The runner is expected to meter the CIM
+// phase itself (cim.MinimizeInPlace and the engine's screening loop do,
+// via cim.Stats.Record), so Chase + CIM + Compact nest inside — and sum
+// to at most — ACIM. tr may be nil (then it is exactly
+// MinimizeWithRunner).
+func MinimizeWithRunnerTraced(p *pattern.Pattern, cs *ics.Set, tr *trace.Trace, run func(*pattern.Pattern) cim.Stats) (*pattern.Pattern, Stats) {
 	var st Stats
+	sp := tr.Start(trace.ACIM)
 	start := time.Now()
 	q := p.Clone()
 	if cs == nil {
@@ -92,7 +106,7 @@ func MinimizeWithRunner(p *pattern.Pattern, cs *ics.Set, run func(*pattern.Patte
 	}
 
 	tAug := time.Now()
-	st.Augmented = chase.Augment(q, cs)
+	st.Augmented = chase.AugmentTraced(q, cs, tr)
 	st.AugmentTime = time.Since(tAug)
 	st.AugmentedSize = q.Size()
 
@@ -103,8 +117,12 @@ func MinimizeWithRunner(p *pattern.Pattern, cs *ics.Set, run func(*pattern.Patte
 	st.TablesDerived = cimStats.TablesDerived
 	st.TablesTime = cimStats.TablesTime
 
+	spStrip := tr.Start(trace.Compact)
 	q.StripTemp()
+	spStrip.End()
 	st.TotalTime = time.Since(start)
+	sp.End()
+	tr.Add(trace.ACIMRemoved, st.Removed)
 	return q, st
 }
 

@@ -1,0 +1,350 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"tpq/internal/acim"
+	"tpq/internal/cim"
+	"tpq/internal/genquery"
+	"tpq/internal/pattern"
+	"tpq/internal/service"
+	"tpq/internal/trace"
+)
+
+// JSONSchema identifies the machine-readable benchmark format. Bump it
+// only on incompatible changes; the compare tool refuses mismatched
+// schemas rather than comparing nanoseconds that mean different things.
+const JSONSchema = "tpq-bench/1"
+
+// JSONResult is one pinned measurement. Name is the stable identity the
+// compare tool matches on — changing a name silently drops it from
+// regression checking, so names are versioned with the workload.
+type JSONResult struct {
+	// Name is "figure/series/param=value", e.g. "fig7b/incremental/red=50".
+	Name string `json:"name"`
+	// Figure ties the result to the paper experiment it pins.
+	Figure string `json:"figure"`
+	// Params are the workload knobs, stringly typed for stability.
+	Params map[string]string `json:"params,omitempty"`
+	// NsPerOp is the best-of-N wall time of one operation.
+	NsPerOp float64 `json:"nsPerOp"`
+	// AllocsPerOp is the average heap allocations of one operation.
+	AllocsPerOp float64 `json:"allocsPerOp"`
+	// PhaseNs breaks NsPerOp down by pipeline phase (from the trace
+	// spans of the best run): chase/cdm/acim/cim/compact. The phases
+	// chase, cim and compact nest inside acim.
+	PhaseNs map[string]float64 `json:"phaseNs,omitempty"`
+	// Counters are work counts of one operation (tests, tables built and
+	// derived) — cheap invariants the compare tool checks exactly, since
+	// a change there is an algorithmic change, not noise.
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// JSONFile is the on-disk container: one schema-tagged result set.
+// BENCH_<figure>.json holds one figure; BENCH_baseline.json may hold the
+// union of several — the compare tool matches by result name, so files
+// with different result sets compare over their intersection.
+type JSONFile struct {
+	Schema    string       `json:"schema"`
+	Figure    string       `json:"figure"`
+	GoVersion string       `json:"goVersion"`
+	GOOS      string       `json:"goos"`
+	GOARCH    string       `json:"goarch"`
+	Results   []JSONResult `json:"results"`
+}
+
+func newJSONFile(figure string, results []JSONResult) JSONFile {
+	return JSONFile{
+		Schema:    JSONSchema,
+		Figure:    figure,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Results:   results,
+	}
+}
+
+// measureTraced measures f like Measure, but lets f report the trace of
+// each run and keeps the one belonging to the fastest run, so PhaseNs
+// sums to (at most) NsPerOp instead of an average over noisy runs.
+func measureTraced(opts Options, f func() (*trace.Trace, time.Duration)) (time.Duration, *trace.Trace) {
+	opts = opts.withDefaults()
+	best := time.Duration(-1)
+	var bestTr *trace.Trace
+	spent := time.Duration(0)
+	for run := 0; run < opts.MinRuns || spent < opts.Budget; run++ {
+		tr, d := f()
+		spent += d
+		if best < 0 || d < best {
+			best, bestTr = d, tr
+		}
+		if run > 10000 {
+			break
+		}
+	}
+	return best, bestTr
+}
+
+func phaseNs(tr *trace.Trace) map[string]float64 {
+	out := make(map[string]float64)
+	for _, p := range trace.Phases() {
+		if d := tr.Dur(p); d > 0 {
+			out[p.String()] = float64(d.Nanoseconds())
+		}
+	}
+	return out
+}
+
+// JSONFig7b pins the Figure 7(b) incremental-engine workload (101-node
+// fan, 100 constraints): the incremental images-table kernel at three
+// redundancy levels plus the from-scratch kernel at the middle one, each
+// with the per-phase breakdown from the trace spans.
+func JSONFig7b(opts Options) JSONFile {
+	q := genquery.Fan(101)
+	base := genquery.RelevantConstraints(q, 100)
+	reds := []int{10, 50, 90}
+	if opts.Quick {
+		reds = []int{10, 90}
+	}
+	var results []JSONResult
+	run := func(red int, cimOpts cim.Options, series string) JSONResult {
+		cs := base.Clone()
+		for _, c := range genquery.FanRedundancy(red).Constraints() {
+			cs.Add(c)
+		}
+		closed := cs.Closure()
+		one := func() (*trace.Trace, time.Duration) {
+			tr := trace.New()
+			o := cimOpts
+			o.Trace = tr
+			start := time.Now()
+			_, _ = acim.MinimizeWithRunnerTraced(q, closed, tr, func(aug *pattern.Pattern) cim.Stats {
+				return cim.MinimizeInPlace(aug, o)
+			})
+			return tr, time.Since(start)
+		}
+		best, tr := measureTraced(opts, one)
+		allocs := testing.AllocsPerRun(2, func() { one() })
+		return JSONResult{
+			Name:        "fig7b/" + series + "/red=" + strconv.Itoa(red),
+			Figure:      "7b-incremental",
+			Params:      map[string]string{"nodes": "101", "constraints": "100", "red": strconv.Itoa(red), "kernel": series},
+			NsPerOp:     float64(best.Nanoseconds()),
+			AllocsPerOp: allocs,
+			PhaseNs:     phaseNs(tr),
+			Counters: map[string]int64{
+				"tests":          tr.Count(trace.Tests),
+				"tables_built":   tr.Count(trace.TablesBuilt),
+				"tables_derived": tr.Count(trace.TablesDerived),
+			},
+		}
+	}
+	for _, red := range reds {
+		results = append(results, run(red, cim.Options{}, "incremental"))
+	}
+	results = append(results, run(reds[len(reds)/2], cim.Options{Scratch: true}, "scratch"))
+	return newJSONFile("fig7b", results)
+}
+
+// JSONService pins the serving layer: the steady-state latency of a hot
+// cached query and of the uncached pipeline on the same query (the
+// headline speedup of the cache), plus a cold batch over the standard
+// mix. Hot-path phase breakdowns are empty by construction — a cache hit
+// runs no pipeline phases.
+func JSONService(opts Options) JSONFile {
+	distinct, rawCS := BatchWorkload(8)
+	q := distinct[0]
+	ctx := context.Background()
+	var results []JSONResult
+
+	svc := service.New(service.Options{Constraints: rawCS})
+	if _, _, err := svc.Minimize(ctx, q); err != nil {
+		panic(err)
+	}
+	hot := Measure(opts, Timed(func() {
+		if _, _, err := svc.Minimize(ctx, q); err != nil {
+			panic(err)
+		}
+	}))
+	hotAllocs := testing.AllocsPerRun(2, func() { svc.Minimize(ctx, q) })
+	results = append(results, JSONResult{
+		Name:        "service/hot",
+		Figure:      "service",
+		Params:      map[string]string{"distinct": "8", "path": "cache-hit"},
+		NsPerOp:     float64(hot.Nanoseconds()),
+		AllocsPerOp: hotAllocs,
+	})
+
+	eng := service.New(service.Options{Constraints: rawCS, CacheSize: -1})
+	uncachedOne := func() (*trace.Trace, time.Duration) {
+		start := time.Now()
+		if _, _, err := eng.Minimize(ctx, q); err != nil {
+			panic(err)
+		}
+		return nil, time.Since(start)
+	}
+	uncached, _ := measureTraced(opts, uncachedOne)
+	uncachedAllocs := testing.AllocsPerRun(2, func() { uncachedOne() })
+	results = append(results, JSONResult{
+		Name:        "service/uncached",
+		Figure:      "service",
+		Params:      map[string]string{"distinct": "8", "path": "pipeline"},
+		NsPerOp:     float64(uncached.Nanoseconds()),
+		AllocsPerOp: uncachedAllocs,
+	})
+
+	cold := Measure(opts, Timed(func() {
+		fresh := service.New(service.Options{Constraints: rawCS})
+		if _, _, err := fresh.MinimizeBatch(ctx, distinct); err != nil {
+			panic(err)
+		}
+	}))
+	results = append(results, JSONResult{
+		Name:    "service/cold-batch",
+		Figure:  "service",
+		Params:  map[string]string{"distinct": "8", "path": "cold-batch"},
+		NsPerOp: float64(cold.Nanoseconds()),
+	})
+	return newJSONFile("service", results)
+}
+
+// JSONFigures maps the pinned machine-readable benchmark ids to their
+// runners — the set `tpqbench -json` emits and CI gates on.
+func JSONFigures() map[string]func(Options) JSONFile {
+	return map[string]func(Options) JSONFile{
+		"fig7b":   JSONFig7b,
+		"service": JSONService,
+	}
+}
+
+// WriteJSON writes one result file ("BENCH_<figure>.json" under dir) and
+// returns its path.
+func WriteJSON(dir string, f JSONFile) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "BENCH_"+f.Figure+".json")
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	data = append(data, '\n')
+	return path, os.WriteFile(path, data, 0o644)
+}
+
+// ReadJSON loads and schema-checks one result file.
+func ReadJSON(path string) (JSONFile, error) {
+	var f JSONFile
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Schema != JSONSchema {
+		return f, fmt.Errorf("%s: schema %q, want %q", path, f.Schema, JSONSchema)
+	}
+	return f, nil
+}
+
+// MergeJSON unions result sets (later files win on duplicate names) into
+// one file tagged with the given figure id — how BENCH_baseline.json is
+// produced from the per-figure runs.
+func MergeJSON(figure string, files ...JSONFile) JSONFile {
+	byName := map[string]JSONResult{}
+	var order []string
+	for _, f := range files {
+		for _, r := range f.Results {
+			if _, seen := byName[r.Name]; !seen {
+				order = append(order, r.Name)
+			}
+			byName[r.Name] = r
+		}
+	}
+	results := make([]JSONResult, 0, len(order))
+	for _, name := range order {
+		results = append(results, byName[name])
+	}
+	return newJSONFile(figure, results)
+}
+
+// Comparison is the verdict on one result name present in both files.
+type Comparison struct {
+	Name   string
+	OldNs  float64
+	NewNs  float64
+	Ratio  float64 // NewNs / OldNs
+	Slower bool    // Ratio > threshold
+	// CounterDiffs lists counters whose exact values changed — an
+	// algorithmic change (more redundancy tests, a lost table reuse),
+	// flagged as informational, never as a regression by itself.
+	CounterDiffs []string
+}
+
+// CompareJSON matches results by name over the intersection of the two
+// files and flags every result whose time grew by more than threshold
+// (1.5 means "50% slower fails"). Timing on shared CI runners is noisy —
+// single measurements, neighbors on the box, frequency scaling — which
+// is why the threshold is generous and why counters are compared exactly
+// but reported separately: they are deterministic, times are not.
+func CompareJSON(base, head JSONFile, threshold float64) (comps []Comparison, regressions int) {
+	oldBy := map[string]JSONResult{}
+	for _, r := range base.Results {
+		oldBy[r.Name] = r
+	}
+	for _, r := range head.Results {
+		o, ok := oldBy[r.Name]
+		if !ok {
+			continue
+		}
+		c := Comparison{Name: r.Name, OldNs: o.NsPerOp, NewNs: r.NsPerOp}
+		if o.NsPerOp > 0 {
+			c.Ratio = r.NsPerOp / o.NsPerOp
+		}
+		c.Slower = c.Ratio > threshold
+		var keys []string
+		for k := range o.Counters {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if nv, ok := r.Counters[k]; ok && nv != o.Counters[k] {
+				c.CounterDiffs = append(c.CounterDiffs,
+					fmt.Sprintf("%s %d -> %d", k, o.Counters[k], nv))
+			}
+		}
+		if c.Slower {
+			regressions++
+		}
+		comps = append(comps, c)
+	}
+	return comps, regressions
+}
+
+// FormatComparisons renders the compare verdict as an aligned table.
+func FormatComparisons(comps []Comparison, threshold float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio")
+	for _, c := range comps {
+		verdict := ""
+		if c.Slower {
+			verdict = fmt.Sprintf("  REGRESSION (> %.2fx)", threshold)
+		}
+		fmt.Fprintf(&b, "%-28s %14.0f %14.0f %7.2fx%s\n", c.Name, c.OldNs, c.NewNs, c.Ratio, verdict)
+		for _, d := range c.CounterDiffs {
+			fmt.Fprintf(&b, "    counter changed: %s\n", d)
+		}
+	}
+	return b.String()
+}

@@ -46,6 +46,7 @@ import (
 
 	"tpq/internal/ics"
 	"tpq/internal/pattern"
+	"tpq/internal/trace"
 )
 
 // ArgKind enumerates the six information-argument forms.
@@ -149,8 +150,19 @@ func Minimize(p *pattern.Pattern, cs *ics.Set) *pattern.Pattern {
 // node and temporary nodes are never candidates) and returns statistics.
 // cs must be logically closed; it is closed defensively otherwise.
 func MinimizeInPlace(p *pattern.Pattern, cs *ics.Set) (st Stats) {
+	return MinimizeInPlaceTraced(p, cs, nil)
+}
+
+// MinimizeInPlaceTraced is MinimizeInPlace recording the run into tr:
+// elapsed time under the CDM phase, removals under the CDMRemoved
+// counter. tr may be nil (then it is exactly MinimizeInPlace).
+func MinimizeInPlaceTraced(p *pattern.Pattern, cs *ics.Set, tr *trace.Trace) (st Stats) {
 	start := time.Now()
-	defer func() { st.TotalTime = time.Since(start) }()
+	defer func() {
+		st.TotalTime = time.Since(start)
+		tr.AddDur(trace.CDM, st.TotalTime)
+		tr.Add(trace.CDMRemoved, st.Removed)
+	}()
 	if p == nil || p.Root == nil || cs == nil {
 		st.Passes = 1
 		return st

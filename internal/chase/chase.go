@@ -26,6 +26,7 @@ package chase
 import (
 	"tpq/internal/ics"
 	"tpq/internal/pattern"
+	"tpq/internal/trace"
 )
 
 // Augment applies the paper's restricted chase to p in place, marking every
@@ -51,6 +52,21 @@ import (
 // by infinite databases — witnesses stay one level deep, which keeps the
 // old sound under-approximation.
 func Augment(p *pattern.Pattern, cs *ics.Set) int {
+	return AugmentTraced(p, cs, nil)
+}
+
+// AugmentTraced is Augment recording the chase into tr: the elapsed time
+// under the Chase phase and the witness count under the Augmented
+// counter. tr may be nil (then it is exactly Augment).
+func AugmentTraced(p *pattern.Pattern, cs *ics.Set, tr *trace.Trace) int {
+	sp := tr.Start(trace.Chase)
+	added := augment(p, cs)
+	sp.End()
+	tr.Add(trace.Augmented, added)
+	return added
+}
+
+func augment(p *pattern.Pattern, cs *ics.Set) int {
 	if p == nil || p.Root == nil || cs == nil {
 		return 0
 	}

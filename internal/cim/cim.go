@@ -33,6 +33,7 @@ import (
 
 	"tpq/internal/bitset"
 	"tpq/internal/pattern"
+	"tpq/internal/trace"
 )
 
 // Stats reports what a minimization run did and where the time went.
@@ -56,6 +57,16 @@ type Stats struct {
 	TablesTime time.Duration
 	// TotalTime is the wall-clock time of the whole minimization.
 	TotalTime time.Duration
+}
+
+// Record folds a finished run into tr: TotalTime under the CIM phase
+// plus the work counters. The engine's parallel screening loop calls it
+// too, so both CIM drivers meter identically; nil tr is free.
+func (st Stats) Record(tr *trace.Trace) {
+	tr.AddDur(trace.CIM, st.TotalTime)
+	tr.Add(trace.Tests, st.Tests)
+	tr.Add(trace.TablesBuilt, st.TablesBuilt)
+	tr.Add(trace.TablesDerived, st.TablesDerived)
 }
 
 // Options tune a minimization run.
@@ -89,6 +100,11 @@ type Options struct {
 	// The batch minimizer gives each worker its own arena; nil falls back
 	// to a package-level shared arena.
 	Arena *bitset.Arena
+
+	// Trace, if non-nil, receives the run's CIM-phase span and work
+	// counters (tests, tables built/derived). Nil costs one predictable
+	// branch at the end of the run.
+	Trace *trace.Trace
 }
 
 // Minimize returns the unique minimal query equivalent to p, leaving p
@@ -108,7 +124,10 @@ func Minimize(p *pattern.Pattern) *pattern.Pattern {
 // Options.MapTables select the per-test oracle kernels instead.
 func MinimizeInPlace(p *pattern.Pattern, opts Options) (st Stats) {
 	start := time.Now()
-	defer func() { st.TotalTime = time.Since(start) }()
+	defer func() {
+		st.TotalTime = time.Since(start)
+		st.Record(opts.Trace)
+	}()
 
 	if p == nil || p.Root == nil {
 		return st

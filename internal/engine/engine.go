@@ -21,6 +21,7 @@ import (
 	"tpq/internal/cim"
 	"tpq/internal/ics"
 	"tpq/internal/pattern"
+	"tpq/internal/trace"
 )
 
 // Algo selects the minimization algorithm applied to each query of a
@@ -116,8 +117,16 @@ func (m *Minimizer) Workers() int { return m.workers }
 // leaves in parallel against the shared master state (see screen.go);
 // batch runs keep their per-query parallelism instead.
 func (m *Minimizer) Minimize(q *pattern.Pattern) Result {
+	return m.MinimizeTraced(q, nil)
+}
+
+// MinimizeTraced is Minimize recording per-phase spans and work counters
+// into tr (see internal/trace): CDM, and ACIM with its nested Chase, CIM
+// and Compact sub-phases. tr may be nil, in which case the run pays one
+// nil check per phase and nothing else.
+func (m *Minimizer) MinimizeTraced(q *pattern.Pattern, tr *trace.Trace) Result {
 	a := m.arenas.Get().(*bitset.Arena)
-	r := m.minimizeOne(q, a, m.workers > 1)
+	r := m.minimizeOne(q, a, m.workers > 1, tr)
 	m.arenas.Put(a)
 	return r
 }
@@ -129,22 +138,28 @@ func (m *Minimizer) Minimize(q *pattern.Pattern) Result {
 // started always runs to completion; on cancellation the zero-output
 // Result carries only the input.
 func (m *Minimizer) MinimizeContext(ctx context.Context, q *pattern.Pattern) (Result, error) {
+	return m.MinimizeContextTraced(ctx, q, nil)
+}
+
+// MinimizeContextTraced is MinimizeContext recording per-phase spans and
+// work counters into tr, which may be nil.
+func (m *Minimizer) MinimizeContextTraced(ctx context.Context, q *pattern.Pattern, tr *trace.Trace) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{Input: q}, err
 	}
 	if m.algo != Auto {
 		// Single-phase pipelines have no boundary to interrupt at.
-		return m.Minimize(q), nil
+		return m.MinimizeTraced(q, tr), nil
 	}
 	a := m.arenas.Get().(*bitset.Arena)
 	defer m.arenas.Put(a)
 	r := Result{Input: q}
 	pre := q.Clone()
-	stPre := cdm.MinimizeInPlace(pre, m.closed)
+	stPre := cdm.MinimizeInPlaceTraced(pre, m.closed, tr)
 	if err := ctx.Err(); err != nil {
 		return Result{Input: q}, err
 	}
-	out, st := m.runACIM(pre, cim.Options{Arena: a}, m.workers > 1)
+	out, st := m.runACIM(pre, cim.Options{Arena: a, Trace: tr}, m.workers > 1, tr)
 	r.Output, r.Tests = out, st.Tests
 	r.TablesBuilt, r.TablesDerived = st.TablesBuilt, st.TablesDerived
 	r.CDMRemoved, r.ACIMRemoved = stPre.Removed, st.Removed
@@ -162,8 +177,10 @@ func (m *Minimizer) runCIM(q *pattern.Pattern, opts cim.Options, screen bool) ci
 }
 
 // runACIM is the ACIM pipeline with the CIM phase routed through runCIM.
-func (m *Minimizer) runACIM(q *pattern.Pattern, opts cim.Options, screen bool) (*pattern.Pattern, acim.Stats) {
-	return acim.MinimizeWithRunner(q, m.closed, func(aug *pattern.Pattern) cim.Stats {
+// The CIM-phase metering travels inside opts.Trace (both runCIM branches
+// call cim.Stats.Record); tr meters the enclosing ACIM span.
+func (m *Minimizer) runACIM(q *pattern.Pattern, opts cim.Options, screen bool, tr *trace.Trace) (*pattern.Pattern, acim.Stats) {
+	return acim.MinimizeWithRunnerTraced(q, m.closed, tr, func(aug *pattern.Pattern) cim.Stats {
 		return m.runCIM(aug, opts, screen)
 	})
 }
@@ -191,7 +208,7 @@ func (m *Minimizer) MinimizeBatch(queries []*pattern.Pattern) []Result {
 			for i := range jobs {
 				// No intra-query screening here: the batch already keeps
 				// every worker busy with its own query.
-				out[i] = m.minimizeOne(queries[i], &arena, false)
+				out[i] = m.minimizeOne(queries[i], &arena, false, nil)
 			}
 		}()
 	}
@@ -203,9 +220,9 @@ func (m *Minimizer) MinimizeBatch(queries []*pattern.Pattern) []Result {
 	return out
 }
 
-func (m *Minimizer) minimizeOne(q *pattern.Pattern, a *bitset.Arena, screen bool) Result {
+func (m *Minimizer) minimizeOne(q *pattern.Pattern, a *bitset.Arena, screen bool, tr *trace.Trace) Result {
 	r := Result{Input: q}
-	cimOpts := cim.Options{Arena: a}
+	cimOpts := cim.Options{Arena: a, Trace: tr}
 	switch m.algo {
 	case CIM:
 		out := q.Clone()
@@ -215,18 +232,18 @@ func (m *Minimizer) minimizeOne(q *pattern.Pattern, a *bitset.Arena, screen bool
 		r.ACIMRemoved = st.Removed
 	case CDM:
 		out := q.Clone()
-		st := cdm.MinimizeInPlace(out, m.closed)
+		st := cdm.MinimizeInPlaceTraced(out, m.closed, tr)
 		r.Output, r.Removed = out, st.Removed
 		r.CDMRemoved = st.Removed
 	case ACIM:
-		out, st := m.runACIM(q, cimOpts, screen)
+		out, st := m.runACIM(q, cimOpts, screen, tr)
 		r.Output, r.Removed, r.Tests = out, st.Removed, st.Tests
 		r.TablesBuilt, r.TablesDerived = st.TablesBuilt, st.TablesDerived
 		r.ACIMRemoved = st.Removed
 	default: // Auto
 		pre := q.Clone()
-		stPre := cdm.MinimizeInPlace(pre, m.closed)
-		out, st := m.runACIM(pre, cimOpts, screen)
+		stPre := cdm.MinimizeInPlaceTraced(pre, m.closed, tr)
+		out, st := m.runACIM(pre, cimOpts, screen, tr)
 		r.Output, r.Removed, r.Tests = out, stPre.Removed+st.Removed, st.Tests
 		r.TablesBuilt, r.TablesDerived = st.TablesBuilt, st.TablesDerived
 		r.CDMRemoved, r.ACIMRemoved = stPre.Removed, st.Removed

@@ -31,7 +31,10 @@ import (
 // shared state.
 func screenMinimize(p *pattern.Pattern, opts cim.Options, workers int) (st cim.Stats) {
 	start := time.Now()
-	defer func() { st.TotalTime = time.Since(start) }()
+	defer func() {
+		st.TotalTime = time.Since(start)
+		st.Record(opts.Trace)
+	}()
 	if p == nil || p.Root == nil {
 		return st
 	}

@@ -34,6 +34,8 @@ type HandlerOptions struct {
 //	                {"xpath": "/a[b]//c"}             — XPath input
 //	                {"queries": ["a*/b", ...]}        — batch, parallelized
 //	GET  /stats     counters, cache state, latency histogram
+//	GET  /metrics   the same counters plus per-phase duration histograms
+//	                in the Prometheus text exposition format
 //	GET  /healthz   "ok", or 503 once shutdown has begun
 //	POST /match     {"query": ...} minimized (through the cache), then
 //	                evaluated against the loaded document
@@ -55,6 +57,7 @@ func NewHandler(s *Service, opts HandlerOptions) http.Handler {
 	mux.HandleFunc("/minimize", h.minimize)
 	mux.HandleFunc("/match", h.match)
 	mux.HandleFunc("/stats", h.stats)
+	mux.HandleFunc("/metrics", s.metricsHandler)
 	mux.HandleFunc("/healthz", h.healthz)
 	return mux
 }
@@ -121,8 +124,12 @@ func (h *handler) readRequest(w http.ResponseWriter, r *http.Request) (*minimize
 }
 
 // parseOne turns the request's single-query fields into a pattern,
-// remembering whether the caller spoke XPath.
-func parseOne(req *minimizeRequest) (*pattern.Pattern, bool, error) {
+// remembering whether the caller spoke XPath. Parse time is observed
+// under the Parse phase — the algorithm packages never see unparsed
+// text, so this is where that histogram is fed.
+func (h *handler) parseOne(req *minimizeRequest) (*pattern.Pattern, bool, error) {
+	start := time.Now()
+	defer func() { h.svc.ObserveParse(time.Since(start)) }()
 	switch {
 	case req.Query != "":
 		p, err := pattern.Parse(req.Query)
@@ -154,14 +161,17 @@ func (h *handler) minimize(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		queries := make([]*pattern.Pattern, len(req.Queries))
+		parseStart := time.Now()
 		for i, src := range req.Queries {
 			p, err := pattern.Parse(src)
 			if err != nil {
+				h.svc.ObserveParse(time.Since(parseStart))
 				writeError(w, http.StatusBadRequest, fmt.Sprintf("query %d: %v", i, err))
 				return
 			}
 			queries[i] = p
 		}
+		h.svc.ObserveParse(time.Since(parseStart))
 		start := time.Now()
 		outs, reps, err := h.svc.MinimizeBatch(ctx, queries)
 		if err != nil {
@@ -177,7 +187,7 @@ func (h *handler) minimize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	p, wasXPath, err := parseOne(req)
+	p, wasXPath, err := h.parseOne(req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -206,7 +216,7 @@ func (h *handler) match(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "no document loaded (start tpqd with -xml)")
 		return
 	}
-	p, _, err := parseOne(req)
+	p, _, err := h.parseOne(req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return

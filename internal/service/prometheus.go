@@ -1,0 +1,128 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"tpq/internal/trace"
+)
+
+// PrometheusContentType is the content type of the text exposition
+// format rendered by WritePrometheus.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders the service counters, gauges and histograms in
+// the Prometheus text exposition format (version 0.0.4) — hand-rolled,
+// because pulling in a client library for a dozen metric families is not
+// worth a dependency. Every metric family is always present (histograms
+// included, at zero), so dashboards and the /metrics acceptance check
+// never see a family appear late.
+//
+// Families:
+//
+//	tpq_requests_total, tpq_errors_total, tpq_batches_total,
+//	tpq_minimizations_total, tpq_unsatisfiable_total,
+//	tpq_slow_queries_total            — request counters
+//	tpq_cache_hits_total, tpq_cache_misses_total,
+//	tpq_cache_evictions_total, tpq_inflight_merges_total — cache counters
+//	tpq_cache_entries, tpq_cache_capacity, tpq_inflight_requests,
+//	tpq_workers, tpq_constraints, tpq_uptime_seconds     — gauges
+//	tpq_nodes_removed_total{phase="cdm"|"acim"}          — removals
+//	tpq_tables_total{kind="built"|"derived"}             — images tables
+//	tpq_request_duration_seconds                         — histogram
+//	tpq_phase_duration_seconds{phase=...}                — histograms,
+//	    one per pipeline phase (parse, chase, cdm, acim, cim, compact)
+func (s *Service) WritePrometheus(w io.Writer) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n",
+			name, help, name, name, strconv.FormatFloat(v, 'g', -1, 64))
+	}
+
+	counter("tpq_requests_total", "Minimize requests accepted (batch members included).", s.stats.requests.Load())
+	counter("tpq_errors_total", "Requests failed (cancellation, shutdown, rejection).", s.stats.errors.Load())
+	counter("tpq_batches_total", "MinimizeBatch calls.", s.stats.batches.Load())
+	counter("tpq_minimizations_total", "Actual engine pipeline runs.", s.stats.minimizations.Load())
+	counter("tpq_unsatisfiable_total", "Minimized queries found unsatisfiable under the constraints.", s.stats.unsat.Load())
+	counter("tpq_slow_queries_total", "Pipeline runs recorded by the slow-query log.", s.stats.slowQueries.Load())
+	counter("tpq_cache_hits_total", "Requests served straight from the cache.", s.stats.hits.Load())
+	counter("tpq_cache_misses_total", "Requests not in the cache at lookup time.", s.stats.misses.Load())
+	counter("tpq_cache_evictions_total", "Cache entries displaced by capacity.", s.stats.evictions.Load())
+	counter("tpq_inflight_merges_total", "Requests that joined another request's inflight minimization.", s.stats.merges.Load())
+
+	fmt.Fprintf(w, "# HELP tpq_nodes_removed_total Nodes eliminated, split by pipeline phase.\n# TYPE tpq_nodes_removed_total counter\n")
+	fmt.Fprintf(w, "tpq_nodes_removed_total{phase=\"cdm\"} %d\n", s.stats.cdmRemoved.Load())
+	fmt.Fprintf(w, "tpq_nodes_removed_total{phase=\"acim\"} %d\n", s.stats.acimRemoved.Load())
+	fmt.Fprintf(w, "# HELP tpq_tables_total Images tables, split into full constructions and master-derived tables.\n# TYPE tpq_tables_total counter\n")
+	fmt.Fprintf(w, "tpq_tables_total{kind=\"built\"} %d\n", s.stats.tablesBuilt.Load())
+	fmt.Fprintf(w, "tpq_tables_total{kind=\"derived\"} %d\n", s.stats.tablesDerived.Load())
+
+	snap := struct{ len, cap int }{}
+	s.mu.Lock()
+	if s.cache != nil {
+		snap.len, snap.cap = s.cache.len(), s.cache.cap
+	}
+	s.mu.Unlock()
+	gauge("tpq_cache_entries", "Cached minimizations resident.", float64(snap.len))
+	gauge("tpq_cache_capacity", "Cache capacity (0 when caching is disabled).", float64(snap.cap))
+	gauge("tpq_inflight_requests", "Requests currently inside Minimize.", float64(s.stats.inflight.Load()))
+	gauge("tpq_workers", "Worker-pool size of the engine.", float64(s.eng.Workers()))
+	gauge("tpq_constraints", "Size of the closed constraint set.", float64(s.closed.Len()))
+	gauge("tpq_uptime_seconds", "Seconds since the service was constructed.", secondsSince(s))
+
+	writeHistogram(w, "tpq_request_duration_seconds",
+		"End-to-end Minimize latency (cache hits included).", "", &s.stats.lat)
+	fmt.Fprintf(w, "# HELP tpq_phase_duration_seconds Time spent per pipeline phase (chase/cim/compact nest inside acim).\n# TYPE tpq_phase_duration_seconds histogram\n")
+	for _, p := range trace.Phases() {
+		writeHistogram(w, "tpq_phase_duration_seconds", "", fmt.Sprintf("phase=%q", p), &s.stats.phase[p])
+	}
+}
+
+func secondsSince(s *Service) float64 { return s.Stats().UptimeSeconds }
+
+// writeHistogram renders one histogram family in the exposition format:
+// cumulative buckets over the shared 1-2-5 bounds, then sum and count.
+// help == "" suppresses the HELP/TYPE header (for labeled families whose
+// header is written once by the caller); labels ("phase=\"cim\"") are
+// merged with the le label.
+func writeHistogram(w io.Writer, name, help, labels string, h *latencyHist) {
+	if help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	}
+	counts, total, sumMicros := h.load()
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	cum := int64(0)
+	for i, bound := range latencyBoundsMicros {
+		cum += counts[i]
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n",
+			name, labels, sep, strconv.FormatFloat(float64(bound)/1e6, 'g', -1, 64), cum)
+	}
+	cum += counts[len(latencyBoundsMicros)]
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum)
+	if labels != "" {
+		fmt.Fprintf(w, "%s_sum{%s} %s\n", name, labels,
+			strconv.FormatFloat(float64(sumMicros)/1e6, 'g', -1, 64))
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, total)
+	} else {
+		fmt.Fprintf(w, "%s_sum %s\n", name,
+			strconv.FormatFloat(float64(sumMicros)/1e6, 'g', -1, 64))
+		fmt.Fprintf(w, "%s_count %d\n", name, total)
+	}
+}
+
+// metricsHandler serves WritePrometheus over HTTP.
+func (s *Service) metricsHandler(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	w.Header().Set("Content-Type", PrometheusContentType)
+	s.WritePrometheus(w)
+}

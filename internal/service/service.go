@@ -26,6 +26,8 @@ package service
 import (
 	"context"
 	"errors"
+	"io"
+	"os"
 	"sync"
 	"time"
 
@@ -33,6 +35,7 @@ import (
 	"tpq/internal/engine"
 	"tpq/internal/ics"
 	"tpq/internal/pattern"
+	"tpq/internal/trace"
 )
 
 // DefaultCacheSize is the cache capacity used when Options.CacheSize is 0.
@@ -61,6 +64,14 @@ type Options struct {
 	// Algo selects the per-query pipeline; empty means engine.Auto
 	// (CDM pre-filter, then ACIM).
 	Algo engine.Algo
+	// SlowLogThreshold enables the slow-query log: every pipeline run
+	// (cache hits never qualify — they are a hash lookup) whose compute
+	// time reaches the threshold is recorded as one JSON line on SlowLog.
+	// Zero disables. See SlowQuery for the line's schema.
+	SlowLogThreshold time.Duration
+	// SlowLog receives the slow-query lines; nil with a nonzero threshold
+	// means os.Stderr. Writes are serialized by the service.
+	SlowLog io.Writer
 }
 
 // Report describes how one request was served.
@@ -102,6 +113,10 @@ type Service struct {
 	flight   flightGroup
 	inflight sync.WaitGroup
 
+	slowThreshold time.Duration
+	slowMu        sync.Mutex // serializes slow-query log lines
+	slowLog       io.Writer
+
 	// computeGate, when set (tests only), runs on the leader's goroutine
 	// after it wins the flight and before it computes — the hook the
 	// inflight-merge tests use to hold a minimization open deterministically.
@@ -122,6 +137,13 @@ func New(opts Options) *Service {
 		start:  time.Now(),
 	}
 	s.fp = s.closed.Fingerprint()
+	if opts.SlowLogThreshold > 0 {
+		s.slowThreshold = opts.SlowLogThreshold
+		s.slowLog = opts.SlowLog
+		if s.slowLog == nil {
+			s.slowLog = os.Stderr
+		}
+	}
 	switch {
 	case opts.CacheSize == 0:
 		s.cache = newLRU(DefaultCacheSize)
@@ -152,6 +174,13 @@ func (s *Service) Stats() Snapshot {
 	snap.Workers = s.eng.Workers()
 	snap.UptimeSeconds = time.Since(s.start).Seconds()
 	return snap
+}
+
+// ObserveParse feeds the Parse phase's duration histogram. Parsing
+// happens in front of the service (the HTTP layer, shells), so the
+// front-ends report it here to complete the per-phase picture.
+func (s *Service) ObserveParse(d time.Duration) {
+	s.stats.phase[trace.Parse].observe(d)
 }
 
 // Closing reports whether Close has begun; /healthz turns 503 on it.
@@ -200,6 +229,8 @@ func (s *Service) Minimize(ctx context.Context, p *pattern.Pattern) (*pattern.Pa
 	s.mu.Unlock()
 	defer s.inflight.Done()
 
+	s.stats.inflight.Add(1)
+	defer s.stats.inflight.Add(-1)
 	s.stats.requests.Add(1)
 	start := time.Now()
 	out, rep, err := s.minimize(ctx, p)
@@ -287,14 +318,19 @@ func (s *Service) cacheGet(key string) (*entry, bool) {
 	return e, ok
 }
 
-// compute runs the actual pipeline plus the unsatisfiability verdict and
-// updates the work counters.
+// compute runs the actual pipeline plus the unsatisfiability verdict,
+// updates the work counters and per-phase histograms, and feeds the
+// slow-query log when the run crossed the threshold.
 func (s *Service) compute(ctx context.Context, p *pattern.Pattern) (*entry, error) {
-	r, err := s.eng.MinimizeContext(ctx, p)
+	tr := trace.New()
+	start := time.Now()
+	r, err := s.eng.MinimizeContextTraced(ctx, p, tr)
 	if err != nil {
 		return nil, err
 	}
 	unsat := acim.UnsatisfiableUnder(p, s.closed)
+	elapsed := time.Since(start)
+	s.stats.observePhases(tr)
 	s.stats.minimizations.Add(1)
 	s.stats.cdmRemoved.Add(int64(r.CDMRemoved))
 	s.stats.acimRemoved.Add(int64(r.ACIMRemoved))
@@ -302,6 +338,9 @@ func (s *Service) compute(ctx context.Context, p *pattern.Pattern) (*entry, erro
 	s.stats.tablesDerived.Add(int64(r.TablesDerived))
 	if unsat {
 		s.stats.unsat.Add(1)
+	}
+	if s.slowLog != nil && elapsed >= s.slowThreshold {
+		s.logSlow(p, r, tr, elapsed)
 	}
 	return &entry{
 		out: r.Output,

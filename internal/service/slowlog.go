@@ -1,0 +1,74 @@
+package service
+
+import (
+	"encoding/json"
+	"time"
+
+	"tpq/internal/engine"
+	"tpq/internal/pattern"
+	"tpq/internal/trace"
+)
+
+// SlowQuery is one slow-query log line: everything needed to reproduce
+// and attribute a slow minimization without logging the query text
+// itself — the structural fingerprint identifies the shape (equal for
+// isomorphic patterns, see pattern.Fingerprint), the per-phase
+// breakdown says where the time went. One JSON object per line.
+type SlowQuery struct {
+	// TS is the completion time, RFC 3339 with milliseconds.
+	TS string `json:"ts"`
+	// Fingerprint is the pattern's structural digest; combined with the
+	// service's constraint fingerprint it is the cache key of the query.
+	Fingerprint string `json:"fingerprint"`
+	// Constraints is the fingerprint of the closed constraint set.
+	Constraints string `json:"constraints"`
+	// InputSize and OutputSize are node counts before and after.
+	InputSize  int `json:"inputSize"`
+	OutputSize int `json:"outputSize"`
+	// CDMRemoved and ACIMRemoved split the removals between the phases;
+	// Tests counts the leaf-redundancy tests of the CIM phase.
+	CDMRemoved  int   `json:"cdmRemoved"`
+	ACIMRemoved int   `json:"acimRemoved"`
+	Tests       int64 `json:"tests"`
+	// Micros is the compute time (pipeline plus unsatisfiability check);
+	// ThresholdMicros the configured slow threshold it crossed.
+	Micros          int64 `json:"micros"`
+	ThresholdMicros int64 `json:"thresholdMicros"`
+	// PhaseMicros is the per-phase breakdown (parse is observed by the
+	// HTTP layer and absent here; chase/cim/compact nest inside acim).
+	// Phases that did not run are omitted.
+	PhaseMicros map[string]int64 `json:"phaseMicros"`
+}
+
+// logSlow emits one SlowQuery line for a pipeline run that crossed the
+// slow threshold. Encoding happens outside any lock; only the final
+// write is serialized.
+func (s *Service) logSlow(p *pattern.Pattern, r engine.Result, tr *trace.Trace, elapsed time.Duration) {
+	rec := SlowQuery{
+		TS:              time.Now().UTC().Format("2006-01-02T15:04:05.000Z07:00"),
+		Fingerprint:     p.Fingerprint(),
+		Constraints:     s.fp,
+		InputSize:       p.Size(),
+		OutputSize:      r.Output.Size(),
+		CDMRemoved:      r.CDMRemoved,
+		ACIMRemoved:     r.ACIMRemoved,
+		Tests:           tr.Count(trace.Tests),
+		Micros:          elapsed.Microseconds(),
+		ThresholdMicros: s.slowThreshold.Microseconds(),
+		PhaseMicros:     make(map[string]int64, trace.NumPhases),
+	}
+	for _, ph := range trace.Phases() {
+		if d := tr.Dur(ph); d > 0 {
+			rec.PhaseMicros[ph.String()] = d.Microseconds()
+		}
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	s.stats.slowQueries.Add(1)
+	s.slowMu.Lock()
+	s.slowLog.Write(line)
+	s.slowMu.Unlock()
+}

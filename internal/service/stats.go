@@ -4,6 +4,8 @@ import (
 	"math"
 	"sync/atomic"
 	"time"
+
+	"tpq/internal/trace"
 )
 
 // Stats is the service's observability surface: expvar-style monotonic
@@ -24,8 +26,30 @@ type Stats struct {
 	tablesDerived atomic.Int64 // per-leaf tables derived from a run's master state
 	batches       atomic.Int64 // MinimizeBatch calls
 	errors        atomic.Int64 // requests failed (cancellation, shutdown)
+	slowQueries   atomic.Int64 // requests logged by the slow-query log
+
+	inflight atomic.Int64 // requests currently inside Minimize (gauge)
 
 	lat latencyHist
+	// phase holds one duration histogram per pipeline phase
+	// (parse/chase/cdm/acim/cim/compact), fed by the per-request traces of
+	// the compute path (cache hits run no phases) plus the serving layer's
+	// parse observations. Same 1-2-5 bucketing as lat.
+	phase [trace.NumPhases]latencyHist
+}
+
+// observePhases folds one request's trace into the per-phase histograms.
+// A phase that did not run (zero duration) is not observed, so histogram
+// counts mean "requests that exercised the phase".
+func (s *Stats) observePhases(tr *trace.Trace) {
+	if tr == nil {
+		return
+	}
+	for _, p := range trace.Phases() {
+		if d := tr.Dur(p); d > 0 {
+			s.phase[p].observe(d)
+		}
+	}
 }
 
 // latencyBoundsMicros are the histogram bucket upper bounds, in
@@ -41,6 +65,17 @@ type latencyHist struct {
 	buckets [len(latencyBoundsMicros) + 1]atomic.Int64
 	count   atomic.Int64
 	sum     atomic.Int64 // microseconds
+}
+
+// load copies the histogram into plain slices for rendering. The copies
+// of the individual atomics are not mutually consistent under concurrent
+// observes — the usual monitoring tolerance.
+func (h *latencyHist) load() (counts []int64, total, sumMicros int64) {
+	counts = make([]int64, len(h.buckets))
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+	}
+	return counts, h.count.Load(), h.sum.Load()
 }
 
 func (h *latencyHist) observe(d time.Duration) {
@@ -99,6 +134,8 @@ type Snapshot struct {
 	TablesDerived  int64 `json:"tablesDerived"`
 	Batches        int64 `json:"batches"`
 	Errors         int64 `json:"errors"`
+	SlowQueries    int64 `json:"slowQueries"`
+	Inflight       int64 `json:"inflight"`
 
 	CacheLen int `json:"cacheLen"`
 	CacheCap int `json:"cacheCap"`
@@ -114,6 +151,19 @@ type Snapshot struct {
 	LatencyP90Micros  int64           `json:"latencyP90Micros"`
 	LatencyP99Micros  int64           `json:"latencyP99Micros"`
 	LatencyBuckets    []LatencyBucket `json:"latencyBuckets"`
+
+	// Phases summarizes the per-phase duration histograms of the compute
+	// path, keyed by phase name (parse, chase, cdm, acim, cim, compact).
+	// Phases that never ran are omitted; the full histograms are on
+	// /metrics.
+	Phases map[string]PhaseSnapshot `json:"phases,omitempty"`
+}
+
+// PhaseSnapshot summarizes one pipeline phase's duration histogram.
+type PhaseSnapshot struct {
+	Count      int64   `json:"count"`
+	MeanMicros float64 `json:"meanMicros"`
+	P99Micros  int64   `json:"p99Micros"` // -1: beyond the last bound
 }
 
 func (s *Stats) snapshot() Snapshot {
@@ -131,6 +181,8 @@ func (s *Stats) snapshot() Snapshot {
 		TablesDerived:  s.tablesDerived.Load(),
 		Batches:        s.batches.Load(),
 		Errors:         s.errors.Load(),
+		SlowQueries:    s.slowQueries.Load(),
+		Inflight:       s.inflight.Load(),
 	}
 	counts := make([]int64, len(s.lat.buckets))
 	for i := range s.lat.buckets {
@@ -153,6 +205,21 @@ func (s *Stats) snapshot() Snapshot {
 			le = latencyBoundsMicros[i]
 		}
 		snap.LatencyBuckets = append(snap.LatencyBuckets, LatencyBucket{LEMicros: le, Count: c})
+	}
+	for _, p := range trace.Phases() {
+		h := &s.phase[p]
+		counts, phTotal, sum := h.load()
+		if phTotal == 0 {
+			continue
+		}
+		if snap.Phases == nil {
+			snap.Phases = make(map[string]PhaseSnapshot, trace.NumPhases)
+		}
+		snap.Phases[p.String()] = PhaseSnapshot{
+			Count:      phTotal,
+			MeanMicros: float64(sum) / float64(phTotal),
+			P99Micros:  h.quantile(0.99, counts, phTotal),
+		}
 	}
 	return snap
 }
