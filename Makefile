@@ -6,7 +6,7 @@ GO ?= go
 # rises.
 COVER_FLOOR ?= 84.0
 
-.PHONY: check ci build vet test race race-service fuzz-smoke bench-smoke fmtcheck bench bench-regression cover fmt
+.PHONY: check ci build vet test race race-service fuzz-smoke bench-smoke fmtcheck bench bench-regression bench-chase cover fmt
 
 # The gate every change must pass before commit.
 check: build vet fmtcheck test race race-service fuzz-smoke bench-smoke
@@ -63,12 +63,22 @@ bench:
 	$(GO) test -run xxx -bench . -benchmem .
 
 # The perf gate: re-measure the pinned benchmarks in machine-readable
-# form and compare against the committed baseline. Exits nonzero when
-# any result grew past the threshold; refresh the baseline (on a quiet
-# machine) with: go run ./cmd/tpqbench -json -o BENCH_baseline.json
+# form and compare against the committed baseline — per-result totals
+# AND per-phase breakdowns, so a phase regression can't hide inside a
+# flat total. Exits nonzero when anything grew past the threshold;
+# refresh the baseline (on a quiet machine) with:
+#   go run ./cmd/tpqbench -json -o BENCH_baseline.json
 bench-regression:
 	$(GO) run ./cmd/tpqbench -json -o .bench/BENCH_head.json
 	$(GO) run ./cmd/tpqbench -compare BENCH_baseline.json .bench/BENCH_head.json -threshold 1.5x
+
+# Targeted chase gate: re-measure only the Figure 7(b) workload (the
+# chase-plan series isolates plan-based augmentation) and compare its
+# totals and phases against the baseline. Much faster than the full
+# bench-regression; the gate that pins the precompiled-plan speedup.
+bench-chase:
+	$(GO) run ./cmd/tpqbench -json -fig fig7b -outdir .bench
+	$(GO) run ./cmd/tpqbench -compare BENCH_baseline.json .bench/BENCH_fig7b.json -threshold 1.5x
 
 # Full-suite statement coverage with a floor: fails when the total drops
 # below COVER_FLOOR. coverage.out is the artifact CI uploads.

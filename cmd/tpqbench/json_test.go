@@ -52,14 +52,44 @@ func TestJSONMode(t *testing.T) {
 		}
 	}
 	// The fig7b results carry the per-phase breakdown the CI gate graphs.
+	// The chase-plan series measures augmentation alone, so its invariant
+	// counter is the witness count; the pipeline series count tests.
 	f, _ := bench.ReadJSON(filepath.Join(dir, "BENCH_fig7b.json"))
+	sawPlan := false
 	for _, r := range f.Results {
 		if len(r.PhaseNs) == 0 {
 			t.Errorf("result %s has no phase breakdown", r.Name)
 		}
+		if strings.Contains(r.Name, "/chase-plan/") {
+			sawPlan = true
+			if r.Counters["augmented"] <= 0 {
+				t.Errorf("result %s: counters = %v, want augmented > 0", r.Name, r.Counters)
+			}
+			continue
+		}
 		if r.Counters["tests"] <= 0 {
 			t.Errorf("result %s: counters = %v, want tests > 0", r.Name, r.Counters)
 		}
+	}
+	if !sawPlan {
+		t.Error("fig7b emitted no chase-plan results")
+	}
+}
+
+func TestJSONFigFilter(t *testing.T) {
+	dir := t.TempDir()
+	out, stderr, code := runCmd(t, "-json", "-fig", "fig7b", "-quick", "-budget", "1ms", "-runs", "1", "-outdir", dir)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(out, "BENCH_fig7b.json") {
+		t.Errorf("stdout does not mention the requested figure:\n%s", out)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "BENCH_service.json")); !os.IsNotExist(err) {
+		t.Error("-fig fig7b still wrote the service figure")
+	}
+	if _, stderr, code := runCmd(t, "-json", "-fig", "nope", "-outdir", dir); code != 2 || !strings.Contains(stderr, "knows no figure") {
+		t.Errorf("unknown figure: exit %d, stderr %q", code, stderr)
 	}
 }
 
@@ -129,6 +159,37 @@ func TestCompareFailsOnRegression(t *testing.T) {
 	}
 	if _, _, code := runCmd(t, "-threshold", "2.5x", "-compare", base, head); code != 0 {
 		t.Errorf("leading -threshold form: exit %d", code)
+	}
+}
+
+// TestCompareFailsOnPhaseRegression: a flat total with one phase 3x
+// slower (masked by another phase getting faster) must still trip the
+// gate — that is the whole point of the phase-level breakdown.
+func TestCompareFailsOnPhaseRegression(t *testing.T) {
+	dir := t.TempDir()
+	base, head := filepath.Join(dir, "old.json"), filepath.Join(dir, "new.json")
+	oldR := res("a", 1000)
+	oldR.PhaseNs = map[string]float64{"chase": 6_000_000, "cim": 4_000_000}
+	newR := res("a", 1000)
+	newR.PhaseNs = map[string]float64{"chase": 18_000_000, "cim": 1_000_000}
+	writeBenchFile(t, base, oldR)
+	writeBenchFile(t, head, newR)
+	out, stderr, code := runCmd(t, "-compare", base, head, "-threshold", "1.5x")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stdout:\n%s\nstderr %q", code, out, stderr)
+	}
+	if !strings.Contains(out, "phase:chase") || !strings.Contains(out, "REGRESSION") {
+		t.Errorf("phase regression not reported:\n%s", out)
+	}
+
+	// Sub-floor phases are exempt: a sub-millisecond phase tripling is
+	// collector scheduling, not a regression.
+	oldR.PhaseNs = map[string]float64{"chase": 200_000}
+	newR.PhaseNs = map[string]float64{"chase": 600_000}
+	writeBenchFile(t, base, oldR)
+	writeBenchFile(t, head, newR)
+	if _, stderr, code := runCmd(t, "-compare", base, head, "-threshold", "1.5x"); code != 0 {
+		t.Errorf("sub-floor phase tripped the gate: exit %d, stderr %q", code, stderr)
 	}
 }
 

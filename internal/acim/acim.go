@@ -105,8 +105,14 @@ func MinimizeWithRunnerTraced(p *pattern.Pattern, cs *ics.Set, tr *trace.Trace, 
 		cs = ics.NewSet()
 	}
 
+	// Augment through the precompiled chase plan: the registry closes the
+	// set and compiles once per fingerprint, so repeat minimizations under
+	// one schema pay a map probe plus work proportional to the query. The
+	// per-call chase.Augment stays as the cross-validated oracle (see
+	// internal/difffuzz).
 	tAug := time.Now()
-	st.Augmented = chase.AugmentTraced(q, cs, tr)
+	pl := chase.PlanForTraced(cs, tr)
+	st.Augmented = pl.AugmentTraced(q, tr)
 	st.AugmentTime = time.Since(tAug)
 	st.AugmentedSize = q.Size()
 
@@ -252,7 +258,10 @@ func ContainedUnder(a, b *pattern.Pattern, cs *ics.Set) bool {
 	for t := range b.TypeSet() {
 		relevant[t] = true
 	}
-	wanted := chase.WantedWitnessTypes(cs, relevant)
+	// The wanted set comes from the precompiled trigger relation of the
+	// pair's chase plan — equivalence judging under one schema reuses the
+	// same registry entry the minimization pipeline compiled.
+	wanted := chase.PlanFor(cs).Wanted(relevant)
 	filtered := ics.NewSet()
 	for _, c := range cs.Constraints() {
 		switch c.Kind {

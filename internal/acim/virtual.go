@@ -128,43 +128,34 @@ func MinimizeVirtualWithStats(p *pattern.Pattern, cs *ics.Set) (*pattern.Pattern
 // virtualWitnesses computes, per original node, the witness chains its
 // types imply under the closed constraint set, restricted — exactly like
 // physical augmentation — to witness types that can matter for a
-// containment mapping (chase.WantedWitnessTypes). Chains are followed
-// only on acyclic-required sets, mirroring chase.Augment's termination
-// guard, so MinimizeVirtual stays observably equivalent to Minimize.
+// containment mapping. The targets and chain shapes come from the
+// precompiled chase plan's instance for this query's type set (the same
+// specialization physical augmentation uses), so the per-call
+// recomputation of WantedWitnessTypes and WitnessTargets is gone; chains
+// are compiled only on acyclic-required sets, preserving chase.Augment's
+// termination guard, so MinimizeVirtual stays observably equivalent to
+// Minimize.
 func virtualWitnesses(q *pattern.Pattern, cs *ics.Set) (map[*pattern.Node][]entity, int) {
-	base := q.TypeSet()
-	wanted := chase.WantedWitnessTypes(cs, base)
-	deep := cs.AcyclicRequired()
-	maxDepth := len(base) + len(cs.Types()) + 1
+	in := chase.PlanFor(cs).Specialize(q.TypeSet())
 
 	total := 0
-	// grow adds w's guaranteed children. The closure folds constraints of
-	// w's co-occurrence types into its primary type's targets, so — unlike
-	// for real nodes with explicit extra types — iterating the primary
-	// type's targets suffices.
-	var grow func(owner *pattern.Node, w *witness, depth int)
-	grow = func(owner *pattern.Node, w *witness, depth int) {
-		if depth > maxDepth {
-			return // unreachable on an acyclic closed set; defensive bound
-		}
-		childT, descT := chase.WitnessTargets(cs, []pattern.Type{w.typ}, wanted, true)
-		for _, b := range childT {
-			c := &witness{owner: owner, parent: w, kind: pattern.Child, typ: b}
-			w.children = append(w.children, c)
+	// grow adds w's guaranteed children from the compiled chain. The
+	// closure folds constraints of w's co-occurrence types into its
+	// primary type's targets, so — unlike for real nodes with explicit
+	// extra types — the per-type chain suffices.
+	var grow func(owner *pattern.Node, w *witness, kids []chase.ChainChild)
+	grow = func(owner *pattern.Node, w *witness, kids []chase.ChainChild) {
+		for _, c := range kids {
+			cw := &witness{owner: owner, parent: w, kind: c.Edge, typ: c.Type}
+			w.children = append(w.children, cw)
 			total++
-			grow(owner, c, depth+1)
-		}
-		for _, b := range descT {
-			c := &witness{owner: owner, parent: w, kind: pattern.Descendant, typ: b}
-			w.children = append(w.children, c)
-			total++
-			grow(owner, c, depth+1)
+			grow(owner, cw, c.Children())
 		}
 	}
 
 	out := make(map[*pattern.Node][]entity)
 	q.Walk(func(n *pattern.Node) {
-		childT, descT := chase.WitnessTargets(cs, n.Types(), wanted, deep)
+		childT, descT := in.Targets(n.Types())
 		var roots []*witness
 		for _, b := range childT {
 			roots = append(roots, &witness{owner: n, kind: pattern.Child, typ: b})
@@ -178,9 +169,7 @@ func virtualWitnesses(q *pattern.Pattern, cs *ics.Set) (map[*pattern.Node][]enti
 		total += len(roots)
 		var ws []entity
 		for _, r := range roots {
-			if deep {
-				grow(n, r, 1)
-			}
+			grow(n, r, in.ChainChildren(r.typ))
 			for _, w := range flatten(r, nil) {
 				ws = append(ws, entity{w: w})
 			}

@@ -14,8 +14,10 @@ import (
 	"time"
 
 	"tpq/internal/acim"
+	"tpq/internal/chase"
 	"tpq/internal/cim"
 	"tpq/internal/genquery"
+	"tpq/internal/ics"
 	"tpq/internal/pattern"
 	"tpq/internal/service"
 	"tpq/internal/trace"
@@ -40,9 +42,12 @@ type JSONResult struct {
 	NsPerOp float64 `json:"nsPerOp"`
 	// AllocsPerOp is the average heap allocations of one operation.
 	AllocsPerOp float64 `json:"allocsPerOp"`
-	// PhaseNs breaks NsPerOp down by pipeline phase (from the trace
-	// spans of the best run): chase/cdm/acim/cim/compact. The phases
-	// chase, cim and compact nest inside acim.
+	// PhaseNs breaks the operation down by pipeline phase:
+	// chase/cdm/acim/cim/compact (chase, cim and compact nest inside
+	// acim). Each phase is the minimum over all measured runs — phases
+	// are individually noisy (a GC pause lands in whichever phase is
+	// running), so the per-phase best is the stable quantity to gate on,
+	// at the price of the phases not summing to NsPerOp exactly.
 	PhaseNs map[string]float64 `json:"phaseNs,omitempty"`
 	// Counters are work counts of one operation (tests, tables built and
 	// derived) — cheap invariants the compare tool checks exactly, since
@@ -75,12 +80,16 @@ func newJSONFile(figure string, results []JSONResult) JSONFile {
 }
 
 // measureTraced measures f like Measure, but lets f report the trace of
-// each run and keeps the one belonging to the fastest run, so PhaseNs
-// sums to (at most) NsPerOp instead of an average over noisy runs.
-func measureTraced(opts Options, f func() (*trace.Trace, time.Duration)) (time.Duration, *trace.Trace) {
+// each run. It keeps the trace of the fastest run (for the deterministic
+// counters) and, separately, the minimum duration each phase reached in
+// any run: one run's phase split is noisy — a GC pause inflates whichever
+// phase it lands in — while the per-phase minimum converges like a
+// best-of-N total does.
+func measureTraced(opts Options, f func() (*trace.Trace, time.Duration)) (time.Duration, *trace.Trace, map[string]float64) {
 	opts = opts.withDefaults()
 	best := time.Duration(-1)
 	var bestTr *trace.Trace
+	phaseMin := map[string]float64{}
 	spent := time.Duration(0)
 	for run := 0; run < opts.MinRuns || spent < opts.Budget; run++ {
 		tr, d := f()
@@ -88,21 +97,24 @@ func measureTraced(opts Options, f func() (*trace.Trace, time.Duration)) (time.D
 		if best < 0 || d < best {
 			best, bestTr = d, tr
 		}
+		if tr != nil {
+			for _, p := range trace.Phases() {
+				if pd := tr.Dur(p); pd > 0 {
+					ns := float64(pd.Nanoseconds())
+					if cur, ok := phaseMin[p.String()]; !ok || ns < cur {
+						phaseMin[p.String()] = ns
+					}
+				}
+			}
+		}
 		if run > 10000 {
 			break
 		}
 	}
-	return best, bestTr
-}
-
-func phaseNs(tr *trace.Trace) map[string]float64 {
-	out := make(map[string]float64)
-	for _, p := range trace.Phases() {
-		if d := tr.Dur(p); d > 0 {
-			out[p.String()] = float64(d.Nanoseconds())
-		}
+	if len(phaseMin) == 0 {
+		phaseMin = nil
 	}
-	return out
+	return best, bestTr, phaseMin
 }
 
 // JSONFig7b pins the Figure 7(b) incremental-engine workload (101-node
@@ -133,7 +145,7 @@ func JSONFig7b(opts Options) JSONFile {
 			})
 			return tr, time.Since(start)
 		}
-		best, tr := measureTraced(opts, one)
+		best, tr, phases := measureTraced(opts, one)
 		allocs := testing.AllocsPerRun(2, func() { one() })
 		return JSONResult{
 			Name:        "fig7b/" + series + "/red=" + strconv.Itoa(red),
@@ -141,7 +153,7 @@ func JSONFig7b(opts Options) JSONFile {
 			Params:      map[string]string{"nodes": "101", "constraints": "100", "red": strconv.Itoa(red), "kernel": series},
 			NsPerOp:     float64(best.Nanoseconds()),
 			AllocsPerOp: allocs,
-			PhaseNs:     phaseNs(tr),
+			PhaseNs:     phases,
 			Counters: map[string]int64{
 				"tests":          tr.Count(trace.Tests),
 				"tables_built":   tr.Count(trace.TablesBuilt),
@@ -153,7 +165,41 @@ func JSONFig7b(opts Options) JSONFile {
 		results = append(results, run(red, cim.Options{}, "incremental"))
 	}
 	results = append(results, run(reds[len(reds)/2], cim.Options{Scratch: true}, "scratch"))
+	for _, red := range reds {
+		results = append(results, runPlanAugment(opts, q, base, red))
+	}
 	return newJSONFile("fig7b", results)
+}
+
+// runPlanAugment pins the chase phase in isolation: one op is clone +
+// plan-based augmentation on the Figure 7(b) workload (the plan itself is
+// compiled once, outside the measured op — that is the point of the
+// registry). The augmented-node count is deterministic, so the compare
+// tool checks it exactly; a change there means the chase semantics moved,
+// not the clock.
+func runPlanAugment(opts Options, q *pattern.Pattern, base *ics.Set, red int) JSONResult {
+	cs := base.Clone()
+	for _, c := range genquery.FanRedundancy(red).Constraints() {
+		cs.Add(c)
+	}
+	pl := chase.PlanFor(cs.Closure())
+	one := func() (*trace.Trace, time.Duration) {
+		tr := trace.New()
+		start := time.Now()
+		pl.AugmentTraced(q.Clone(), tr)
+		return tr, time.Since(start)
+	}
+	best, tr, phases := measureTraced(opts, one)
+	allocs := testing.AllocsPerRun(2, func() { one() })
+	return JSONResult{
+		Name:        "fig7b/chase-plan/red=" + strconv.Itoa(red),
+		Figure:      "7b-incremental",
+		Params:      map[string]string{"nodes": "101", "constraints": "100", "red": strconv.Itoa(red), "kernel": "chase-plan"},
+		NsPerOp:     float64(best.Nanoseconds()),
+		AllocsPerOp: allocs,
+		PhaseNs:     phases,
+		Counters:    map[string]int64{"augmented": tr.Count(trace.Augmented)},
+	}
 }
 
 // JSONService pins the serving layer: the steady-state latency of a hot
@@ -193,7 +239,7 @@ func JSONService(opts Options) JSONFile {
 		}
 		return nil, time.Since(start)
 	}
-	uncached, _ := measureTraced(opts, uncachedOne)
+	uncached, _, _ := measureTraced(opts, uncachedOne)
 	uncachedAllocs := testing.AllocsPerRun(2, func() { uncachedOne() })
 	results = append(results, JSONResult{
 		Name:        "service/uncached",
@@ -290,14 +336,37 @@ type Comparison struct {
 	// algorithmic change (more redundancy tests, a lost table reuse),
 	// flagged as informational, never as a regression by itself.
 	CounterDiffs []string
+	// PhaseDiffs compares the per-phase breakdowns, so a phase that
+	// regresses inside an otherwise-flat total (one phase got slower,
+	// another absorbed it) still fails the gate.
+	PhaseDiffs []PhaseDiff
 }
+
+// PhaseDiff is the verdict on one pipeline phase of one result.
+type PhaseDiff struct {
+	Phase  string
+	OldNs  float64
+	NewNs  float64
+	Ratio  float64 // NewNs / OldNs
+	Slower bool    // Ratio > threshold and OldNs >= phaseFloorNs
+}
+
+// phaseFloorNs exempts sub-millisecond phases from the phase gate: a
+// phase that small inside a GC-heavy pipeline measures mostly collector
+// scheduling (its per-phase minimum still swings 2-3x between runs of
+// the same binary). Small-but-critical phases are pinned by dedicated
+// series instead — fig7b/chase-plan isolates augmentation, and its
+// stable total falls under the ordinary result gate.
+const phaseFloorNs = 1_000_000
 
 // CompareJSON matches results by name over the intersection of the two
 // files and flags every result whose time grew by more than threshold
-// (1.5 means "50% slower fails"). Timing on shared CI runners is noisy —
-// single measurements, neighbors on the box, frequency scaling — which
-// is why the threshold is generous and why counters are compared exactly
-// but reported separately: they are deterministic, times are not.
+// (1.5 means "50% slower fails"). The same threshold applies per phase
+// (over phaseFloorNs), so a regression in one phase cannot hide behind a
+// speedup in another. Timing on shared CI runners is noisy — single
+// measurements, neighbors on the box, frequency scaling — which is why
+// the threshold is generous and why counters are compared exactly but
+// reported separately: they are deterministic, times are not.
 func CompareJSON(base, head JSONFile, threshold float64) (comps []Comparison, regressions int) {
 	oldBy := map[string]JSONResult{}
 	for _, r := range base.Results {
@@ -324,8 +393,30 @@ func CompareJSON(base, head JSONFile, threshold float64) (comps []Comparison, re
 					fmt.Sprintf("%s %d -> %d", k, o.Counters[k], nv))
 			}
 		}
+		var phases []string
+		for p := range o.PhaseNs {
+			phases = append(phases, p)
+		}
+		sort.Strings(phases)
+		for _, p := range phases {
+			nv, ok := r.PhaseNs[p]
+			if !ok {
+				continue // phase vanished: strictly faster, never a regression
+			}
+			d := PhaseDiff{Phase: p, OldNs: o.PhaseNs[p], NewNs: nv}
+			if d.OldNs > 0 {
+				d.Ratio = d.NewNs / d.OldNs
+			}
+			d.Slower = d.Ratio > threshold && d.OldNs >= phaseFloorNs
+			c.PhaseDiffs = append(c.PhaseDiffs, d)
+		}
 		if c.Slower {
 			regressions++
+		}
+		for _, d := range c.PhaseDiffs {
+			if d.Slower {
+				regressions++
+			}
 		}
 		comps = append(comps, c)
 	}
@@ -342,6 +433,13 @@ func FormatComparisons(comps []Comparison, threshold float64) string {
 			verdict = fmt.Sprintf("  REGRESSION (> %.2fx)", threshold)
 		}
 		fmt.Fprintf(&b, "%-28s %14.0f %14.0f %7.2fx%s\n", c.Name, c.OldNs, c.NewNs, c.Ratio, verdict)
+		for _, d := range c.PhaseDiffs {
+			pv := ""
+			if d.Slower {
+				pv = fmt.Sprintf("  REGRESSION (> %.2fx)", threshold)
+			}
+			fmt.Fprintf(&b, "  %-26s %14.0f %14.0f %7.2fx%s\n", "phase:"+d.Phase, d.OldNs, d.NewNs, d.Ratio, pv)
+		}
 		for _, d := range c.CounterDiffs {
 			fmt.Fprintf(&b, "    counter changed: %s\n", d)
 		}

@@ -40,6 +40,7 @@ package cdm
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
 	"time"
@@ -172,7 +173,7 @@ func MinimizeInPlaceTraced(p *pattern.Pattern, cs *ics.Set, tr *trace.Trace) (st
 	}
 	for {
 		st.Passes++
-		removed := sweep(p, cs, nil)
+		removed := sweep(p, cs)
 		st.Removed += removed
 		if removed == 0 {
 			return st
@@ -237,33 +238,108 @@ func propagate(edge pattern.EdgeKind, a Arg) Arg {
 	}
 }
 
+// argCounter is the merged per-type count of argument contributions below
+// the node being minimized, backed by the sweep's interned type ids so
+// deletable probes it without hashing strings.
+type argCounter struct {
+	ids   map[pattern.Type]int32
+	count []int32
+}
+
+// at returns the count for t; a type absent from the pattern (hence from
+// the id table) has necessarily no arguments below any node.
+func (a argCounter) at(t pattern.Type) int32 {
+	if id, ok := a.ids[t]; ok {
+		return a.count[id]
+	}
+	return 0
+}
+
 // sweep performs one bottom-up propagation-plus-minimization pass and
-// returns the number of nodes removed. If trace is non-nil it receives the
-// final information content of every surviving node.
-func sweep(p *pattern.Pattern, cs *ics.Set, trace map[*pattern.Node]Info) int {
+// returns the number of nodes removed.
+//
+// Information contents are represented as six per-kind bitsets over the
+// pattern's interned types rather than as Info maps: every argument's
+// type is the type of some pattern node, so the universe is known up
+// front, and the Figure 4 propagation rules map whole kinds to kinds —
+// a handful of word-ORs per edge instead of one string-hashing map
+// insert per argument. On chain-shaped queries the per-node content is
+// O(depth) arguments, which made map-based propagation the dominant cost
+// of the whole pipeline once the chase was precompiled.
+func sweep(p *pattern.Pattern, cs *ics.Set) int {
+	// Intern every type occurring in the pattern. Arguments only carry
+	// node types, so this is the full universe of the pass.
+	ids := make(map[pattern.Type]int32)
+	var typeList []pattern.Type
+	p.Walk(func(n *pattern.Node) {
+		for _, t := range n.Types() {
+			if _, ok := ids[t]; !ok {
+				ids[t] = int32(len(typeList))
+				typeList = append(typeList, t)
+			}
+		}
+	})
+	// One bitset per ArgKind, W words each, packed kind-major into a
+	// single slice per node.
+	W := (len(typeList) + 63) / 64
+	newBits := func() []uint64 { return make([]uint64, 6*W) }
+	block := func(b []uint64, k ArgKind) []uint64 { return b[int(k)*W : (int(k)+1)*W] }
+	orInto := func(dst, src []uint64) {
+		for i, w := range src {
+			dst[i] |= w
+		}
+	}
+	setBit := func(b []uint64, k ArgKind, id int32) {
+		block(b, k)[id/64] |= 1 << (uint(id) % 64)
+	}
+	// propagate is Figure 4 on whole kinds: across a d-edge T stays
+	// unconstrained (aT) and everything else collapses to a~T; across a
+	// c-edge T and ~T keep their flavor as pT/p~T and the rest collapses
+	// to a~T.
+	propagateBits := func(dst, src []uint64, edge pattern.EdgeKind) {
+		if edge == pattern.Descendant {
+			orInto(block(dst, AncU), block(src, SelfU))
+		} else {
+			orInto(block(dst, ParU), block(src, SelfU))
+			orInto(block(dst, ParC), block(src, SelfC))
+		}
+		anc := block(dst, AncC)
+		if edge == pattern.Descendant {
+			orInto(anc, block(src, SelfC))
+		}
+		orInto(anc, block(src, AncU))
+		orInto(anc, block(src, AncC))
+		orInto(anc, block(src, ParU))
+		orInto(anc, block(src, ParC))
+	}
+	addCounts := func(count []int32, b []uint64, delta int32) {
+		for i, w := range b {
+			base := int32(i%W) * 64
+			for ; w != 0; w &= w - 1 {
+				count[base+int32(bits.TrailingZeros64(w))] += delta
+			}
+		}
+	}
+
 	removed := 0
-	var rec func(n *pattern.Node) Info
-	rec = func(n *pattern.Node) Info {
+	var rec func(n *pattern.Node) []uint64
+	rec = func(n *pattern.Node) []uint64 {
 		// Process children first, keeping each child's contributed
 		// (already propagated) arguments so they can be merged afterwards.
-		contrib := make(map[*pattern.Node]Info, len(n.Children))
-		for _, c := range append([]*pattern.Node(nil), n.Children...) {
-			ci := rec(c)
-			up := Info{}
-			for a := range ci {
-				up[propagate(c.Edge, a)] = true
-			}
-			contrib[c] = up
+		kids := append([]*pattern.Node(nil), n.Children...)
+		contrib := make([][]uint64, len(kids))
+		for i, c := range kids {
+			up := newBits()
+			propagateBits(up, rec(c), c.Edge)
+			contrib[i] = up
 		}
 
 		// Merged count of argument types below n (any a/p kind); the
 		// deep-witness probes of deletable consult it in O(1) per
 		// candidate type.
-		argCount := make(map[pattern.Type]int)
-		for _, ci := range contrib {
-			for a := range ci {
-				argCount[a.Type]++
-			}
+		ac := argCounter{ids: ids, count: make([]int32, len(typeList))}
+		for _, up := range contrib {
+			addCounts(ac.count, up, +1)
 		}
 
 		// Minimization step: delete locally redundant leaf children until
@@ -271,43 +347,43 @@ func sweep(p *pattern.Pattern, cs *ics.Set, trace map[*pattern.Node]Info) int {
 		// candidate scan restarts; fanout is small in practice and bounded
 		// work matches the paper's analysis.
 		for {
-			victim := (*pattern.Node)(nil)
+			victim := -1
 			for _, y := range n.Children {
 				if y.Star || y.Temp || !y.IsLeaf() {
 					continue
 				}
-				if deletable(n, y, argCount, cs) {
-					victim = y
+				if deletable(n, y, ac, cs) {
+					for i, c := range kids {
+						if c == y {
+							victim = i
+							break
+						}
+					}
 					break
 				}
 			}
-			if victim == nil {
+			if victim < 0 {
 				break
 			}
-			for a := range contrib[victim] {
-				argCount[a.Type]--
-			}
-			victim.Detach()
-			delete(contrib, victim)
+			addCounts(ac.count, contrib[victim], -1)
+			kids[victim].Detach()
+			contrib[victim] = nil
 			removed++
 		}
 
 		// Assemble n's own information content from the survivors.
-		in := Info{}
-		for _, c := range n.Children {
-			for a := range contrib[c] {
-				in[a] = true
+		in := newBits()
+		for _, up := range contrib {
+			if up != nil {
+				orInto(in, up)
 			}
+		}
+		selfKind := SelfC
+		if len(n.Children) == 0 {
+			selfKind = SelfU
 		}
 		for _, t := range n.Types() {
-			if len(n.Children) == 0 {
-				in[Arg{SelfU, t}] = true
-			} else {
-				in[Arg{SelfC, t}] = true
-			}
-		}
-		if trace != nil {
-			trace[n] = in
+			setBit(in, selfKind, ids[t])
 		}
 		return in
 	}
@@ -329,7 +405,7 @@ func sweep(p *pattern.Pattern, cs *ics.Set, trace map[*pattern.Node]Info) int {
 // "Covering" accounts for extra types on the leaf: a witness of type B
 // satisfies the leaf's requirement {t...} iff B ~ t holds (or B == t) for
 // every required t.
-func deletable(n, y *pattern.Node, argCount map[pattern.Type]int, cs *ics.Set) bool {
+func deletable(n, y *pattern.Node, ac argCounter, cs *ics.Set) bool {
 	need := y.Types()
 	// A leaf carrying value conditions (Section 7 extension) can only be
 	// discharged by a sibling witness whose conditions entail them;
@@ -380,7 +456,7 @@ func deletable(n, y *pattern.Node, argCount map[pattern.Type]int, cs *ics.Set) b
 	// tree-walking).
 	if condFree {
 		present := func(u pattern.Type) bool {
-			c := argCount[u]
+			c := ac.at(u)
 			if y.HasType(u) {
 				c-- // y's own contribution does not witness its deletion
 			}

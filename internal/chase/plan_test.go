@@ -1,0 +1,256 @@
+package chase
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"tpq/internal/ics"
+	"tpq/internal/pattern"
+	"tpq/internal/trace"
+)
+
+// planCases are (query, constraint-set) pairs spanning the augmentation
+// features: plain child/desc witnesses, co-occurrence, chained witness
+// growth, coverage pruning on deep sets, and cyclic sets kept shallow.
+var planCases = []struct {
+	name  string
+	query string
+	cons  []ics.Constraint
+}{
+	{"fig2j", "Articles/Article*[//Paragraph, /Section//Paragraph]",
+		[]ics.Constraint{ics.Desc("Section", "Paragraph")}},
+	{"co", "Organization*[/Employee/Project, /PermEmp/DBproject]",
+		[]ics.Constraint{ics.Co("PermEmp", "Employee"), ics.Co("DBproject", "Project")}},
+	{"chain", "a*[/b, /c]",
+		[]ics.Constraint{ics.Child("a", "b"), ics.Child("b", "c"), ics.Child("c", "d")}},
+	{"prune", "a*/b",
+		[]ics.Constraint{ics.Child("a", "b"), ics.Desc("a", "c"), ics.Child("b", "c")}},
+	{"cyclic", "a*/b",
+		[]ics.Constraint{ics.Child("a", "b"), ics.Child("b", "a")}},
+	{"mixed", "r*[/a[/b], //c]",
+		[]ics.Constraint{ics.Child("a", "x"), ics.Desc("c", "y"), ics.Co("b", "c"), ics.Child("c", "z")}},
+	{"empty", "a*/b", nil},
+}
+
+// dump serializes everything augmentation can touch, so equal dumps mean
+// the plan reproduced the per-call chase verbatim (order included).
+func dump(p *pattern.Pattern) string {
+	var out string
+	var rec func(n *pattern.Node)
+	rec = func(n *pattern.Node) {
+		out += fmt.Sprintf("%v%s{%v|%v}", n.Edge, n.Type, n.Extra, n.TempExtra)
+		if n.Temp {
+			out += "~"
+		}
+		out += "("
+		for _, c := range n.Children {
+			rec(c)
+		}
+		out += ")"
+	}
+	rec(p.Root)
+	return out
+}
+
+func TestPlanAugmentMatchesPerCall(t *testing.T) {
+	for _, tc := range planCases {
+		t.Run(tc.name, func(t *testing.T) {
+			cs := ics.NewSet(tc.cons...).Closure()
+			ref := pattern.MustParse(tc.query)
+			refAdded := Augment(ref, cs)
+
+			pl := Compile(cs)
+			got := pattern.MustParse(tc.query)
+			gotAdded := pl.Augment(got)
+
+			if refAdded != gotAdded {
+				t.Fatalf("plan added %d nodes, per-call added %d", gotAdded, refAdded)
+			}
+			if d, r := dump(got), dump(ref); d != r {
+				t.Fatalf("plan output differs\n plan: %s\n call: %s", d, r)
+			}
+			if err := got.Validate(); err != nil {
+				t.Errorf("plan output invalid: %v", err)
+			}
+			// Idempotent: a second pass over already-augmented input is a
+			// no-op, structurally too.
+			if extra := pl.Augment(got); extra != 0 {
+				t.Errorf("re-augmenting added %d nodes", extra)
+			}
+			if d := dump(got); d != dump(ref) {
+				t.Errorf("re-augmenting changed the pattern: %s", d)
+			}
+		})
+	}
+}
+
+func TestPlanWantedMatchesPerCall(t *testing.T) {
+	for _, tc := range planCases {
+		t.Run(tc.name, func(t *testing.T) {
+			cs := ics.NewSet(tc.cons...).Closure()
+			base := pattern.MustParse(tc.query).TypeSet()
+			ref := WantedWitnessTypes(cs, base)
+			got := Compile(cs).Wanted(base)
+			if len(ref) != len(got) {
+				t.Fatalf("wanted = %v, per-call %v", got, ref)
+			}
+			for ty := range ref {
+				if !got[ty] {
+					t.Fatalf("wanted missing %q: got %v, want %v", ty, got, ref)
+				}
+			}
+		})
+	}
+}
+
+func TestRegistryHitsAndEviction(t *testing.T) {
+	reg := NewRegistry(2)
+	sets := []*ics.Set{
+		ics.NewSet(ics.Child("a", "b")),
+		ics.NewSet(ics.Child("a", "c")),
+		ics.NewSet(ics.Child("a", "d")),
+	}
+	p0 := reg.PlanFor(sets[0])
+	if again := reg.PlanFor(sets[0]); again != p0 {
+		t.Fatal("second lookup of the same set returned a different plan")
+	}
+	reg.PlanFor(sets[1])
+	reg.PlanFor(sets[2]) // evicts sets[0], the least recently used
+	st := reg.Stats()
+	if st.Compiled != 3 || st.Hits != 1 || st.Evictions != 1 || st.Len != 2 || st.Cap != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// The evicted set recompiles to a fresh, still-correct plan.
+	if p0b := reg.PlanFor(sets[0]); p0b == p0 {
+		t.Error("evicted plan was returned again")
+	}
+	if st := reg.Stats(); st.Compiled != 4 {
+		t.Errorf("recompile not counted: %+v", st)
+	}
+}
+
+func TestRegistryFingerprintIsolation(t *testing.T) {
+	// Same types, different constraints: the plans must not alias.
+	reg := NewRegistry(8)
+	a := ics.NewSet(ics.Child("a", "b")).Closure()
+	b := ics.NewSet(ics.Desc("a", "b")).Closure()
+	pa, pb := reg.PlanFor(a), reg.PlanFor(b)
+	if pa == pb {
+		t.Fatal("distinct constraint sets shared a plan")
+	}
+	if pa.Fingerprint() == pb.Fingerprint() {
+		t.Fatalf("distinct constraint sets shared fingerprint %q", pa.Fingerprint())
+	}
+	// Each plan must still agree with its own per-call oracle, and the two
+	// outputs must differ (a child witness vs a descendant witness).
+	qa := pattern.MustParse("a*//b")
+	pa.Augment(qa)
+	refA := pattern.MustParse("a*//b")
+	Augment(refA, a)
+	if dump(qa) != dump(refA) {
+		t.Errorf("child plan diverged from oracle:\n plan: %s\n call: %s", dump(qa), dump(refA))
+	}
+	qb := pattern.MustParse("a*//b")
+	pb.Augment(qb)
+	refB := pattern.MustParse("a*//b")
+	Augment(refB, b)
+	if dump(qb) != dump(refB) {
+		t.Errorf("desc plan diverged from oracle:\n plan: %s\n call: %s", dump(qb), dump(refB))
+	}
+	if dump(qa) == dump(qb) {
+		t.Error("plans for distinct constraint sets produced identical augmentations")
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	// Hammer one small registry from many goroutines over more sets than
+	// it can hold, augmenting through whatever plan comes back. Run under
+	// -race this doubles as the data-race check on Plan/Instance sharing.
+	reg := NewRegistry(2)
+	sets := make([]*ics.Set, 4)
+	for i := range sets {
+		sets[i] = ics.NewSet(
+			ics.Child("a", pattern.Type(fmt.Sprintf("w%d", i))),
+			ics.Child(pattern.Type(fmt.Sprintf("w%d", i)), "b"),
+			ics.Co("a", "m"),
+		).Closure()
+	}
+	const goroutines, iters = 8, 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				cs := sets[(g+i)%len(sets)]
+				pl := reg.PlanFor(cs)
+				if pl.Fingerprint() != cs.Fingerprint() {
+					t.Errorf("plan fingerprint %q for set %q", pl.Fingerprint(), cs.Fingerprint())
+					return
+				}
+				q := pattern.MustParse("a*[/b, //m]")
+				ref := pattern.MustParse("a*[/b, //m]")
+				if got, want := pl.Augment(q), Augment(ref, cs); got != want {
+					t.Errorf("plan added %d, per-call %d", got, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := reg.Stats()
+	if total := st.Compiled + st.Hits; total != goroutines*iters {
+		t.Errorf("compiled %d + hits %d != %d lookups", st.Compiled, st.Hits, goroutines*iters)
+	}
+	if st.Len > st.Cap {
+		t.Errorf("registry over capacity: %+v", st)
+	}
+}
+
+func TestSpecializeCachesInstances(t *testing.T) {
+	pl := Compile(ics.NewSet(ics.Child("a", "b"), ics.Desc("c", "d")).Closure())
+	base1 := map[pattern.Type]bool{"a": true, "x": true}
+	base2 := map[pattern.Type]bool{"a": true, "c": true}
+	in1 := pl.Specialize(base1)
+	if again := pl.Specialize(map[pattern.Type]bool{"x": true, "a": true}); again != in1 {
+		t.Error("same base shape (set-type projection) built a second instance")
+	}
+	if in2 := pl.Specialize(base2); in2 == in1 {
+		t.Error("different base shapes shared an instance")
+	}
+	// Types outside the constraint set do not change the shape key.
+	if in3 := pl.Specialize(map[pattern.Type]bool{"a": true, "zzz": true}); in3 != in1 {
+		t.Error("non-set type changed the specialization key")
+	}
+}
+
+func TestPlanForTracedCounters(t *testing.T) {
+	// Fresh, never-before-seen set: first traced lookup compiles, second
+	// hits. Uses the default registry deliberately — that is what the
+	// pipeline calls.
+	cs := ics.NewSet(ics.Child("traced-only-a", "traced-only-b")).Closure()
+	tr := trace.New()
+	PlanForTraced(cs, tr)
+	if c, h := tr.Count(trace.PlansCompiled), tr.Count(trace.PlanHits); c != 1 || h != 0 {
+		t.Fatalf("first lookup: compiled=%d hits=%d", c, h)
+	}
+	PlanForTraced(cs, tr)
+	if c, h := tr.Count(trace.PlansCompiled), tr.Count(trace.PlanHits); c != 1 || h != 1 {
+		t.Fatalf("second lookup: compiled=%d hits=%d", c, h)
+	}
+}
+
+func TestPlanNilAndEmptyInputs(t *testing.T) {
+	pl := PlanFor(nil)
+	if pl == nil {
+		t.Fatal("PlanFor(nil) returned nil")
+	}
+	q := pattern.MustParse("a*/b")
+	if added := pl.Augment(q); added != 0 {
+		t.Errorf("empty plan added %d nodes", added)
+	}
+	if w := pl.Wanted(q.TypeSet()); len(w) != len(q.TypeSet()) {
+		t.Errorf("empty plan wanted = %v", w)
+	}
+}

@@ -31,6 +31,12 @@
 //     results isomorphic to a direct engine run — on a cold miss, on a hot
 //     cache hit, with caching disabled, and across a duplicate-heavy batch
 //     — with consistent report flags.
+//  6. Augment: plan-based augmentation (chase.Plan, compiled once per
+//     closed constraint set) produces a pattern structurally identical —
+//     node for node, including Temp marks, temporary extra types, edge
+//     kinds and child order — to the per-call chase.Augment, reports the
+//     same node count and the same wanted-witness set, and stays
+//     idempotent on re-augmentation.
 //
 // The package is pure tooling: it must never mutate its inputs, and a nil
 // error means every oracle held.
@@ -40,9 +46,11 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strings"
 
 	"tpq/internal/acim"
 	"tpq/internal/cdm"
+	"tpq/internal/chase"
 	"tpq/internal/cim"
 	"tpq/internal/containment"
 	"tpq/internal/engine"
@@ -52,8 +60,8 @@ import (
 )
 
 // Failure is one oracle violation. Oracle names the invariant that broke
-// ("equivalence", "minimality", "agreement", "kernel", "service"); Query
-// and Constraints reproduce the failing case.
+// ("equivalence", "minimality", "agreement", "kernel", "service",
+// "augment"); Query and Constraints reproduce the failing case.
 type Failure struct {
 	Oracle      string
 	Detail      string
@@ -78,13 +86,114 @@ func fail(q *pattern.Pattern, cs *ics.Set, oracle, format string, args ...interf
 	return &Failure{Oracle: oracle, Detail: fmt.Sprintf(format, args...), Query: q, Constraints: cs}
 }
 
-// Check runs all five oracles on q under cs (nil means no constraints)
+// Check runs all six oracles on q under cs (nil means no constraints)
 // and returns the first violation, or nil. q is never mutated.
 func Check(q *pattern.Pattern, cs *ics.Set) *Failure {
 	if f := CheckMinimize(q, cs); f != nil {
 		return f
 	}
+	if f := CheckAugment(q, cs); f != nil {
+		return f
+	}
 	return CheckService(q, cs)
+}
+
+// CheckAugment runs oracle 6: augmentation through the precompiled chase
+// plan agrees exactly with the per-call chase. The comparison is strict
+// structural identity — stronger than isomorphism — because the plan
+// path promises to reproduce the oracle's output verbatim: same child
+// order, same Temp marks, same temporary extra types, same edges. cs may
+// be nil.
+func CheckAugment(q *pattern.Pattern, cs *ics.Set) *Failure {
+	if q == nil || q.Validate() != nil {
+		return nil
+	}
+	if cs == nil {
+		cs = ics.NewSet()
+	}
+	closed := cs.Closure()
+
+	ref := q.Clone()
+	refAdded := chase.Augment(ref, closed)
+
+	pl := chase.PlanFor(closed)
+	got := q.Clone()
+	gotAdded := pl.Augment(got)
+
+	if refAdded != gotAdded {
+		return fail(q, cs, "augment", "per-call chase added %d nodes, plan added %d", refAdded, gotAdded)
+	}
+	refDump, gotDump := exactDump(ref), exactDump(got)
+	if refDump != gotDump {
+		return fail(q, cs, "augment", "augmented patterns differ:\n  per-call: %s\n  plan:     %s", refDump, gotDump)
+	}
+
+	// The wanted-witness relation must match too: ContainedUnder filters
+	// constraints through it.
+	base := q.TypeSet()
+	refWanted := chase.WantedWitnessTypes(closed, base)
+	gotWanted := pl.Wanted(base)
+	if len(refWanted) != len(gotWanted) {
+		return fail(q, cs, "augment", "wanted sets differ: per-call %v, plan %v", refWanted, gotWanted)
+	}
+	for t := range refWanted {
+		if !gotWanted[t] {
+			return fail(q, cs, "augment", "wanted sets differ at %q: per-call %v, plan %v", t, refWanted, gotWanted)
+		}
+	}
+
+	// Idempotency: re-augmenting an already-augmented query through the
+	// plan must add nothing (the per-call path guarantees this via
+	// ensureTempChild and AddType).
+	if extra := pl.Augment(got); extra != 0 {
+		return fail(q, cs, "augment", "re-augmenting through the plan added %d nodes", extra)
+	}
+	if d := exactDump(got); d != refDump {
+		return fail(q, cs, "augment", "re-augmenting through the plan changed the pattern:\n  was: %s\n  now: %s", refDump, d)
+	}
+	return nil
+}
+
+// exactDump serializes a pattern preserving everything augmentation can
+// touch: child order, edge kinds, Temp marks and the permanent/temporary
+// extra-type split. Two patterns with equal dumps are structurally
+// identical (conditions included).
+func exactDump(p *pattern.Pattern) string {
+	var sb strings.Builder
+	var rec func(n *pattern.Node)
+	rec = func(n *pattern.Node) {
+		sb.WriteString(n.Edge.String())
+		sb.WriteString(string(n.Type))
+		if len(n.Extra) > 0 {
+			fmt.Fprintf(&sb, "{%v}", n.Extra)
+		}
+		if len(n.TempExtra) > 0 {
+			fmt.Fprintf(&sb, "tmp{%v}", n.TempExtra)
+		}
+		if n.Temp {
+			sb.WriteByte('~')
+		}
+		if n.Star {
+			sb.WriteByte('*')
+		}
+		if len(n.Conds) > 0 {
+			fmt.Fprintf(&sb, "?%v", n.Conds)
+		}
+		if len(n.Children) > 0 {
+			sb.WriteByte('(')
+			for i, c := range n.Children {
+				if i > 0 {
+					sb.WriteByte(',')
+				}
+				rec(c)
+			}
+			sb.WriteByte(')')
+		}
+	}
+	if p != nil && p.Root != nil {
+		rec(p.Root)
+	}
+	return sb.String()
 }
 
 // CheckMinimize runs oracles 1-4: equivalence, minimality, pipeline

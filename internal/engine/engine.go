@@ -18,6 +18,7 @@ import (
 	"tpq/internal/acim"
 	"tpq/internal/bitset"
 	"tpq/internal/cdm"
+	"tpq/internal/chase"
 	"tpq/internal/cim"
 	"tpq/internal/ics"
 	"tpq/internal/pattern"
@@ -99,6 +100,9 @@ func New(opts Options) *Minimizer {
 		cs = ics.NewSet()
 	}
 	m := &Minimizer{workers: opts.Workers, algo: opts.Algo, closed: cs.Closure()}
+	// Warm the chase-plan registry: compiling the plan at construction
+	// means the first request pays a cache hit like every later one.
+	chase.PlanFor(m.closed)
 	m.arenas.New = func() interface{} { return new(bitset.Arena) }
 	return m
 }

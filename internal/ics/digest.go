@@ -10,18 +10,30 @@ import (
 // share a fingerprint, and a nil set fingerprints like the empty set, so
 // the digest is safe to use as the constraint half of a cache key (the
 // serving layer keys minimization results on pattern canonical form plus
-// the fingerprint of the closed constraint set; see internal/service).
+// the fingerprint of the closed constraint set, and the chase-plan
+// registry keys compiled augmentation plans on it alone; see
+// internal/service and internal/chase).
 //
 // The digest covers only the stored constraints, not the closure: callers
-// that want closure-equivalent sets to share a fingerprint (the cache
-// does) should fingerprint the closed set.
+// that want closure-equivalent sets to share a fingerprint (the caches
+// do) should fingerprint the closed set. On a sealed (closed) set the
+// digest is computed once and cached, so per-request registry lookups pay
+// a map probe, not a hash of the whole constraint store.
 func (s *Set) Fingerprint() string {
+	if s == nil {
+		return fingerprintOf(nil)
+	}
+	if si := s.seal.Load(); si != nil {
+		return si.fingerprint
+	}
+	return fingerprintOf(s.Constraints())
+}
+
+func fingerprintOf(cs []Constraint) string {
 	h := sha256.New()
-	if s != nil {
-		for _, c := range s.Constraints() {
-			h.Write([]byte(c.String()))
-			h.Write([]byte{0})
-		}
+	for _, c := range cs {
+		h.Write([]byte(c.String()))
+		h.Write([]byte{0})
 	}
 	sum := h.Sum(nil)
 	return hex.EncodeToString(sum[:16])

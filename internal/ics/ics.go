@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"tpq/internal/pattern"
 )
@@ -125,6 +126,57 @@ type Set struct {
 	// so the hot paths (CDM, augmentation) can skip re-deriving it. Set by
 	// Closure and IsClosed, invalidated by Add.
 	closed bool
+	// seal caches the derived artifacts of a closed set — acyclicity, the
+	// mentioned-type list, the constraint list, per-type sorted target
+	// slices and the fingerprint — so hot paths (augmentation, CDM, the
+	// chase-plan registry) stop re-deriving and re-sorting them on every
+	// call. Installed by sealNow when closedness is established, cleared
+	// by Add; read through an atomic pointer so concurrent read-only
+	// sharing of a closed set is race-free.
+	seal atomic.Pointer[sealInfo]
+}
+
+// sealInfo is the immutable cache of everything derivable from a closed
+// set. All slices are shared with every caller and must not be modified.
+type sealInfo struct {
+	acyclic     bool
+	types       []pattern.Type
+	constraints []Constraint
+	fingerprint string
+	child       map[pattern.Type][]pattern.Type
+	desc        map[pattern.Type][]pattern.Type
+	co          map[pattern.Type][]pattern.Type
+	rco         map[pattern.Type][]pattern.Type
+	rdesc       map[pattern.Type][]pattern.Type
+}
+
+// sealNow computes and installs the seal. Called exactly when closedness
+// is established (Closure, IsClosed); idempotent and safe to race — every
+// computation yields the same values.
+func (s *Set) sealNow() {
+	if s.seal.Load() != nil {
+		return
+	}
+	si := &sealInfo{
+		acyclic:     s.acyclicRequiredUncached(),
+		types:       s.typesUncached(),
+		constraints: s.constraintsUncached(),
+		child:       sortedTable(s.child),
+		desc:        sortedTable(s.desc),
+		co:          sortedTable(s.co),
+		rco:         sortedTable(s.rco),
+		rdesc:       sortedTable(s.rdesc),
+	}
+	si.fingerprint = fingerprintOf(si.constraints)
+	s.seal.Store(si)
+}
+
+func sortedTable(t map[pattern.Type]map[pattern.Type]bool) map[pattern.Type][]pattern.Type {
+	out := make(map[pattern.Type][]pattern.Type, len(t))
+	for from, row := range t {
+		out[from] = sortedKeys(row)
+	}
+	return out
 }
 
 // NewSet returns a set holding the given constraints.
@@ -196,6 +248,7 @@ func (s *Set) Add(c Constraint) {
 		row[c.To] = true
 		s.n++
 		s.closed = false
+		s.seal.Store(nil)
 		if c.Kind == CoOccurrence || c.Kind == RequiredDescendant {
 			rev := s.rco
 			if c.Kind == RequiredDescendant {
@@ -233,23 +286,51 @@ func (s *Set) HasDesc(a, b pattern.Type) bool { return s.desc[a][b] }
 // HasCo reports a ~ b (true when a == b).
 func (s *Set) HasCo(a, b pattern.Type) bool { return a == b || s.co[a][b] }
 
-// ChildTargets returns the types b with a -> b, sorted.
-func (s *Set) ChildTargets(a pattern.Type) []pattern.Type { return sortedKeys(s.child[a]) }
+// ChildTargets returns the types b with a -> b, sorted. On a sealed
+// (closed) set the slice is cached — callers must not modify it.
+func (s *Set) ChildTargets(a pattern.Type) []pattern.Type {
+	if si := s.seal.Load(); si != nil {
+		return si.child[a]
+	}
+	return sortedKeys(s.child[a])
+}
 
-// DescTargets returns the types b with a => b, sorted.
-func (s *Set) DescTargets(a pattern.Type) []pattern.Type { return sortedKeys(s.desc[a]) }
+// DescTargets returns the types b with a => b, sorted; cached like
+// ChildTargets on closed sets.
+func (s *Set) DescTargets(a pattern.Type) []pattern.Type {
+	if si := s.seal.Load(); si != nil {
+		return si.desc[a]
+	}
+	return sortedKeys(s.desc[a])
+}
 
-// CoTargets returns the types b with a ~ b, sorted (excluding a itself).
-func (s *Set) CoTargets(a pattern.Type) []pattern.Type { return sortedKeys(s.co[a]) }
+// CoTargets returns the types b with a ~ b, sorted (excluding a itself);
+// cached like ChildTargets on closed sets.
+func (s *Set) CoTargets(a pattern.Type) []pattern.Type {
+	if si := s.seal.Load(); si != nil {
+		return si.co[a]
+	}
+	return sortedKeys(s.co[a])
+}
 
 // CoSources returns the types u with u ~ b — b's subtypes — sorted. This
 // is a reverse index maintained by Add, so the lookup is a single hash
 // probe; CDM's minimization rules depend on it being cheap.
-func (s *Set) CoSources(b pattern.Type) []pattern.Type { return sortedKeys(s.rco[b]) }
+func (s *Set) CoSources(b pattern.Type) []pattern.Type {
+	if si := s.seal.Load(); si != nil {
+		return si.rco[b]
+	}
+	return sortedKeys(s.rco[b])
+}
 
 // DescSources returns the types u with u => b, sorted; reverse index like
 // CoSources.
-func (s *Set) DescSources(b pattern.Type) []pattern.Type { return sortedKeys(s.rdesc[b]) }
+func (s *Set) DescSources(b pattern.Type) []pattern.Type {
+	if si := s.seal.Load(); si != nil {
+		return si.rdesc[b]
+	}
+	return sortedKeys(s.rdesc[b])
+}
 
 func sortedKeys(m map[pattern.Type]bool) []pattern.Type {
 	out := make([]pattern.Type, 0, len(m))
@@ -260,8 +341,16 @@ func sortedKeys(m map[pattern.Type]bool) []pattern.Type {
 	return out
 }
 
-// Constraints returns all stored constraints in a deterministic order.
+// Constraints returns all stored constraints in a deterministic order. On
+// a sealed (closed) set the slice is cached — callers must not modify it.
 func (s *Set) Constraints() []Constraint {
+	if si := s.seal.Load(); si != nil {
+		return si.constraints
+	}
+	return s.constraintsUncached()
+}
+
+func (s *Set) constraintsUncached() []Constraint {
 	var out []Constraint
 	for _, k := range []Kind{RequiredChild, RequiredDescendant, CoOccurrence, ForbiddenChild, ForbiddenDescendant} {
 		t := s.table(k)
@@ -307,11 +396,21 @@ func (s *Set) Clone() *Set {
 //	a => b, b ~ c     ⊢  a => c
 //
 // The closure has size at most quadratic in the number of types, as noted
-// in Section 5.2. The receiver is not modified; a set that is already
-// closed is returned as (a copy of) itself.
+// in Section 5.2. The receiver is not modified. A set already known to be
+// closed is returned as itself — closed sets are shared read-only
+// throughout the pipeline, and memoizing the closure here is what lets
+// hot paths call Closure defensively for free. Callers must therefore
+// not mutate the result.
 func (s *Set) Closure() *Set {
+	if s.closed {
+		s.sealNow()
+		return s
+	}
 	c := s.Clone()
-	defer func() { c.closed = true }()
+	defer func() {
+		c.closed = true
+		c.sealNow()
+	}()
 	for changed := true; changed; {
 		changed = false
 		add := func(nc Constraint) {
@@ -377,12 +476,21 @@ func (s *Set) IsClosed() bool {
 	}
 	if s.Closure().Len() == s.Len() {
 		s.closed = true
+		s.sealNow()
 	}
 	return s.closed
 }
 
-// Types returns every type mentioned by the set, sorted.
+// Types returns every type mentioned by the set, sorted. On a sealed
+// (closed) set the slice is cached — callers must not modify it.
 func (s *Set) Types() []pattern.Type {
+	if si := s.seal.Load(); si != nil {
+		return si.types
+	}
+	return s.typesUncached()
+}
+
+func (s *Set) typesUncached() []pattern.Type {
 	set := make(map[pattern.Type]bool)
 	for _, c := range s.Constraints() {
 		set[c.From] = true
@@ -394,8 +502,16 @@ func (s *Set) Types() []pattern.Type {
 // AcyclicRequired reports whether the directed graph of required-child and
 // required-descendant constraints is acyclic. A cyclic requirement graph
 // (a => b, b => a) is satisfiable only by infinite trees, so data
-// generation and repair demand acyclicity.
+// generation and repair demand acyclicity. O(1) on a sealed (closed) set;
+// augmentation and the virtual witness model consult it per query.
 func (s *Set) AcyclicRequired() bool {
+	if si := s.seal.Load(); si != nil {
+		return si.acyclic
+	}
+	return s.acyclicRequiredUncached()
+}
+
+func (s *Set) acyclicRequiredUncached() bool {
 	// Gather edges from both child and desc tables.
 	adj := make(map[pattern.Type][]pattern.Type)
 	for _, c := range s.Constraints() {

@@ -158,6 +158,22 @@ func TestHTTPMetrics(t *testing.T) {
 	if removed != 2 {
 		t.Errorf("tpq_nodes_removed_total summed over phases = %v, want 2", removed)
 	}
+	// The pipeline run looked its chase plan up exactly once. The engine
+	// warms the process-wide registry at construction, so the lookup is a
+	// hit, not a compile.
+	lookups := after.value(t, "tpq_plans_compiled_total") + after.value(t, "tpq_plan_hits_total")
+	if lookups != 1 {
+		t.Errorf("after one minimize: plan lookups = %v, want 1", lookups)
+	}
+	if got := after.value(t, "tpq_plan_hits_total"); got != 1 {
+		t.Errorf("after one minimize: tpq_plan_hits_total = %v, want 1 (registry pre-warmed)", got)
+	}
+	if got := after.value(t, "tpq_plan_cache_entries"); got < 1 {
+		t.Errorf("tpq_plan_cache_entries = %v, want >= 1", got)
+	}
+	if got := after.value(t, "tpq_plan_cache_capacity"); got <= 0 {
+		t.Errorf("tpq_plan_cache_capacity = %v, want > 0", got)
+	}
 
 	// Repeating the same query is a cache hit: no new minimization, no
 	// new phase observations.
@@ -169,6 +185,9 @@ func TestHTTPMetrics(t *testing.T) {
 	}
 	if got := hit.value(t, "tpq_minimizations_total"); got != 1 {
 		t.Errorf("after repeat: tpq_minimizations_total = %v, want 1", got)
+	}
+	if got := hit.value(t, "tpq_plans_compiled_total") + hit.value(t, "tpq_plan_hits_total"); got != 1 {
+		t.Errorf("after repeat: plan lookups = %v, want 1 (cache hits run no pipeline)", got)
 	}
 
 	if resp, _ := postJSON(t, ts.URL+"/metrics", `{}`); resp.StatusCode != http.StatusMethodNotAllowed {

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"tpq/internal/chase"
 	"tpq/internal/trace"
 )
 
@@ -27,7 +28,10 @@ const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
 //	tpq_slow_queries_total            — request counters
 //	tpq_cache_hits_total, tpq_cache_misses_total,
 //	tpq_cache_evictions_total, tpq_inflight_merges_total — cache counters
+//	tpq_plans_compiled_total, tpq_plan_hits_total        — chase-plan registry
+//	    lookups by this service's pipeline runs (miss = compile)
 //	tpq_cache_entries, tpq_cache_capacity, tpq_inflight_requests,
+//	tpq_plan_cache_entries, tpq_plan_cache_capacity,
 //	tpq_workers, tpq_constraints, tpq_uptime_seconds     — gauges
 //	tpq_nodes_removed_total{phase="cdm"|"acim"}          — removals
 //	tpq_tables_total{kind="built"|"derived"}             — images tables
@@ -53,6 +57,8 @@ func (s *Service) WritePrometheus(w io.Writer) {
 	counter("tpq_cache_misses_total", "Requests not in the cache at lookup time.", s.stats.misses.Load())
 	counter("tpq_cache_evictions_total", "Cache entries displaced by capacity.", s.stats.evictions.Load())
 	counter("tpq_inflight_merges_total", "Requests that joined another request's inflight minimization.", s.stats.merges.Load())
+	counter("tpq_plans_compiled_total", "Chase plans compiled by this service's pipeline runs (registry misses).", s.stats.plansCompiled.Load())
+	counter("tpq_plan_hits_total", "Chase-plan registry hits by this service's pipeline runs.", s.stats.planHits.Load())
 
 	fmt.Fprintf(w, "# HELP tpq_nodes_removed_total Nodes eliminated, split by pipeline phase.\n# TYPE tpq_nodes_removed_total counter\n")
 	fmt.Fprintf(w, "tpq_nodes_removed_total{phase=\"cdm\"} %d\n", s.stats.cdmRemoved.Load())
@@ -69,6 +75,9 @@ func (s *Service) WritePrometheus(w io.Writer) {
 	s.mu.Unlock()
 	gauge("tpq_cache_entries", "Cached minimizations resident.", float64(snap.len))
 	gauge("tpq_cache_capacity", "Cache capacity (0 when caching is disabled).", float64(snap.cap))
+	reg := chase.DefaultRegistry.Stats()
+	gauge("tpq_plan_cache_entries", "Compiled chase plans resident in the process-wide registry.", float64(reg.Len))
+	gauge("tpq_plan_cache_capacity", "Chase-plan registry capacity.", float64(reg.Cap))
 	gauge("tpq_inflight_requests", "Requests currently inside Minimize.", float64(s.stats.inflight.Load()))
 	gauge("tpq_workers", "Worker-pool size of the engine.", float64(s.eng.Workers()))
 	gauge("tpq_constraints", "Size of the closed constraint set.", float64(s.closed.Len()))

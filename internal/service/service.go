@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"tpq/internal/acim"
+	"tpq/internal/chase"
 	"tpq/internal/engine"
 	"tpq/internal/ics"
 	"tpq/internal/pattern"
@@ -169,6 +170,8 @@ func (s *Service) Stats() Snapshot {
 		snap.CacheLen, snap.CacheCap = s.cache.len(), s.cache.cap
 	}
 	s.mu.Unlock()
+	reg := chase.DefaultRegistry.Stats()
+	snap.PlanCacheLen, snap.PlanCacheCap = reg.Len, reg.Cap
 	snap.Constraints = s.closed.Len()
 	snap.ConstraintFingerprint = s.fp
 	snap.Workers = s.eng.Workers()
@@ -336,6 +339,8 @@ func (s *Service) compute(ctx context.Context, p *pattern.Pattern) (*entry, erro
 	s.stats.acimRemoved.Add(int64(r.ACIMRemoved))
 	s.stats.tablesBuilt.Add(int64(r.TablesBuilt))
 	s.stats.tablesDerived.Add(int64(r.TablesDerived))
+	s.stats.plansCompiled.Add(tr.Count(trace.PlansCompiled))
+	s.stats.planHits.Add(tr.Count(trace.PlanHits))
 	if unsat {
 		s.stats.unsat.Add(1)
 	}

@@ -24,6 +24,8 @@ type Stats struct {
 	acimRemoved   atomic.Int64 // nodes removed by the ACIM phase
 	tablesBuilt   atomic.Int64 // full images-table constructions in the CIM phase
 	tablesDerived atomic.Int64 // per-leaf tables derived from a run's master state
+	plansCompiled atomic.Int64 // chase plans compiled by pipeline runs (registry misses)
+	planHits      atomic.Int64 // chase-plan registry hits by pipeline runs
 	batches       atomic.Int64 // MinimizeBatch calls
 	errors        atomic.Int64 // requests failed (cancellation, shutdown)
 	slowQueries   atomic.Int64 // requests logged by the slow-query log
@@ -132,6 +134,8 @@ type Snapshot struct {
 	ACIMRemoved    int64 `json:"acimRemoved"`
 	TablesBuilt    int64 `json:"tablesBuilt"`
 	TablesDerived  int64 `json:"tablesDerived"`
+	PlansCompiled  int64 `json:"plansCompiled"`
+	PlanHits       int64 `json:"planHits"`
 	Batches        int64 `json:"batches"`
 	Errors         int64 `json:"errors"`
 	SlowQueries    int64 `json:"slowQueries"`
@@ -139,6 +143,12 @@ type Snapshot struct {
 
 	CacheLen int `json:"cacheLen"`
 	CacheCap int `json:"cacheCap"`
+
+	// PlanCacheLen and PlanCacheCap mirror the process-wide chase-plan
+	// registry (compiled augmentation plans keyed by constraint-set
+	// fingerprint; see internal/chase).
+	PlanCacheLen int `json:"planCacheLen"`
+	PlanCacheCap int `json:"planCacheCap"`
 
 	Constraints           int     `json:"constraints"`
 	ConstraintFingerprint string  `json:"constraintFingerprint"`
@@ -179,6 +189,8 @@ func (s *Stats) snapshot() Snapshot {
 		ACIMRemoved:    s.acimRemoved.Load(),
 		TablesBuilt:    s.tablesBuilt.Load(),
 		TablesDerived:  s.tablesDerived.Load(),
+		PlansCompiled:  s.plansCompiled.Load(),
+		PlanHits:       s.planHits.Load(),
 		Batches:        s.batches.Load(),
 		Errors:         s.errors.Load(),
 		SlowQueries:    s.slowQueries.Load(),

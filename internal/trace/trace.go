@@ -87,12 +87,17 @@ const (
 	// into full constructions and master-derived tables (see cim.Stats).
 	TablesBuilt
 	TablesDerived
+	// PlansCompiled and PlanHits split the request's chase-plan registry
+	// lookups into compilations (misses) and cache hits (see chase.Registry).
+	PlansCompiled
+	PlanHits
 	// NumCounters bounds arrays indexed by Counter.
 	NumCounters
 )
 
 var counterNames = [NumCounters]string{
 	"cdm_removed", "acim_removed", "augmented", "tests", "tables_built", "tables_derived",
+	"plans_compiled", "plan_hits",
 }
 
 // String returns the snake_case counter name used in metric labels.
