@@ -6,7 +6,7 @@ GO ?= go
 # rises.
 COVER_FLOOR ?= 84.0
 
-.PHONY: check ci build vet test race race-service fuzz-smoke bench-smoke fmtcheck bench bench-regression bench-chase cover fmt
+.PHONY: check ci build vet test race race-service fuzz-smoke bench-smoke fmtcheck bench bench-regression bench-chase bench-match cover fmt
 
 # The gate every change must pass before commit.
 check: build vet fmtcheck test race race-service fuzz-smoke bench-smoke
@@ -79,6 +79,18 @@ bench-regression:
 bench-chase:
 	$(GO) run ./cmd/tpqbench -json -fig fig7b -outdir .bench
 	$(GO) run ./cmd/tpqbench -compare BENCH_baseline.json .bench/BENCH_fig7b.json -threshold 1.5x
+
+# Targeted match-engine gate: re-measure the streamed-vs-materialized
+# evaluation figure (fig-match/stream vs fig-match/materialized at
+# 10k/100k/1M-node forests) and compare against the baseline. Each
+# result is phase-gated on its match-phase duration and carries exact
+# counters: answers (must stay identical across the two series) and
+# alloc_kb, the peak heap growth of one evaluation — the streamed
+# series' alloc_kb staying far below the materialized one is the
+# memory-ceiling claim this gate pins.
+bench-match:
+	$(GO) run ./cmd/tpqbench -json -fig fig-match -outdir .bench
+	$(GO) run ./cmd/tpqbench -compare BENCH_baseline.json .bench/BENCH_fig-match.json -threshold 1.5x
 
 # Full-suite statement coverage with a floor: fails when the total drops
 # below COVER_FLOOR. coverage.out is the artifact CI uploads.

@@ -8,14 +8,16 @@
 //
 //	tpqd [-addr :8080] [-f constraints.txt] [-xml doc.xml]
 //	     [-cache N] [-workers N] [-timeout 5s] [-grace 10s]
-//	     [-slowlog 100ms] [-debug-addr 127.0.0.1:6060]
+//	     [-maxdoc N] [-slowlog 100ms] [-debug-addr 127.0.0.1:6060]
 //
 // Endpoints:
 //
 //	POST /minimize   {"query": "a*[/b, //c]"} — or {"xpath": ...} or
 //	                 {"queries": [...]} for a parallelized batch
-//	POST /match      minimize (through the cache), then evaluate against
-//	                 the -xml document
+//	POST /match      minimize (through the cache), then stream-evaluate
+//	                 against the -xml document or an inline "document"
+//	                 (capped at -maxdoc nodes); {"stream": true} answers
+//	                 as NDJSON lines, {"limit": n} truncates
 //	GET  /stats      cache and pipeline counters, latency histogram
 //	GET  /metrics    Prometheus text exposition: counters, gauges, and
 //	                 per-phase duration histograms
@@ -72,6 +74,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	timeout := fs.Duration("timeout", 5*time.Second, "per-request minimization budget")
 	grace := fs.Duration("grace", 10*time.Second, "shutdown grace period")
 	maxBatch := fs.Int("maxbatch", 1024, "maximum queries per batch request")
+	maxDocNodes := fs.Int("maxdoc", 100_000, "maximum node count of an inline /match document")
 	slowlog := fs.Duration("slowlog", 0, "log pipeline runs at least this slow as JSON lines on stderr (0 disables)")
 	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof on this extra address (empty disables)")
 	if err := fs.Parse(args); err != nil {
@@ -117,9 +120,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 
 	mux := http.NewServeMux()
 	mux.Handle("/", service.NewHandler(svc, service.HandlerOptions{
-		Forest:   forest,
-		Timeout:  *timeout,
-		MaxBatch: *maxBatch,
+		Forest:      forest,
+		Timeout:     *timeout,
+		MaxBatch:    *maxBatch,
+		MaxDocNodes: *maxDocNodes,
 	}))
 	mux.Handle("/debug/vars", expvar.Handler())
 

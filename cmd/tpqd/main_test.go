@@ -185,3 +185,84 @@ func TestServerAddrInUse(t *testing.T) {
 		t.Errorf("address in use: exit %d, want 1\nstderr: %s", c, stderr.String())
 	}
 }
+
+func TestServerMatchErrorPaths(t *testing.T) {
+	dir := t.TempDir()
+	xmlPath := filepath.Join(dir, "doc.xml")
+	if err := os.WriteFile(xmlPath,
+		[]byte("<lib><book><title/></book><book><title/></book></lib>"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	url, shutdown := startServer(t, "-xml", xmlPath, "-maxdoc", "5")
+	defer shutdown()
+
+	post := func(body string) (int, string) {
+		t.Helper()
+		resp, err := http.Post(url+"/match", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	// Malformed pattern text.
+	if code, body := post(`{"query": "book[/title*"}`); code != http.StatusBadRequest || !strings.Contains(body, "error") {
+		t.Errorf("bad pattern: %d %s", code, body)
+	}
+	// Neither query nor xpath.
+	if code, body := post(`{}`); code != http.StatusBadRequest {
+		t.Errorf("empty request: %d %s", code, body)
+	}
+	// Inline document over the -maxdoc cap.
+	if code, body := post(`{"query": "a*", "document": "<a><b/><b/><b/><b/><b/></a>"}`); code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized document: %d %s", code, body)
+	}
+	// Malformed inline document.
+	if code, body := post(`{"query": "a*", "document": "<a"}`); code != http.StatusBadRequest {
+		t.Errorf("malformed document: %d %s", code, body)
+	}
+
+	// A client-canceled streaming request must not wedge the server.
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/match",
+		strings.NewReader(`{"query": "book/title*", "stream": true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	go cancel()
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz after canceled stream = %d", resp.StatusCode)
+	}
+}
+
+func TestServerMatchTimeout(t *testing.T) {
+	dir := t.TempDir()
+	xmlPath := filepath.Join(dir, "doc.xml")
+	if err := os.WriteFile(xmlPath, []byte("<a><b/></a>"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	url, shutdown := startServer(t, "-xml", xmlPath, "-timeout", "1ns")
+	defer shutdown()
+	resp, err := http.Post(url+"/match", "application/json",
+		strings.NewReader(`{"query": "a/b*"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Errorf("expired budget: %d %s", resp.StatusCode, b)
+	}
+}

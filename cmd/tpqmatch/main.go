@@ -9,11 +9,13 @@
 //	cat doc.xml | tpqmatch 'Book*'
 //
 // Output: one line per answer with the node's document position and its
-// path from the root, followed by a summary. With -count only the number
-// of answers prints.
+// path from the root, followed by a summary. Answers stream as they are
+// found; -limit N stops the evaluation after N answers. With -count only
+// the number of answers prints.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -25,6 +27,7 @@ import (
 	"tpq/internal/data"
 	"tpq/internal/ics"
 	"tpq/internal/match"
+	"tpq/internal/match/stream"
 	"tpq/internal/pattern"
 	"tpq/internal/xpath"
 )
@@ -40,6 +43,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	asXPath := fs.Bool("xpath", false, "parse the query as abbreviated XPath")
 	minimize := fs.Bool("minimize", false, "minimize the query before evaluating (CDM + ACIM)")
 	countOnly := fs.Bool("count", false, "print only the number of answers")
+	limit := fs.Int("limit", 0, "stop after this many answers (0 = all); evaluation stops with the stream")
 	var consFlags constraintFlags
 	fs.Var(&consFlags, "c", "integrity constraint for -minimize (repeatable)")
 	fs.Usage = func() {
@@ -102,15 +106,32 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		q = min
 	}
 
-	answers := match.Answers(q, forest)
+	// Evaluation streams: answers print as they are found, and -limit
+	// stops the matcher early instead of materializing the full set.
+	sq, err := stream.Compile(q, match.NewForestIndex(forest), stream.Options{})
+	if err != nil {
+		return fail(err)
+	}
+	count, truncated := 0, false
+	for n := range sq.Answers(context.Background()) {
+		if *limit > 0 && count >= *limit {
+			truncated = true
+			break
+		}
+		count++
+		if !*countOnly {
+			fmt.Fprintf(stdout, "#%d  %s\n", n.ID, pathOf(n))
+		}
+	}
 	if *countOnly {
-		fmt.Fprintln(stdout, len(answers))
+		fmt.Fprintln(stdout, count)
 		return 0
 	}
-	for _, n := range answers {
-		fmt.Fprintf(stdout, "#%d  %s\n", n.ID, pathOf(n))
+	suffix := ""
+	if truncated {
+		suffix = " (limit reached)"
 	}
-	fmt.Fprintf(stdout, "%d answer(s) over %d nodes\n", len(answers), forest.Size())
+	fmt.Fprintf(stdout, "%d answer(s) over %d nodes%s\n", count, forest.Size(), suffix)
 	return 0
 }
 

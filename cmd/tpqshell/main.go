@@ -15,6 +15,7 @@
 //	ics                    list loaded constraints and their closure size
 //	eq  QUERY ; QUERY      equivalence, with and without constraints
 //	match QUERY            evaluate against the loaded document
+//	stream QUERY [N]       stream answers one by one, stopping after N
 //	xpath XPATH            convert an XPath expression and minimize it
 //	info QUERY             CDM information-content labels per node
 //	sat QUERY              satisfiability under the loaded constraints
@@ -29,10 +30,12 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"tpq"
@@ -41,7 +44,6 @@ import (
 	"tpq/internal/cim"
 	"tpq/internal/data"
 	"tpq/internal/ics"
-	"tpq/internal/match"
 	"tpq/internal/pattern"
 	"tpq/internal/xpath"
 )
@@ -58,6 +60,10 @@ type shell struct {
 	// lazily rebuilt) whenever the constraint set changes, since its cache
 	// key includes the constraint fingerprint.
 	min *tpq.Minimizer
+	// matcher holds the session's streaming evaluation instance over the
+	// loaded document — the inverted index is built once, on the first
+	// match/stream command, and shared by all of them.
+	matcher *tpq.Matcher
 }
 
 func (sh *shell) minimizer() *tpq.Minimizer {
@@ -65,6 +71,13 @@ func (sh *shell) minimizer() *tpq.Minimizer {
 		sh.min = tpq.NewMinimizer(tpq.MinimizerOptions{Constraints: sh.cs})
 	}
 	return sh.min
+}
+
+func (sh *shell) theMatcher() *tpq.Matcher {
+	if sh.matcher == nil {
+		sh.matcher = tpq.NewMatcher(tpq.MatcherOptions{Forest: sh.forest})
+	}
+	return sh.matcher
 }
 
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
@@ -200,8 +213,29 @@ func (sh *shell) exec(line string) {
 			return
 		}
 		sh.withQuery(rest, func(q *pattern.Pattern) {
-			answers := match.Answers(q, sh.forest)
-			fmt.Fprintf(sh.out, "%d answer(s)\n", len(answers))
+			fmt.Fprintf(sh.out, "%d answer(s)\n", sh.theMatcher().Count(q))
+		})
+	case "stream":
+		if sh.forest == nil {
+			sh.errorf("no document loaded (start with -xml doc.xml)")
+			return
+		}
+		src, limit := rest, 0
+		if i := strings.LastIndexByte(rest, ' '); i >= 0 {
+			if n, err := strconv.Atoi(strings.TrimSpace(rest[i+1:])); err == nil && n > 0 {
+				src, limit = rest[:i], n
+			}
+		}
+		sh.withQuery(src, func(q *pattern.Pattern) {
+			n := 0
+			for v := range sh.theMatcher().Answers(context.Background(), q) {
+				fmt.Fprintf(sh.out, "  #%d %s\n", v.ID, typeList(v.Types))
+				if n++; limit > 0 && n >= limit {
+					fmt.Fprintln(sh.out, "  ... (limit reached)")
+					break
+				}
+			}
+			fmt.Fprintf(sh.out, "%d answer(s) shown\n", n)
 		})
 	case "xpath":
 		q, err := xpath.FromXPath(rest)
@@ -248,6 +282,15 @@ func (sh *shell) errorf(format string, args ...interface{}) {
 	fmt.Fprintf(sh.out, "error: %s\n", fmt.Sprintf(format, args...))
 }
 
+// typeList renders a data node's types for the stream listing.
+func typeList(types []pattern.Type) string {
+	parts := make([]string, len(types))
+	for i, t := range types {
+		parts[i] = string(t)
+	}
+	return strings.Join(parts, ",")
+}
+
 const helpText = `commands:
   min QUERY          minimize under the loaded constraints (CDM+ACIM)
   cim QUERY          constraint-independent minimization only
@@ -255,7 +298,8 @@ const helpText = `commands:
   ic  A -> B         add a constraint (=> ~ !-> !=> likewise)
   ics                list loaded constraints
   eq  Q1 ; Q2        equivalence with and without constraints
-  match QUERY        evaluate against the loaded document
+  match QUERY        evaluate against the loaded document (answer count)
+  stream QUERY [N]   stream answers one by one, stopping after N
   xpath XPATH        convert an XPath expression and minimize it
   info QUERY         CDM information-content labels
   sat QUERY          satisfiability under the loaded constraints

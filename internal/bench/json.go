@@ -268,8 +268,9 @@ func JSONService(opts Options) JSONFile {
 // runners — the set `tpqbench -json` emits and CI gates on.
 func JSONFigures() map[string]func(Options) JSONFile {
 	return map[string]func(Options) JSONFile{
-		"fig7b":   JSONFig7b,
-		"service": JSONService,
+		"fig7b":     JSONFig7b,
+		"service":   JSONService,
+		"fig-match": JSONMatch,
 	}
 }
 

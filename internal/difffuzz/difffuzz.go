@@ -8,7 +8,7 @@
 // by construction. No reference implementation or ground-truth corpus is
 // needed.
 //
-// Five oracles are checked (Check runs them all):
+// Seven oracles are checked (Check runs them all):
 //
 //  1. Equivalence: the minimized output is equivalent to the input —
 //     two-way containment (Section 4), judged under the constraints by the
@@ -37,6 +37,11 @@
 //     kinds and child order — to the per-call chase.Augment, reports the
 //     same node count and the same wanted-witness set, and stays
 //     idempotent on re-augmentation.
+//  7. Match: the three evaluation engines agree — the streaming
+//     twig-join engine (match/stream) yields the same answer set as the
+//     dense DP engine and the structural-join engine, and its embedding
+//     enumeration agrees with the big-integer counting kernel, on the
+//     query's canonical database and a generated forest.
 //
 // The package is pure tooling: it must never mutate its inputs, and a nil
 // error means every oracle held.
@@ -45,6 +50,8 @@ package difffuzz
 import (
 	"context"
 	"fmt"
+	"math/big"
+	"math/rand"
 	"sort"
 	"strings"
 
@@ -53,15 +60,18 @@ import (
 	"tpq/internal/chase"
 	"tpq/internal/cim"
 	"tpq/internal/containment"
+	"tpq/internal/data"
 	"tpq/internal/engine"
 	"tpq/internal/ics"
+	"tpq/internal/match"
+	"tpq/internal/match/stream"
 	"tpq/internal/pattern"
 	"tpq/internal/service"
 )
 
 // Failure is one oracle violation. Oracle names the invariant that broke
 // ("equivalence", "minimality", "agreement", "kernel", "service",
-// "augment"); Query and Constraints reproduce the failing case.
+// "augment", "match"); Query and Constraints reproduce the failing case.
 type Failure struct {
 	Oracle      string
 	Detail      string
@@ -95,7 +105,10 @@ func Check(q *pattern.Pattern, cs *ics.Set) *Failure {
 	if f := CheckAugment(q, cs); f != nil {
 		return f
 	}
-	return CheckService(q, cs)
+	if f := CheckService(q, cs); f != nil {
+		return f
+	}
+	return CheckMatch(q, cs)
 }
 
 // CheckAugment runs oracle 6: augmentation through the precompiled chase
@@ -413,4 +426,98 @@ func CheckService(q *pattern.Pattern, cs *ics.Set) *Failure {
 		}
 	}
 	return nil
+}
+
+// CheckMatch runs oracle 7: the three evaluation engines agree. The
+// streaming twig-join engine's answer set must equal the dense DP
+// engine's and the structural-join engine's, on the query's canonical
+// database and on a generated forest over the query's alphabet; the
+// streamed embedding enumeration must agree with the big-integer
+// counting kernel and bind the output node to exactly the answer set.
+// cs may be nil — matching is constraint-independent, but a generated
+// forest repaired to satisfy cs exercises denser candidate lists.
+func CheckMatch(q *pattern.Pattern, cs *ics.Set) *Failure {
+	if q == nil || q.Validate() != nil {
+		return nil
+	}
+	canon, _ := data.Canonical(q, 1)
+	forests := []*data.Forest{canon}
+	var types []pattern.Type
+	for t := range q.TypeSet() {
+		types = append(types, t)
+	}
+	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+	if len(types) > 0 {
+		rng := rand.New(rand.NewSource(int64(q.Size())*7919 + int64(len(types))))
+		f, err := data.Generate(rng, data.GenOptions{Size: 40, Types: types, Constraints: cs})
+		if err != nil {
+			// Requirement cycles make cs unsatisfiable by finite trees;
+			// fall back to an unconstrained forest.
+			f, err = data.Generate(rng, data.GenOptions{Size: 40, Types: types})
+		}
+		if err == nil {
+			forests = append(forests, f)
+		}
+	}
+	const embedCap = 2000
+	ctx := context.Background()
+	for fi, f := range forests {
+		idx := match.NewForestIndex(f)
+		dense := match.Answers(q, f)
+		if indexed := match.AnswersIndexed(q, idx); !sameNodeLists(dense, indexed) {
+			return fail(q, cs, "match", "forest %d: dense engine found %d answers, structural-join %d",
+				fi, len(dense), len(indexed))
+		}
+		sq, err := stream.Compile(q, idx, stream.Options{})
+		if err != nil {
+			return fail(q, cs, "match", "forest %d: stream compile: %v", fi, err)
+		}
+		var streamed []*data.Node
+		for v := range sq.Answers(ctx) {
+			streamed = append(streamed, v)
+		}
+		if !sameNodeLists(dense, streamed) {
+			return fail(q, cs, "match", "forest %d: dense engine found %d answers, streaming %d",
+				fi, len(dense), len(streamed))
+		}
+
+		images := make(map[*data.Node]bool)
+		n, complete := 0, true
+		for e := range sq.Embeddings(ctx) {
+			images[e.Answer()] = true
+			if n++; n >= embedCap {
+				complete = false
+				break
+			}
+		}
+		want := match.CountEmbeddings(q, f)
+		if complete {
+			if want.Cmp(big.NewInt(int64(n))) != 0 {
+				return fail(q, cs, "match", "forest %d: enumerated %d embeddings, counting kernel says %s",
+					fi, n, want)
+			}
+			if len(images) != len(dense) {
+				return fail(q, cs, "match", "forest %d: embeddings bind the output to %d nodes, answer set has %d",
+					fi, len(images), len(dense))
+			}
+		} else if want.Cmp(big.NewInt(embedCap)) < 0 {
+			return fail(q, cs, "match", "forest %d: enumerated %d embeddings, counting kernel says only %s",
+				fi, embedCap, want)
+		}
+	}
+	return nil
+}
+
+// sameNodeLists reports whether two answer slices are identical node for
+// node (both engines promise document order).
+func sameNodeLists(a, b []*data.Node) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

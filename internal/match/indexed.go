@@ -1,8 +1,6 @@
 package match
 
 import (
-	"sort"
-
 	"tpq/internal/bitset"
 	"tpq/internal/data"
 	"tpq/internal/pattern"
@@ -45,6 +43,15 @@ func NewForestIndex(f *data.Forest) *ForestIndex {
 	}
 	return idx
 }
+
+// Forest returns the indexed forest.
+func (idx *ForestIndex) Forest() *data.Forest { return idx.forest }
+
+// TypeBits returns the bitset over node IDs of the nodes carrying t,
+// built lazily and cached. The returned set is owned by the index: callers
+// must treat it as read-only. The streaming engine uses it for its
+// existence fast path (one AndIntersectsRange probe per subtree interval).
+func (idx *ForestIndex) TypeBits(t pattern.Type) bitset.Set { return idx.typeBits(t) }
 
 // typeBits returns the cached bitset of node IDs carrying t. The returned
 // set is owned by the index: callers must CopyFrom it, never mutate it.
@@ -110,6 +117,11 @@ func (idx *ForestIndex) Candidates(u *pattern.Node) []*data.Node {
 
 // AnswersIndexed evaluates p over the indexed forest and returns the
 // answer set in document order — the same result as Answers.
+//
+// Deprecated: new code should stream answers through match/stream (the
+// tpq.Matcher engine) instead of materializing the structural-join
+// candidate lists. This kernel stays as the cross-validation oracle the
+// streaming engine is tested against.
 func AnswersIndexed(p *pattern.Pattern, idx *ForestIndex) []*data.Node {
 	star := p.OutputNode()
 	if star == nil || idx == nil || idx.forest.Size() == 0 {
@@ -156,23 +168,30 @@ func AnswersIndexed(p *pattern.Pattern, idx *ForestIndex) []*data.Node {
 }
 
 // CountIndexed returns the number of answers of p over the indexed forest.
+//
+// Deprecated: see AnswersIndexed; stream.Query.Count visits the same
+// answers without materializing them.
 func CountIndexed(p *pattern.Pattern, idx *ForestIndex) int {
 	return len(AnswersIndexed(p, idx))
 }
 
 // filterHasDescendantIn keeps the nodes of list with at least one proper
-// descendant in others. Both lists are in document order; each check is a
-// binary search (the first node positioned after v is its descendant iff
-// its ID is within v's subtree interval — subtree members are contiguous
-// in document order).
+// descendant in others. Both lists are in document order, so one merge
+// cursor finds, for each v, the first other positioned strictly after it;
+// subtree members are contiguous in preorder, so that other is a
+// descendant of v iff its ID is within v's interval (ID, SubtreeEnd].
+// O(len(list) + len(others)), no pointer walks.
 func filterHasDescendantIn(list, others []*data.Node) []*data.Node {
 	if len(others) == 0 {
 		return nil
 	}
 	out := list[:0:0]
+	j := 0
 	for _, v := range list {
-		i := sort.Search(len(others), func(i int) bool { return others[i].ID > v.ID })
-		if i < len(others) && v.IsAncestorOf(others[i]) {
+		for j < len(others) && others[j].ID <= v.ID {
+			j++
+		}
+		if j < len(others) && others[j].ID <= v.SubtreeEnd() {
 			out = append(out, v)
 		}
 	}
@@ -214,33 +233,28 @@ func filterIsChildOf(list, parents []*data.Node) []*data.Node {
 }
 
 // filterIsDescendantOf keeps the nodes of list lying strictly below some
-// node of ancestors. ancestors is in document order, so the nearest
-// candidate ancestor of v is the last one positioned at or before v.
-// Ancestor candidates can nest, but any enclosing interval that starts
-// earlier must also contain the later-starting one that contains v — so it
-// suffices to scan back while intervals still overlap; with the early
-// break on the first hit this stays near-linear in practice.
+// node of ancestors. v is a proper descendant of a iff a.ID < v.ID and
+// v.ID <= a.SubtreeEnd() (subtree IDs are contiguous in preorder), so v
+// qualifies iff the running maximum of SubtreeEnd over the ancestors
+// positioned before it reaches v.ID. Both lists are in document order, so
+// one merge cursor maintains that maximum in O(len(list) + len(ancestors))
+// — replacing the earlier backward scan over nested candidates, which
+// degenerated quadratically when ancestors stacked.
 func filterIsDescendantOf(list, ancestors []*data.Node) []*data.Node {
 	if len(ancestors) == 0 {
 		return nil
 	}
 	out := list[:0:0]
+	j, maxEnd := 0, -1
 	for _, v := range list {
-		i := sort.Search(len(ancestors), func(i int) bool { return ancestors[i].ID >= v.ID })
-		for j := i - 1; j >= 0; j-- {
-			a := ancestors[j]
-			if a.IsAncestorOf(v) {
-				out = append(out, v)
-				break
+		for j < len(ancestors) && ancestors[j].ID < v.ID {
+			if e := ancestors[j].SubtreeEnd(); e > maxEnd {
+				maxEnd = e
 			}
-			// If a's subtree ends before v, no earlier candidate that also
-			// ends before a's start can contain v... but an enclosing
-			// candidate can. Keep scanning only while an enclosing interval
-			// remains possible: once a.ID drops below v's tree's root there
-			// is nothing left. Practical cut-off: stop after the first
-			// candidate that is not an ancestor AND does not share a tree
-			// prefix; here we simply continue — candidate lists are short
-			// for selective queries.
+			j++
+		}
+		if v.ID <= maxEnd {
+			out = append(out, v)
 		}
 	}
 	return out

@@ -127,3 +127,60 @@ func BenchmarkDenseVsIndexed(b *testing.B) {
 		}
 	})
 }
+
+// TestDescendantFilterProperty checks the merge-cursor interval filters
+// against a naive ancestor-walk oracle on random document-ordered lists.
+func TestDescendantFilterProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	pick := func(nodes []*data.Node) []*data.Node {
+		var out []*data.Node
+		for _, v := range nodes {
+			if rng.Intn(3) == 0 {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+	sameNodes := func(a, b []*data.Node) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	for trial := 0; trial < 300; trial++ {
+		f := randomForest(rng, 1+rng.Intn(80))
+		nodes := f.Nodes()
+		list, others := pick(nodes), pick(nodes)
+
+		var wantDesc []*data.Node
+		for _, v := range list {
+			for _, w := range others {
+				if v.IsAncestorOf(w) {
+					wantDesc = append(wantDesc, v)
+					break
+				}
+			}
+		}
+		if got := filterHasDescendantIn(list, others); !sameNodes(got, wantDesc) {
+			t.Fatalf("trial %d: filterHasDescendantIn mismatch:\ngot  %v\nwant %v", trial, got, wantDesc)
+		}
+
+		var wantUnder []*data.Node
+		for _, v := range list {
+			for _, a := range others {
+				if a.IsAncestorOf(v) {
+					wantUnder = append(wantUnder, v)
+					break
+				}
+			}
+		}
+		if got := filterIsDescendantOf(list, others); !sameNodes(got, wantUnder) {
+			t.Fatalf("trial %d: filterIsDescendantOf mismatch:\ngot  %v\nwant %v", trial, got, wantUnder)
+		}
+	}
+}

@@ -270,6 +270,12 @@ func BindingsMap(p *pattern.Pattern, f *data.Forest) map[*pattern.Node][]*data.N
 	return out
 }
 
+// TypesOK reports whether data node v satisfies pattern node u's local
+// requirements: every required type (primary and extra) and every value
+// condition. It is the per-node admission test shared by every engine in
+// this package and by the streaming matcher in match/stream.
+func TypesOK(u *pattern.Node, v *data.Node) bool { return typesOK(u, v) }
+
 func typesOK(u *pattern.Node, v *data.Node) bool {
 	if !v.HasType(u.Type) {
 		return false

@@ -1,0 +1,355 @@
+package stream
+
+import (
+	"context"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"tpq/internal/data"
+	"tpq/internal/genquery"
+	"tpq/internal/match"
+	"tpq/internal/pattern"
+)
+
+// randomForest builds a random forest whose nodes sometimes carry a second
+// type, so multi-type pattern leaves (the bitset-pair fast path) actually
+// match something.
+func randomForest(rng *rand.Rand, size, alphabet int) *data.Forest {
+	types := make([]pattern.Type, alphabet)
+	for i := range types {
+		types[i] = genquery.T(i)
+	}
+	f, err := data.Generate(rng, data.GenOptions{Size: size, Types: types, Roots: 1 + rng.Intn(2)})
+	if err != nil {
+		panic(err)
+	}
+	for _, v := range f.Nodes() {
+		if rng.Intn(4) == 0 {
+			v.AddType(types[rng.Intn(alphabet)])
+		}
+		if rng.Intn(5) == 0 {
+			v.SetAttr("x", float64(rng.Intn(10)))
+		}
+	}
+	return f
+}
+
+// randomQuery builds a random pattern, sometimes with extra types and
+// value conditions, to cover every candidate representation.
+func randomQuery(rng *rand.Rand, size, alphabet int) *pattern.Pattern {
+	q := genquery.Random(rng, size, alphabet)
+	q.Walk(func(n *pattern.Node) {
+		if rng.Intn(6) == 0 {
+			n.Extra = append(n.Extra, genquery.T(rng.Intn(alphabet)))
+		}
+		if rng.Intn(8) == 0 {
+			n.Conds = append(n.Conds, pattern.Condition{Attr: "x", Op: pattern.OpLe, Value: float64(rng.Intn(10))})
+		}
+	})
+	return q
+}
+
+func ids(nodes []*data.Node) []int {
+	out := make([]int, len(nodes))
+	for i, v := range nodes {
+		out[i] = v.ID
+	}
+	return out
+}
+
+func collect(q *Query, ctx context.Context) []*data.Node {
+	var out []*data.Node
+	for v := range q.Answers(ctx) {
+		out = append(out, v)
+	}
+	return out
+}
+
+func equalIDs(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkEmbedding verifies a yielded assignment is a real embedding: local
+// types and conditions hold, c-edges map to parent-child, d-edges to
+// proper ancestor-descendant.
+func checkEmbedding(t *testing.T, q *Query, e Embedding) {
+	t.Helper()
+	for i := 0; i < e.Len(); i++ {
+		u, v := e.PatternNode(i), e.At(i)
+		if v == nil {
+			t.Fatalf("pattern node %d unassigned", i)
+		}
+		if !match.TypesOK(u, v) {
+			t.Fatalf("pattern node %d: image %d fails the local test", i, v.ID)
+		}
+		if pid := q.par[i]; pid >= 0 {
+			p := e.At(pid)
+			if u.Edge == pattern.Child {
+				if v.Parent != p {
+					t.Fatalf("pattern node %d: c-edge image %d is not a child of %d", i, v.ID, p.ID)
+				}
+			} else if !p.IsAncestorOf(v) {
+				t.Fatalf("pattern node %d: d-edge image %d is not a descendant of %d", i, v.ID, p.ID)
+			}
+		}
+	}
+}
+
+// TestAgainstMaterializedEngines is the in-package differential sweep: the
+// streamed answer set must equal the dense DP and structural-join engines,
+// and the streamed embedding enumeration must agree with the big-integer
+// counting kernel, on hundreds of random query/forest pairs.
+func TestAgainstMaterializedEngines(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	const embedCap = 5000
+	for i := 0; i < 400; i++ {
+		q := randomQuery(rng, 1+rng.Intn(9), 3+rng.Intn(3))
+		f := randomForest(rng, 1+rng.Intn(60), 5)
+		idx := match.NewForestIndex(f)
+		sq, err := Compile(q, idx, Options{})
+		if err != nil {
+			t.Fatalf("case %d: compile %s: %v", i, q, err)
+		}
+
+		want := ids(match.Answers(q, f))
+		got := ids(collect(sq, context.Background()))
+		if !equalIDs(want, got) {
+			t.Fatalf("case %d: query %s\nforest:\n%s\ndense answers %v, streamed %v", i, q, f, want, got)
+		}
+		if wantIdx := ids(match.AnswersIndexed(q, idx)); !equalIDs(want, wantIdx) {
+			t.Fatalf("case %d: query %s: dense answers %v, indexed %v", i, q, want, wantIdx)
+		}
+
+		// Embeddings: validity of each, count agreement, and answer-set
+		// consistency when the enumeration completes.
+		starImages := map[int]bool{}
+		n := 0
+		complete := true
+		for e := range sq.Embeddings(context.Background()) {
+			checkEmbedding(t, sq, e)
+			starImages[e.Answer().ID] = true
+			if n++; n >= embedCap {
+				complete = false
+				break
+			}
+		}
+		wantCount := match.CountEmbeddings(q, f)
+		if complete {
+			if wantCount.Cmp(big.NewInt(int64(n))) != 0 {
+				t.Fatalf("case %d: query %s: counted %s embeddings, enumerated %d", i, q, wantCount, n)
+			}
+			if len(starImages) != len(want) {
+				t.Fatalf("case %d: query %s: embeddings bind the output to %d nodes, answers have %d", i, q, len(starImages), len(want))
+			}
+		} else if wantCount.Cmp(big.NewInt(embedCap)) < 0 {
+			t.Fatalf("case %d: query %s: enumerated %d embeddings, counting kernel says %s", i, q, embedCap, wantCount)
+		}
+		for id := range starImages {
+			if !idx.Forest().Nodes()[id].HasType(sq.repr[sq.star].node.Type) {
+				t.Fatalf("case %d: star image %d lacks the output type", i, id)
+			}
+		}
+	}
+}
+
+// TestEarlyStopIsPrefix pins the streaming contract: breaking after k
+// answers yields exactly the first k of the full document-ordered set.
+func TestEarlyStopIsPrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := data.GeneratePublishing(rng, 40)
+	q := pattern.MustParse("Article[/Title]//Paragraph*")
+	sq, err := Compile(q, match.NewForestIndex(f), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := ids(collect(sq, context.Background()))
+	if len(full) < 5 {
+		t.Fatalf("workload too small: %d answers", len(full))
+	}
+	var prefix []int
+	for v := range sq.Answers(context.Background()) {
+		prefix = append(prefix, v.ID)
+		if len(prefix) == 3 {
+			break
+		}
+	}
+	if !equalIDs(prefix, full[:3]) {
+		t.Fatalf("limited run %v is not a prefix of %v", prefix, full[:6])
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	f := data.GeneratePublishing(rng, 50)
+	q := pattern.MustParse("Article//Paragraph*")
+	sq, err := Compile(q, match.NewForestIndex(f), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if got := collect(sq, ctx); len(got) != 0 {
+		t.Fatalf("pre-canceled context yielded %d answers", len(got))
+	}
+
+	// Cancel mid-stream: iteration must stop without draining the rest.
+	total := sq.Count(context.Background())
+	ctx, cancel = context.WithCancel(context.Background())
+	defer cancel()
+	n := 0
+	for range sq.Answers(ctx) {
+		if n++; n == 1 {
+			cancel()
+		}
+	}
+	if n >= total {
+		t.Fatalf("canceled run drained all %d answers", total)
+	}
+	n = 0
+	for range sq.Embeddings(ctx) {
+		n++
+	}
+	if n != 0 {
+		t.Fatalf("canceled embedding run yielded %d", n)
+	}
+}
+
+// TestMemoryCeiling runs a memo-hungry workload under a ceiling small
+// enough to force sheds and checks the answers are unaffected.
+func TestMemoryCeiling(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	f := data.GeneratePublishing(rng, 60)
+	q := pattern.MustParse("Article[/Title, //Paragraph]//Section*[/Paragraph]")
+	idx := match.NewForestIndex(f)
+	ref, err := Compile(q, idx, Options{MemoryLimit: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiny, err := Compile(q, idx, Options{MemoryLimit: 4 * memoEntryBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ids(collect(ref, context.Background()))
+	got := ids(collect(tiny, context.Background()))
+	if !equalIDs(want, got) {
+		t.Fatalf("ceiling changed answers: %v vs %v", want, got)
+	}
+	if tiny.MemoSheds() == 0 {
+		t.Fatal("tiny ceiling never shed its memo tables")
+	}
+	if ref.MemoSheds() != 0 {
+		t.Fatal("unlimited run shed memo tables")
+	}
+	if len(want) == 0 {
+		t.Fatal("workload produced no answers")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	f := data.NewForest(data.NewNode("a"))
+	idx := match.NewForestIndex(f)
+	if _, err := Compile(nil, idx, Options{}); err == nil {
+		t.Fatal("nil pattern compiled")
+	}
+	noStar := pattern.New(pattern.NewNode("a"))
+	if _, err := Compile(noStar, idx, Options{}); err == nil {
+		t.Fatal("output-less pattern compiled")
+	}
+	if _, err := Compile(pattern.MustParse("a*"), nil, Options{}); err == nil {
+		t.Fatal("nil index compiled")
+	}
+}
+
+func TestEmptyForest(t *testing.T) {
+	idx := match.NewForestIndex(data.NewForest())
+	sq, err := Compile(pattern.MustParse("a*[/b]"), idx, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := collect(sq, context.Background()); len(got) != 0 {
+		t.Fatalf("empty forest yielded %d answers", len(got))
+	}
+	for range sq.Embeddings(context.Background()) {
+		t.Fatal("empty forest yielded an embedding")
+	}
+}
+
+// TestEmbeddingAccessors covers the Embedding API surface and the reuse /
+// Clone contract.
+func TestEmbeddingAccessors(t *testing.T) {
+	root := data.NewNode("a")
+	b := root.Child("b")
+	c := b.Child("c")
+	f := data.NewForest(root)
+	q := pattern.MustParse("a[//c]/b*")
+	sq, err := Compile(q, match.NewForestIndex(f), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kept []Embedding
+	var raw []Embedding
+	for e := range sq.Embeddings(context.Background()) {
+		if e.Len() != 3 {
+			t.Fatalf("Len=%d, want 3", e.Len())
+		}
+		if e.Answer() != b {
+			t.Fatalf("Answer=%v", e.Answer())
+		}
+		if e.At(0) != root {
+			t.Fatalf("At(0)=%v", e.At(0))
+		}
+		star := q.OutputNode()
+		if e.Binding(star) != b {
+			t.Fatalf("Binding(star)=%v", e.Binding(star))
+		}
+		if e.PatternNode(0) != q.Root {
+			t.Fatal("PatternNode(0) is not the root")
+		}
+		kept = append(kept, e.Clone())
+		raw = append(raw, e)
+	}
+	if len(kept) != 1 {
+		t.Fatalf("got %d embeddings, want 1", len(kept))
+	}
+	if kept[0].At(1) == nil || kept[0].Answer() != b || kept[0].Binding(q.Root) != root {
+		t.Fatal("cloned embedding lost its assignment")
+	}
+	_ = c
+	_ = raw
+}
+
+// TestDeepPathFeasibility exercises the upward path test through stacked
+// same-type ancestors, where the d-edge must try several ancestors before
+// one fits.
+func TestDeepPathFeasibility(t *testing.T) {
+	// a(x) / a / a(x) / b — only the a's with an x child admit the path.
+	top := data.NewNode("a")
+	top.Child("x")
+	mid := top.Child("a")
+	inner := mid.Child("a")
+	inner.Child("x")
+	leaf := inner.Child("b")
+	f := data.NewForest(top)
+	q := pattern.MustParse("a[/x]//b*")
+	sq, err := Compile(q, match.NewForestIndex(f), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(sq, context.Background())
+	if len(got) != 1 || got[0] != leaf {
+		t.Fatalf("got %v, want [%d]", ids(got), leaf.ID)
+	}
+	if want := ids(match.Answers(q, f)); !equalIDs(ids(got), want) {
+		t.Fatalf("streamed %v, dense %v", ids(got), want)
+	}
+}

@@ -6,10 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 	"time"
 
 	"tpq/internal/data"
 	"tpq/internal/match"
+	"tpq/internal/match/stream"
 	"tpq/internal/pattern"
 	"tpq/internal/xpath"
 )
@@ -17,7 +19,7 @@ import (
 // HandlerOptions configure the HTTP front of a Service.
 type HandlerOptions struct {
 	// Forest is the optional tree database behind /match; without it the
-	// endpoint reports that no document is loaded.
+	// endpoint requires an inline document per request.
 	Forest *data.Forest
 	// Timeout bounds each request's minimization work; 0 means no limit.
 	Timeout time.Duration
@@ -26,6 +28,9 @@ type HandlerOptions struct {
 	MaxBatch int
 	// MaxBody caps the request body in bytes (default 1 MiB).
 	MaxBody int64
+	// MaxDocNodes caps the node count of an inline /match document
+	// (default 100000); larger documents are rejected with 413.
+	MaxDocNodes int
 }
 
 // NewHandler returns the HTTP+JSON API over s:
@@ -38,16 +43,26 @@ type HandlerOptions struct {
 //	                in the Prometheus text exposition format
 //	GET  /healthz   "ok", or 503 once shutdown has begun
 //	POST /match     {"query": ...} minimized (through the cache), then
-//	                evaluated against the loaded document
+//	                evaluated against the loaded document — or against an
+//	                inline {"document": "<xml...>"} — by the streaming
+//	                engine. {"limit": n} truncates the answer set;
+//	                {"stream": true} switches the response to NDJSON:
+//	                one {"id", "types"} line per answer as it is found
+//	                (flushed incrementally), then a {"done": true, ...}
+//	                summary line.
 //
 // Responses are JSON; errors arrive as {"error": "..."} with a matching
-// status code (400 malformed input, 503 shutting down, 504 deadline).
+// status code (400 malformed input, 413 oversized batch or document,
+// 503 shutting down, 504 deadline).
 func NewHandler(s *Service, opts HandlerOptions) http.Handler {
 	if opts.MaxBatch <= 0 {
 		opts.MaxBatch = 1024
 	}
 	if opts.MaxBody <= 0 {
 		opts.MaxBody = 1 << 20
+	}
+	if opts.MaxDocNodes <= 0 {
+		opts.MaxDocNodes = 100_000
 	}
 	h := &handler{svc: s, opts: opts}
 	if opts.Forest != nil {
@@ -94,13 +109,55 @@ type batchResponse struct {
 	Results []minimizeResponse `json:"results"`
 }
 
+// matchRequest is the /match wire format: one query (text or XPath), an
+// optional inline XML document, an optional answer limit, and the
+// streaming switch.
+type matchRequest struct {
+	Query    string `json:"query,omitempty"`
+	XPath    string `json:"xpath,omitempty"`
+	Document string `json:"document,omitempty"`
+	Limit    int    `json:"limit,omitempty"`
+	Stream   bool   `json:"stream,omitempty"`
+}
+
 type matchResponse struct {
 	Count      int    `json:"count"`
+	Truncated  bool   `json:"truncated,omitempty"`
 	Output     string `json:"output"`
 	OutputSize int    `json:"outputSize"`
 	CacheHit   bool   `json:"cacheHit"`
 	Micros     int64  `json:"micros"`
 }
+
+// matchAnswer is one NDJSON answer line of a streamed /match response.
+type matchAnswer struct {
+	ID    int            `json:"id"`
+	Types []pattern.Type `json:"types"`
+}
+
+// matchSummary is the final NDJSON line of a streamed /match response.
+type matchSummary struct {
+	Done      bool   `json:"done"`
+	Count     int    `json:"count"`
+	Truncated bool   `json:"truncated,omitempty"`
+	Output    string `json:"output"`
+	CacheHit  bool   `json:"cacheHit"`
+	Micros    int64  `json:"micros"`
+	Error     string `json:"error,omitempty"`
+}
+
+// NDJSONContentType is the content type of streamed /match responses.
+const NDJSONContentType = "application/x-ndjson"
+
+// Streamed answers are flushed to the client every streamFlushEvery
+// lines, or sooner once streamFlushInterval has passed since the last
+// flush — bounded latency for slow producers, bounded syscall overhead
+// for fast ones. The write path itself applies backpressure: a slow
+// reader blocks the matcher, which holds only its bounded memo state.
+const (
+	streamFlushEvery    = 64
+	streamFlushInterval = 100 * time.Millisecond
+)
 
 func (h *handler) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
 	if h.opts.Timeout > 0 {
@@ -208,15 +265,39 @@ func (h *handler) minimize(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *handler) match(w http.ResponseWriter, r *http.Request) {
-	req, ok := h.readRequest(w, r)
-	if !ok {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST a JSON body")
 		return
 	}
-	if h.index == nil {
-		writeError(w, http.StatusBadRequest, "no document loaded (start tpqd with -xml)")
+	var req matchRequest
+	body := http.MaxBytesReader(w, r.Body, h.opts.MaxBody)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
 		return
 	}
-	p, _, err := h.parseOne(req)
+	if req.Limit < 0 {
+		writeError(w, http.StatusBadRequest, "limit must be non-negative")
+		return
+	}
+	idx := h.index
+	if req.Document != "" {
+		f, err := data.ParseXML(strings.NewReader(req.Document))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "parsing document: "+err.Error())
+			return
+		}
+		if f.Size() > h.opts.MaxDocNodes {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("document of %d nodes exceeds limit %d", f.Size(), h.opts.MaxDocNodes))
+			return
+		}
+		idx = match.NewForestIndex(f)
+	}
+	if idx == nil {
+		writeError(w, http.StatusBadRequest, "no document loaded (start tpqd with -xml, or inline one as \"document\")")
+		return
+	}
+	p, _, err := h.parseOne(&minimizeRequest{Query: req.Query, XPath: req.XPath})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -229,14 +310,83 @@ func (h *handler) match(w http.ResponseWriter, r *http.Request) {
 		writeServiceError(w, err)
 		return
 	}
-	answers := match.AnswersIndexed(out, h.index)
+	q, err := stream.Compile(out, idx, stream.Options{})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.Stream {
+		h.streamMatch(w, ctx, q, req.Limit, out, rep, start)
+		return
+	}
+	count, truncated := 0, false
+	for range q.Answers(ctx) {
+		if req.Limit > 0 && count >= req.Limit {
+			truncated = true
+			break
+		}
+		count++
+	}
+	d := time.Since(start)
+	h.svc.ObserveMatch(d, int64(count), false, truncated)
+	if err := ctx.Err(); err != nil && !truncated {
+		writeServiceError(w, err)
+		return
+	}
 	writeJSON(w, http.StatusOK, matchResponse{
-		Count:      len(answers),
+		Count:      count,
+		Truncated:  truncated,
 		Output:     out.String(),
 		OutputSize: rep.OutputSize,
 		CacheHit:   rep.CacheHit,
-		Micros:     time.Since(start).Microseconds(),
+		Micros:     d.Microseconds(),
 	})
+}
+
+// streamMatch writes the NDJSON mode of /match: one answer line per
+// match as the streaming engine finds it, flushed incrementally, then a
+// summary line. The status is committed before evaluation starts, so a
+// mid-stream cancellation surfaces as an "error" field on the summary
+// line instead of a status code.
+func (h *handler) streamMatch(w http.ResponseWriter, ctx context.Context, q *stream.Query, limit int, out *pattern.Pattern, rep Report, start time.Time) {
+	w.Header().Set("Content-Type", NDJSONContentType)
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	enc := json.NewEncoder(w)
+	count, truncated := 0, false
+	lastFlush := time.Now()
+	for v := range q.Answers(ctx) {
+		if limit > 0 && count >= limit {
+			truncated = true
+			break
+		}
+		enc.Encode(matchAnswer{ID: v.ID, Types: v.Types})
+		count++
+		if count%streamFlushEvery == 0 || time.Since(lastFlush) > streamFlushInterval {
+			flush()
+			lastFlush = time.Now()
+		}
+	}
+	d := time.Since(start)
+	sum := matchSummary{
+		Done:      true,
+		Count:     count,
+		Truncated: truncated,
+		Output:    out.String(),
+		CacheHit:  rep.CacheHit,
+		Micros:    d.Microseconds(),
+	}
+	if err := ctx.Err(); err != nil && !truncated {
+		sum.Error = err.Error()
+	}
+	enc.Encode(sum)
+	flush()
+	h.svc.ObserveMatch(d, int64(count), true, truncated)
 }
 
 func (h *handler) stats(w http.ResponseWriter, r *http.Request) {

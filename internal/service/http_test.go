@@ -218,3 +218,139 @@ func TestHTTPTimeout(t *testing.T) {
 		t.Errorf("status = %d, want 504 (%s)", resp.StatusCode, data)
 	}
 }
+
+func TestHTTPMatchStream(t *testing.T) {
+	forest, err := data.ParseXML(strings.NewReader(
+		"<lib><book><title/><title/></book><book><title/></book></lib>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, ts := newTestServer(t, Options{}, HandlerOptions{Forest: forest})
+	resp, body := postJSON(t, ts.URL+"/match", `{"query": "book/title*", "stream": true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != NDJSONContentType {
+		t.Errorf("content type %q", ct)
+	}
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d NDJSON lines, want 3 answers + summary:\n%s", len(lines), body)
+	}
+	for _, ln := range lines[:3] {
+		var a matchAnswer
+		if err := json.Unmarshal([]byte(ln), &a); err != nil {
+			t.Fatalf("answer line %q: %v", ln, err)
+		}
+		if len(a.Types) != 1 || a.Types[0] != "title" {
+			t.Errorf("answer line %q: types %v", ln, a.Types)
+		}
+	}
+	var sum matchSummary
+	if err := json.Unmarshal([]byte(lines[3]), &sum); err != nil {
+		t.Fatalf("summary line %q: %v", lines[3], err)
+	}
+	if !sum.Done || sum.Count != 3 || sum.Truncated || sum.Error != "" {
+		t.Errorf("summary: %+v", sum)
+	}
+	snap := svc.Stats()
+	if snap.MatchRequests != 1 || snap.MatchStreams != 1 || snap.MatchAnswers != 3 || snap.MatchLimited != 0 {
+		t.Errorf("match counters: %+v", snap)
+	}
+	if ph, ok := snap.Phases["match"]; !ok || ph.Count != 1 {
+		t.Errorf("match phase histogram: %+v", snap.Phases)
+	}
+}
+
+func TestHTTPMatchLimit(t *testing.T) {
+	forest, err := data.ParseXML(strings.NewReader(
+		"<lib><book><title/><title/></book><book><title/></book></lib>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, ts := newTestServer(t, Options{}, HandlerOptions{Forest: forest})
+
+	resp, body := postJSON(t, ts.URL+"/match", `{"query": "book/title*", "limit": 2}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out matchResponse
+	json.Unmarshal(body, &out)
+	if out.Count != 2 || !out.Truncated {
+		t.Errorf("limited response: %+v", out)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/match", `{"query": "book/title*", "stream": true, "limit": 2}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d: %s", resp.StatusCode, body)
+	}
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 2 answers + summary:\n%s", len(lines), body)
+	}
+	var sum matchSummary
+	json.Unmarshal([]byte(lines[2]), &sum)
+	if !sum.Done || sum.Count != 2 || !sum.Truncated {
+		t.Errorf("summary: %+v", sum)
+	}
+
+	if resp, body = postJSON(t, ts.URL+"/match", `{"query": "a*", "limit": -1}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative limit: status %d: %s", resp.StatusCode, body)
+	}
+	if snap := svc.Stats(); snap.MatchLimited != 2 {
+		t.Errorf("matchLimited = %d, want 2", snap.MatchLimited)
+	}
+}
+
+func TestHTTPMatchInlineDocument(t *testing.T) {
+	_, ts := newTestServer(t, Options{}, HandlerOptions{MaxDocNodes: 5})
+	resp, body := postJSON(t, ts.URL+"/match",
+		`{"query": "book/title*", "document": "<lib><book><title/></book></lib>"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out matchResponse
+	json.Unmarshal(body, &out)
+	if out.Count != 1 {
+		t.Errorf("count = %d, want 1", out.Count)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/match",
+		`{"query": "a*", "document": "<a><b/><b/><b/><b/><b/></a>"}`)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized document: status %d: %s", resp.StatusCode, body)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/match", `{"query": "a*", "document": "<unclosed"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed document: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+func TestHTTPMatchMetricsExposed(t *testing.T) {
+	forest, err := data.ParseXML(strings.NewReader("<a><b/></a>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Options{}, HandlerOptions{Forest: forest})
+	postJSON(t, ts.URL+"/match", `{"query": "a/b*"}`)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	text := buf.String()
+	for _, want := range []string{
+		"tpq_match_requests_total 1",
+		"tpq_match_answers_total 1",
+		"tpq_match_streams_total 0",
+		"tpq_match_limited_total 0",
+		`tpq_phase_duration_seconds_count{phase="match"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

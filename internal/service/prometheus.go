@@ -30,6 +30,8 @@ const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
 //	tpq_cache_evictions_total, tpq_inflight_merges_total — cache counters
 //	tpq_plans_compiled_total, tpq_plan_hits_total        — chase-plan registry
 //	    lookups by this service's pipeline runs (miss = compile)
+//	tpq_match_requests_total, tpq_match_streams_total,
+//	tpq_match_answers_total, tpq_match_limited_total     — /match evaluations
 //	tpq_cache_entries, tpq_cache_capacity, tpq_inflight_requests,
 //	tpq_plan_cache_entries, tpq_plan_cache_capacity,
 //	tpq_workers, tpq_constraints, tpq_uptime_seconds     — gauges
@@ -38,6 +40,7 @@ const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
 //	tpq_request_duration_seconds                         — histogram
 //	tpq_phase_duration_seconds{phase=...}                — histograms,
 //	    one per pipeline phase (parse, chase, cdm, acim, cim, compact)
+//	    plus the serving layer's match phase
 func (s *Service) WritePrometheus(w io.Writer) {
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
@@ -59,6 +62,10 @@ func (s *Service) WritePrometheus(w io.Writer) {
 	counter("tpq_inflight_merges_total", "Requests that joined another request's inflight minimization.", s.stats.merges.Load())
 	counter("tpq_plans_compiled_total", "Chase plans compiled by this service's pipeline runs (registry misses).", s.stats.plansCompiled.Load())
 	counter("tpq_plan_hits_total", "Chase-plan registry hits by this service's pipeline runs.", s.stats.planHits.Load())
+	counter("tpq_match_requests_total", "Match evaluations accepted.", s.stats.matchRequests.Load())
+	counter("tpq_match_streams_total", "Match evaluations served in streaming (NDJSON) mode.", s.stats.matchStreams.Load())
+	counter("tpq_match_answers_total", "Answers delivered across all match evaluations.", s.stats.matchAnswers.Load())
+	counter("tpq_match_limited_total", "Match evaluations truncated by a result limit.", s.stats.matchLimited.Load())
 
 	fmt.Fprintf(w, "# HELP tpq_nodes_removed_total Nodes eliminated, split by pipeline phase.\n# TYPE tpq_nodes_removed_total counter\n")
 	fmt.Fprintf(w, "tpq_nodes_removed_total{phase=\"cdm\"} %d\n", s.stats.cdmRemoved.Load())

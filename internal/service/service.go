@@ -186,6 +186,23 @@ func (s *Service) ObserveParse(d time.Duration) {
 	s.stats.phase[trace.Parse].observe(d)
 }
 
+// ObserveMatch records one /match evaluation: its duration (the Match
+// phase histogram), the number of answers delivered, whether it was
+// served in streaming mode, and whether a result limit truncated it.
+// Evaluation happens in the HTTP layer — the service only keeps the
+// books, as with ObserveParse.
+func (s *Service) ObserveMatch(d time.Duration, answers int64, streamed, limited bool) {
+	s.stats.matchRequests.Add(1)
+	s.stats.matchAnswers.Add(answers)
+	if streamed {
+		s.stats.matchStreams.Add(1)
+	}
+	if limited {
+		s.stats.matchLimited.Add(1)
+	}
+	s.stats.phase[trace.Match].observe(d)
+}
+
 // Closing reports whether Close has begun; /healthz turns 503 on it.
 func (s *Service) Closing() bool {
 	s.mu.Lock()

@@ -30,6 +30,11 @@ type Stats struct {
 	errors        atomic.Int64 // requests failed (cancellation, shutdown)
 	slowQueries   atomic.Int64 // requests logged by the slow-query log
 
+	matchRequests atomic.Int64 // /match evaluations accepted
+	matchStreams  atomic.Int64 // evaluations served in streaming (NDJSON) mode
+	matchAnswers  atomic.Int64 // answers delivered across all evaluations
+	matchLimited  atomic.Int64 // evaluations truncated by a result limit
+
 	inflight atomic.Int64 // requests currently inside Minimize (gauge)
 
 	lat latencyHist
@@ -141,6 +146,11 @@ type Snapshot struct {
 	SlowQueries    int64 `json:"slowQueries"`
 	Inflight       int64 `json:"inflight"`
 
+	MatchRequests int64 `json:"matchRequests"`
+	MatchStreams  int64 `json:"matchStreams"`
+	MatchAnswers  int64 `json:"matchAnswers"`
+	MatchLimited  int64 `json:"matchLimited"`
+
 	CacheLen int `json:"cacheLen"`
 	CacheCap int `json:"cacheCap"`
 
@@ -195,6 +205,10 @@ func (s *Stats) snapshot() Snapshot {
 		Errors:         s.errors.Load(),
 		SlowQueries:    s.slowQueries.Load(),
 		Inflight:       s.inflight.Load(),
+		MatchRequests:  s.matchRequests.Load(),
+		MatchStreams:   s.matchStreams.Load(),
+		MatchAnswers:   s.matchAnswers.Load(),
+		MatchLimited:   s.matchLimited.Load(),
 	}
 	counts := make([]int64, len(s.lat.buckets))
 	for i := range s.lat.buckets {

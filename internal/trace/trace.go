@@ -51,11 +51,14 @@ const (
 	CIM
 	// Compact is the temporary-node strip after CIM (pattern.StripTemp).
 	Compact
+	// Match is pattern evaluation over a database — the serving layer's
+	// /match endpoint, both materialized and streaming modes.
+	Match
 	// NumPhases bounds arrays indexed by Phase.
 	NumPhases
 )
 
-var phaseNames = [NumPhases]string{"parse", "chase", "cdm", "acim", "cim", "compact"}
+var phaseNames = [NumPhases]string{"parse", "chase", "cdm", "acim", "cim", "compact", "match"}
 
 // String returns the lower-case phase name used in metric labels and
 // slow-query log keys.
@@ -69,7 +72,7 @@ func (p Phase) String() string {
 // Phases lists every phase in pipeline order — the iteration order of
 // metric exporters.
 func Phases() []Phase {
-	return []Phase{Parse, Chase, CDM, ACIM, CIM, Compact}
+	return []Phase{Parse, Chase, CDM, ACIM, CIM, Compact, Match}
 }
 
 // Counter identifies one per-request work counter.

@@ -128,7 +128,7 @@ func TestConcurrentSpans(t *testing.T) {
 }
 
 func TestNames(t *testing.T) {
-	want := []string{"parse", "chase", "cdm", "acim", "cim", "compact"}
+	want := []string{"parse", "chase", "cdm", "acim", "cim", "compact", "match"}
 	for i, p := range Phases() {
 		if p.String() != want[i] {
 			t.Errorf("phase %d = %q, want %q", i, p.String(), want[i])

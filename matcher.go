@@ -1,0 +1,131 @@
+package tpq
+
+import (
+	"context"
+	"iter"
+	"math/big"
+
+	"tpq/internal/match"
+	"tpq/internal/match/stream"
+)
+
+// MatcherOptions configure a Matcher, mirroring MinimizerOptions: build
+// once over a database, evaluate many queries against it.
+type MatcherOptions struct {
+	// Forest is the database to evaluate against. Ignored when Index is
+	// set; nil with a nil Index means an empty database.
+	Forest *Forest
+	// Index is a prebuilt inverted index over the database. Set it to
+	// share one index between a Matcher and other consumers (cmd/tpqd
+	// does); when nil, the Matcher builds its own from Forest.
+	Index *MatchIndex
+	// MemoryLimit bounds, in bytes, the per-iteration memo state of the
+	// streaming engine. 0 picks the engine default (64 MiB), negative
+	// means unlimited. Crossing the ceiling sheds the memo tables —
+	// evaluation slows down but answers are unaffected.
+	MemoryLimit int
+}
+
+// MatchQuery is a pattern compiled for streaming evaluation; see
+// Matcher.Compile. Compile once, iterate many times — a MatchQuery is
+// immutable and safe for concurrent use.
+type MatchQuery = stream.Query
+
+// Embedding is one full assignment of pattern nodes to database nodes,
+// yielded by the embedding iterators. Its storage is reused between
+// yields: retain one past the loop body with Clone.
+type Embedding = stream.Embedding
+
+// Matcher is a long-lived evaluation instance over one database: an
+// inverted type index shared by every query, feeding a streaming
+// twig-join engine that yields answers and embeddings incrementally
+// under a memory ceiling. It is safe for concurrent use. Prefer it over
+// the package-level Match helpers whenever more than a handful of
+// queries run against the same forest.
+type Matcher struct {
+	idx  *MatchIndex
+	opts stream.Options
+}
+
+// NewMatcher returns a Matcher with the given options.
+func NewMatcher(opts MatcherOptions) *Matcher {
+	idx := opts.Index
+	if idx == nil {
+		f := opts.Forest
+		if f == nil {
+			f = NewForest()
+		}
+		idx = match.NewForestIndex(f)
+	}
+	return &Matcher{idx: idx, opts: stream.Options{MemoryLimit: opts.MemoryLimit}}
+}
+
+// Index returns the Matcher's inverted index, for sharing with other
+// consumers. Callers must treat it as read-only.
+func (m *Matcher) Index() *MatchIndex { return m.idx }
+
+// Forest returns the database the Matcher evaluates against.
+func (m *Matcher) Forest() *Forest { return m.idx.Forest() }
+
+// Compile prepares p for streaming evaluation. It fails when p is empty
+// or has no output node. The result can be iterated concurrently and is
+// the way to evaluate one query repeatedly without re-deriving its
+// candidate representation.
+func (m *Matcher) Compile(p *Pattern) (*MatchQuery, error) {
+	return stream.Compile(p, m.idx, m.opts)
+}
+
+// Answers returns a lazy, document-ordered, duplicate-free iterator over
+// the answer set of p: the database nodes the output node binds to in at
+// least one embedding. Breaking out of the range stops all matching
+// work; canceling ctx cuts the sequence short (check ctx.Err() after the
+// loop to distinguish exhaustion from cancellation). An invalid pattern
+// yields nothing — use Compile to observe the error.
+func (m *Matcher) Answers(ctx context.Context, p *Pattern) iter.Seq[*DataNode] {
+	q, err := m.Compile(p)
+	if err != nil {
+		return func(func(*DataNode) bool) {}
+	}
+	return q.Answers(ctx)
+}
+
+// Embeddings returns a lazy iterator over every embedding of p, in
+// lexicographic pattern-preorder order. The enumeration is
+// polynomial-delay: taking the first k embeddings of a potentially
+// exponential set does work proportional to k. The yielded Embedding's
+// storage is reused between yields — Clone it to retain it. Cancellation
+// and invalid patterns behave as in Answers.
+func (m *Matcher) Embeddings(ctx context.Context, p *Pattern) iter.Seq[Embedding] {
+	q, err := m.Compile(p)
+	if err != nil {
+		return func(func(Embedding) bool) {}
+	}
+	return q.Embeddings(ctx)
+}
+
+// Match materializes the full answer set of p in document order — the
+// drained Answers iterator, for callers that want the slice.
+func (m *Matcher) Match(p *Pattern) []*DataNode {
+	var out []*DataNode
+	for v := range m.Answers(context.Background(), p) {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Count returns the number of answers of p.
+func (m *Matcher) Count(p *Pattern) int {
+	n := 0
+	for range m.Answers(context.Background(), p) {
+		n++
+	}
+	return n
+}
+
+// CountEmbeddings returns the number of distinct full embeddings of p as
+// a big integer. The count can be exponential in the pattern size, so it
+// runs on the materialized counting kernel rather than the streaming
+// enumerator; use Embeddings to visit the embeddings themselves.
+func (m *Matcher) CountEmbeddings(p *Pattern) *big.Int {
+	return match.CountEmbeddings(p, m.idx.Forest())
+}

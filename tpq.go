@@ -22,8 +22,11 @@
 //   - Contains / Equivalent — containment and equivalence tests via
 //     containment mappings, and ContainsUnder / EquivalentUnder for the
 //     constraint-aware versions;
-//   - Match / MatchCount — evaluation of a pattern over a tree database
-//     (package-level forest constructors and an XML importer are provided).
+//   - Matcher — a streaming evaluation instance over a tree database:
+//     Answers and Embeddings yield results incrementally as iterators,
+//     with context cancellation and a memory ceiling; Match / MatchCount
+//     are one-shot wrappers over it (package-level forest constructors
+//     and an XML importer are provided).
 //
 // The subpackages under internal/ expose the individual algorithms to the
 // library's own commands, examples and benchmarks; external code should
@@ -252,11 +255,17 @@ func EquivalentUnder(p, q *Pattern, cs *Constraints) bool {
 }
 
 // Match returns the answer set of p over f: the data nodes the output node
-// binds to, in document order.
-func Match(p *Pattern, f *Forest) []*DataNode { return match.Answers(p, f) }
+// binds to, in document order. It is a convenience wrapper over a
+// throwaway Matcher — when the same forest is queried repeatedly, build a
+// Matcher once and use its iterators instead.
+func Match(p *Pattern, f *Forest) []*DataNode {
+	return NewMatcher(MatcherOptions{Forest: f}).Match(p)
+}
 
-// MatchCount returns the number of answers of p over f.
-func MatchCount(p *Pattern, f *Forest) int { return match.Count(p, f) }
+// MatchCount returns the number of answers of p over f; see Match.
+func MatchCount(p *Pattern, f *Forest) int {
+	return NewMatcher(MatcherOptions{Forest: f}).Count(p)
+}
 
 // CountEmbeddings returns the number of distinct full embeddings of p into
 // f (as opposed to distinct answers), as a big integer — redundant pattern
@@ -268,14 +277,20 @@ func CountEmbeddings(p *Pattern, f *Forest) *big.Int { return match.CountEmbeddi
 // see NewMatchIndex.
 type MatchIndex = match.ForestIndex
 
-// NewMatchIndex builds an inverted type index over f. When the same forest
-// is queried repeatedly, MatchIndexed over the index beats Match whenever
-// the query's types are selective.
+// NewMatchIndex builds an inverted type index over f, shareable between a
+// Matcher (via MatcherOptions.Index) and other consumers.
 func NewMatchIndex(f *Forest) *MatchIndex { return match.NewForestIndex(f) }
 
 // MatchIndexed evaluates p over an indexed forest; same answers as Match.
+//
+// Deprecated: build a Matcher over the index and use its Match method —
+// or, better, its Answers iterator, which streams the answer set instead
+// of materializing it:
+//
+//	m := tpq.NewMatcher(tpq.MatcherOptions{Index: idx})
+//	for v := range m.Answers(ctx, p) { ... }
 func MatchIndexed(p *Pattern, idx *MatchIndex) []*DataNode {
-	return match.AnswersIndexed(p, idx)
+	return NewMatcher(MatcherOptions{Index: idx}).Match(p)
 }
 
 // NewForest builds a database from data trees; construct nodes with
