@@ -6,10 +6,10 @@ GO ?= go
 # rises.
 COVER_FLOOR ?= 84.0
 
-.PHONY: check ci build vet test race race-service fuzz-smoke bench-smoke fmtcheck bench bench-regression bench-chase bench-match cover fmt
+.PHONY: check ci build vet test race race-service store-fault fuzz-smoke bench-smoke fmtcheck bench bench-regression bench-chase bench-match cover fmt
 
 # The gate every change must pass before commit.
-check: build vet fmtcheck test race race-service fuzz-smoke bench-smoke
+check: build vet fmtcheck test race race-service store-fault fuzz-smoke bench-smoke
 
 # What .github/workflows/ci.yml runs, as one local target: the check
 # gate plus the coverage floor and the benchmark-regression gate.
@@ -37,6 +37,14 @@ race:
 # race matrix is ever trimmed.
 race-service:
 	$(GO) test -race ./internal/service/...
+
+# Store fault-injection smoke: the persistent tier's crash-safety tests —
+# the log truncated at every byte offset and at random offsets (a crash
+# mid-append), a corrupted record (bit rot must never be served), and the
+# randomized write/chop/reopen loop — under the race detector, since the
+# same files back a concurrent write-behind queue in production.
+store-fault:
+	$(GO) test -race -run 'TestCrash|TestFaultInjection|TestCorruptRecord' -count=1 ./internal/store
 
 # Differential fuzzing smoke: the seeded 1200-case sweep through all five
 # oracles, then 10s of coverage-guided mutation per fuzz target on top of

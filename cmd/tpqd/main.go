@@ -9,6 +9,7 @@
 //	tpqd [-addr :8080] [-f constraints.txt] [-xml doc.xml]
 //	     [-cache N] [-workers N] [-timeout 5s] [-grace 10s]
 //	     [-maxdoc N] [-slowlog 100ms] [-debug-addr 127.0.0.1:6060]
+//	     [-store dir] [-warm-start N] [-peers a:1,b:1,c:1] [-self a:1]
 //
 // Endpoints:
 //
@@ -30,6 +31,16 @@
 // per-phase breakdown; see service.SlowQuery). -debug-addr serves
 // net/http/pprof on a second listener, kept off the public address so
 // profiling endpoints are never exposed by default.
+//
+// -store dir persists the minimization cache (internal/store): computed
+// entries are written behind to an append-log + snapshot KV store and a
+// restarted daemon warm-starts from it (-warm-start bounds how many
+// entries are preloaded), so previously minimized queries are served as
+// cache hits immediately. -peers lists a static replica fleet (every
+// node, this one included, same list everywhere) for consistent-hash
+// sharding: an LRU+store miss asks the key's owner over GET
+// /internal/entry?key= before computing (single hop — the owner never
+// forwards). -self names this node in that list.
 //
 // SIGINT/SIGTERM begin a graceful shutdown: the listener drains for up to
 // -grace, then inflight minimizations are awaited.
@@ -55,6 +66,7 @@ import (
 	"tpq/internal/data"
 	"tpq/internal/ics"
 	"tpq/internal/service"
+	"tpq/internal/store"
 )
 
 func main() {
@@ -77,7 +89,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	maxDocNodes := fs.Int("maxdoc", 100_000, "maximum node count of an inline /match document")
 	slowlog := fs.Duration("slowlog", 0, "log pipeline runs at least this slow as JSON lines on stderr (0 disables)")
 	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof on this extra address (empty disables)")
+	storeDir := fs.String("store", "", "persist the minimization cache in this directory (empty disables; ignored with -cache < 0)")
+	warmStart := fs.Int("warm-start", -1, "store entries to preload into the cache at startup (-1 = up to cache capacity, 0 disables)")
+	peers := fs.String("peers", "", "comma-separated replica fleet (host:port, this node included) for consistent-hash sharding")
+	self := fs.String("self", "", "this node's address as listed in -peers (required with -peers)")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if (*peers == "") != (*self == "") {
+		fmt.Fprintln(stderr, "tpqd: -peers and -self must be set together")
 		return 2
 	}
 
@@ -106,16 +126,52 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "tpqd: loaded %s: %d nodes\n", *xmlPath, forest.Size())
 	}
 
+	var st *store.Store
+	if *storeDir != "" && *cacheSize >= 0 {
+		var err error
+		st, err = store.Open(*storeDir, store.Options{})
+		if err != nil {
+			fmt.Fprintln(stderr, "tpqd:", err)
+			return 1
+		}
+		defer st.Close()
+		stStats := st.Stats()
+		fmt.Fprintf(stdout, "tpqd: store %s: %d entries (%d from snapshot, %d replayed", *storeDir,
+			stStats.Entries, stStats.SnapshotRecords, stStats.ReplayedRecords)
+		if stStats.TornBytes > 0 {
+			fmt.Fprintf(stdout, ", %d torn bytes discarded", stStats.TornBytes)
+		}
+		fmt.Fprintln(stdout, ")")
+	}
+	var peerList []string
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+	}
+
 	svc := service.New(service.Options{
 		Constraints:      cs,
 		Workers:          *workers,
 		CacheSize:        *cacheSize,
 		SlowLogThreshold: *slowlog,
 		SlowLog:          stderr,
+		Store:            st,
+		WarmStart:        *warmStart,
+		Peers:            peerList,
+		Self:             *self,
 	})
 	publishExpvar(svc)
 	if *slowlog > 0 {
 		fmt.Fprintf(stdout, "tpqd: slow-query log on: threshold %v\n", *slowlog)
+	}
+	if st != nil {
+		fmt.Fprintf(stdout, "tpqd: warm-started %d cache entries\n", svc.Stats().WarmStarted)
+	}
+	if len(peerList) > 0 {
+		fmt.Fprintf(stdout, "tpqd: sharding across %d replicas as %s\n", len(peerList), *self)
 	}
 
 	mux := http.NewServeMux()
@@ -168,6 +224,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	if err := svc.Close(shutdownCtx); err != nil {
 		fmt.Fprintln(stderr, "tpqd: draining minimizations:", err)
+	}
+	if st != nil {
+		// Fold the write-behind log into the snapshot so the next start
+		// replays nothing.
+		if err := st.Compact(); err != nil {
+			fmt.Fprintln(stderr, "tpqd: compacting store:", err)
+		}
 	}
 	snap := svc.Stats()
 	hitRate := 0.0

@@ -152,6 +152,118 @@ func TestServerEndToEnd(t *testing.T) {
 	}
 }
 
+// TestServerStoreRestart is the acceptance test for the persistent
+// tier: a daemon restarted with the same -store serves a previously
+// minimized query as a cache hit without recomputation.
+func TestServerStoreRestart(t *testing.T) {
+	storeDir := filepath.Join(t.TempDir(), "store")
+	query := `{"query": "Articles/Article*[//Paragraph, /Section//Paragraph]"}`
+
+	post := func(url string) map[string]interface{} {
+		t.Helper()
+		resp, err := http.Post(url+"/minimize", "application/json", strings.NewReader(query))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]interface{}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("minimize: %d %v", resp.StatusCode, out)
+		}
+		return out
+	}
+	getStats := func(url string) map[string]interface{} {
+		t.Helper()
+		resp, err := http.Get(url + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var stats map[string]interface{}
+		if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+
+	// First life: a cold miss, computed and written behind.
+	url, shutdown := startServer(t, "-store", storeDir)
+	out := post(url)
+	if out["cacheHit"] == true {
+		t.Fatalf("first request hit a fresh cache: %v", out)
+	}
+	want := out["output"]
+	if c := shutdown(); c != 0 {
+		t.Fatalf("first shutdown: exit %d", c)
+	}
+
+	// Second life, same store: warm-started, so the very first request is
+	// a cache hit with the identical result and zero pipeline runs.
+	url, shutdown = startServer(t, "-store", storeDir)
+	defer shutdown()
+	out = post(url)
+	if out["cacheHit"] != true {
+		t.Errorf("restarted daemon recomputed a persisted query: %v", out)
+	}
+	if out["output"] != want {
+		t.Errorf("restarted output %v, want %v", out["output"], want)
+	}
+	stats := getStats(url)
+	if stats["minimizations"] != float64(0) {
+		t.Errorf("minimizations after restart = %v, want 0", stats["minimizations"])
+	}
+	if stats["warmStarted"] == float64(0) {
+		t.Errorf("warm-start preloaded nothing: %v", stats["warmStarted"])
+	}
+	if stats["store"] == nil {
+		t.Error("stats missing the store snapshot")
+	}
+}
+
+// TestServerStoreRestartColdLookup covers the second tier without
+// warm-start: the LRU is cold, the store answers the miss.
+func TestServerStoreRestartColdLookup(t *testing.T) {
+	storeDir := filepath.Join(t.TempDir(), "store")
+	query := `{"query": "a*[/b, /b]"}`
+	post := func(url string) map[string]interface{} {
+		t.Helper()
+		resp, err := http.Post(url+"/minimize", "application/json", strings.NewReader(query))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]interface{}
+		json.NewDecoder(resp.Body).Decode(&out)
+		return out
+	}
+
+	url, shutdown := startServer(t, "-store", storeDir)
+	post(url)
+	if c := shutdown(); c != 0 {
+		t.Fatalf("first shutdown: exit %d", c)
+	}
+
+	url, shutdown = startServer(t, "-store", storeDir, "-warm-start", "0")
+	defer shutdown()
+	if out := post(url); out["cacheHit"] != true {
+		t.Errorf("store tier did not answer the cold-LRU miss: %v", out)
+	}
+}
+
+// TestServerPeerFlagValidation pins the -peers/-self pairing rule.
+func TestServerPeerFlagValidation(t *testing.T) {
+	var stdout, stderr syncBuffer
+	if c := run(context.Background(), []string{"-peers", "a:1,b:1"}, &stdout, &stderr); c != 2 {
+		t.Errorf("-peers without -self: exit %d, want 2", c)
+	}
+	if c := run(context.Background(), []string{"-self", "a:1"}, &stdout, &stderr); c != 2 {
+		t.Errorf("-self without -peers: exit %d, want 2", c)
+	}
+}
+
 func TestServerFlagAndFileErrors(t *testing.T) {
 	var stdout, stderr syncBuffer
 	ctx := context.Background()

@@ -20,6 +20,7 @@ import (
 	"tpq/internal/ics"
 	"tpq/internal/pattern"
 	"tpq/internal/service"
+	"tpq/internal/store"
 	"tpq/internal/trace"
 )
 
@@ -264,13 +265,110 @@ func JSONService(opts Options) JSONFile {
 	return newJSONFile("service", results)
 }
 
+// JSONServiceWarmRestart pins the restart story of the persistent tier:
+// the time for a freshly constructed service to serve its whole working
+// set again — cold (no store: every distinct query pays the pipeline)
+// versus warm (reopening a populated store with warm-start: every
+// request is already a cache hit). The warm measurement starts at
+// store.Open, so it covers the real restart path — snapshot load, log
+// replay, warm-start preload — and must still win, because the pipeline
+// it avoids costs more than the store it reads.
+func JSONServiceWarmRestart(opts Options) JSONFile {
+	distinct, rawCS := BatchWorkload(8)
+	ctx := context.Background()
+
+	// Seed the store with a clean shutdown's worth of state: every
+	// distinct query minimized, the write-behind queue drained, the log
+	// folded into the snapshot.
+	dir, err := os.MkdirTemp("", "tpqbench-store-")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		panic(err)
+	}
+	seed := service.New(service.Options{Constraints: rawCS, Store: st})
+	if _, _, err := seed.MinimizeBatch(ctx, distinct); err != nil {
+		panic(err)
+	}
+	if err := seed.Close(ctx); err != nil {
+		panic(err)
+	}
+	if err := st.Compact(); err != nil {
+		panic(err)
+	}
+	if err := st.Close(); err != nil {
+		panic(err)
+	}
+
+	coldOne := func() (*trace.Trace, time.Duration) {
+		start := time.Now()
+		fresh := service.New(service.Options{Constraints: rawCS})
+		for _, q := range distinct {
+			if _, _, err := fresh.Minimize(ctx, q); err != nil {
+				panic(err)
+			}
+		}
+		return nil, time.Since(start)
+	}
+	cold, _, _ := measureTraced(opts, coldOne)
+
+	var warmStarted int64
+	warmOne := func() (*trace.Trace, time.Duration) {
+		start := time.Now()
+		st, err := store.Open(dir, store.Options{})
+		if err != nil {
+			panic(err)
+		}
+		fresh := service.New(service.Options{Constraints: rawCS, Store: st, WarmStart: -1})
+		for _, q := range distinct {
+			_, rep, err := fresh.Minimize(ctx, q)
+			if err != nil {
+				panic(err)
+			}
+			if !rep.CacheHit {
+				panic("bench: warm restart missed the cache")
+			}
+		}
+		d := time.Since(start)
+		warmStarted = fresh.Stats().WarmStarted
+		if err := fresh.Close(ctx); err != nil {
+			panic(err)
+		}
+		if err := st.Close(); err != nil {
+			panic(err)
+		}
+		return nil, d
+	}
+	warm, _, _ := measureTraced(opts, warmOne)
+
+	return newJSONFile("service-warm-restart", []JSONResult{
+		{
+			Name:    "service-warm-restart/cold",
+			Figure:  "service-warm-restart",
+			Params:  map[string]string{"queries": "8", "path": "cold-start"},
+			NsPerOp: float64(cold.Nanoseconds()),
+		},
+		{
+			Name:     "service-warm-restart/warm",
+			Figure:   "service-warm-restart",
+			Params:   map[string]string{"queries": "8", "path": "warm-start"},
+			NsPerOp:  float64(warm.Nanoseconds()),
+			Counters: map[string]int64{"warm_started": warmStarted},
+		},
+	})
+}
+
 // JSONFigures maps the pinned machine-readable benchmark ids to their
 // runners — the set `tpqbench -json` emits and CI gates on.
 func JSONFigures() map[string]func(Options) JSONFile {
 	return map[string]func(Options) JSONFile{
-		"fig7b":     JSONFig7b,
-		"service":   JSONService,
-		"fig-match": JSONMatch,
+		"fig7b":                JSONFig7b,
+		"service":              JSONService,
+		"fig-match":            JSONMatch,
+		"service-warm-restart": JSONServiceWarmRestart,
 	}
 }
 

@@ -8,7 +8,7 @@
 // by construction. No reference implementation or ground-truth corpus is
 // needed.
 //
-// Seven oracles are checked (Check runs them all):
+// Eight oracles are checked (Check runs them all):
 //
 //  1. Equivalence: the minimized output is equivalent to the input —
 //     two-way containment (Section 4), judged under the constraints by the
@@ -42,6 +42,11 @@
 //     dense DP engine and the structural-join engine, and its embedding
 //     enumeration agrees with the big-integer counting kernel, on the
 //     query's canonical database and a generated forest.
+//  8. Store: an entry persisted through the serving layer's write-behind
+//     tier and reloaded by a fresh service over the same store files is
+//     byte-identical (canonical form) to a freshly computed
+//     minimization, served as a cache hit with the same report — the
+//     persistence round trip never changes an answer.
 //
 // The package is pure tooling: it must never mutate its inputs, and a nil
 // error means every oracle held.
@@ -52,6 +57,7 @@ import (
 	"fmt"
 	"math/big"
 	"math/rand"
+	"os"
 	"sort"
 	"strings"
 
@@ -67,11 +73,13 @@ import (
 	"tpq/internal/match/stream"
 	"tpq/internal/pattern"
 	"tpq/internal/service"
+	"tpq/internal/store"
 )
 
 // Failure is one oracle violation. Oracle names the invariant that broke
 // ("equivalence", "minimality", "agreement", "kernel", "service",
-// "augment", "match"); Query and Constraints reproduce the failing case.
+// "augment", "match", "store"); Query and Constraints reproduce the
+// failing case.
 type Failure struct {
 	Oracle      string
 	Detail      string
@@ -96,7 +104,7 @@ func fail(q *pattern.Pattern, cs *ics.Set, oracle, format string, args ...interf
 	return &Failure{Oracle: oracle, Detail: fmt.Sprintf(format, args...), Query: q, Constraints: cs}
 }
 
-// Check runs all six oracles on q under cs (nil means no constraints)
+// Check runs all eight oracles on q under cs (nil means no constraints)
 // and returns the first violation, or nil. q is never mutated.
 func Check(q *pattern.Pattern, cs *ics.Set) *Failure {
 	if f := CheckMinimize(q, cs); f != nil {
@@ -106,6 +114,9 @@ func Check(q *pattern.Pattern, cs *ics.Set) *Failure {
 		return f
 	}
 	if f := CheckService(q, cs); f != nil {
+		return f
+	}
+	if f := CheckStore(q, cs); f != nil {
 		return f
 	}
 	return CheckMatch(q, cs)
@@ -424,6 +435,81 @@ func CheckService(q *pattern.Pattern, cs *ics.Set) *Failure {
 		if f := check(fmt.Sprintf("batch[%d]", i), got, reps[i], nil); f != nil {
 			return f
 		}
+	}
+	return nil
+}
+
+// CheckStore runs oracle 8: the persistent tier is transparent. A query
+// minimized through a store-backed service, drained to disk, and served
+// again by a *fresh* service over the same files must come back as a
+// tier hit (no recomputation) with a canonical form byte-identical to a
+// freshly computed minimization, and with the same report. cs may be
+// nil.
+func CheckStore(q *pattern.Pattern, cs *ics.Set) *Failure {
+	if q == nil || q.Validate() != nil {
+		return nil
+	}
+	if cs == nil {
+		cs = ics.NewSet()
+	}
+	ctx := context.Background()
+
+	// The ground truth the reloaded entry must be byte-identical to.
+	eng := engine.New(engine.Options{Constraints: cs, Workers: 1})
+	fresh := eng.Minimize(q).Output
+
+	dir, err := os.MkdirTemp("", "difffuzz-store-")
+	if err != nil {
+		return fail(q, cs, "store", "creating store dir: %v", err)
+	}
+	defer os.RemoveAll(dir)
+
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		return fail(q, cs, "store", "opening store: %v", err)
+	}
+	writer := service.New(service.Options{Constraints: cs, Workers: 1, Store: st})
+	cold, coldRep, err := writer.Minimize(ctx, q)
+	if err != nil {
+		st.Close()
+		return fail(q, cs, "store", "writing run: unexpected error %v", err)
+	}
+	// Close drains the write-behind queue; only then is the entry on disk.
+	if err := writer.Close(ctx); err != nil {
+		st.Close()
+		return fail(q, cs, "store", "draining write-behind: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		return fail(q, cs, "store", "closing store: %v", err)
+	}
+
+	st2, err := store.Open(dir, store.Options{})
+	if err != nil {
+		return fail(q, cs, "store", "reopening store: %v", err)
+	}
+	defer st2.Close()
+	reader := service.New(service.Options{Constraints: cs, Workers: 1, Store: st2, WarmStart: 0})
+	defer reader.Close(ctx)
+	reloaded, rep, err := reader.Minimize(ctx, q.Clone())
+	if err != nil {
+		return fail(q, cs, "store", "reloaded run: unexpected error %v", err)
+	}
+	if !rep.CacheHit {
+		return fail(q, cs, "store", "reloaded entry was not served as a tier hit")
+	}
+	if n := reader.Stats().Minimizations; n != 0 {
+		return fail(q, cs, "store", "reloaded service recomputed (%d minimizations)", n)
+	}
+	if got, want := reloaded.Canonical(), fresh.Canonical(); got != want {
+		return fail(q, cs, "store", "persisted entry %q differs from freshly computed %q", got, want)
+	}
+	if got, want := reloaded.Canonical(), cold.Canonical(); got != want {
+		return fail(q, cs, "store", "persisted entry %q differs from the entry written %q", got, want)
+	}
+	wantRep := coldRep
+	wantRep.CacheHit = true
+	if rep != wantRep {
+		return fail(q, cs, "store", "reloaded report %+v differs from computing report %+v", rep, wantRep)
 	}
 	return nil
 }

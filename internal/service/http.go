@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -13,6 +14,8 @@ import (
 	"tpq/internal/match"
 	"tpq/internal/match/stream"
 	"tpq/internal/pattern"
+	"tpq/internal/shard"
+	"tpq/internal/store"
 	"tpq/internal/xpath"
 )
 
@@ -74,6 +77,7 @@ func NewHandler(s *Service, opts HandlerOptions) http.Handler {
 	mux.HandleFunc("/stats", h.stats)
 	mux.HandleFunc("/metrics", s.metricsHandler)
 	mux.HandleFunc("/healthz", h.healthz)
+	mux.HandleFunc(shard.EntryPath, h.entry)
 	return mux
 }
 
@@ -395,6 +399,29 @@ func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, h.svc.Stats())
+}
+
+// entry serves the shard peer-fetch protocol: GET /internal/entry?key=
+// with the hex of a full store key returns the persisted encoding of
+// the entry, answered strictly from this node's own tiers — a miss is
+// 404, never a forward or a compute (single-hop guarantee).
+func (h *handler) entry(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	key, err := hex.DecodeString(r.URL.Query().Get("key"))
+	if err != nil || len(key) != store.KeySize {
+		writeError(w, http.StatusBadRequest, "key must be the hex of a full store key")
+		return
+	}
+	val, ok := h.svc.LookupEncoded(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no entry")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(val)
 }
 
 func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {

@@ -5,24 +5,40 @@ import "container/list"
 // lruCache is a fixed-capacity least-recently-used cache from cache keys
 // to minimization entries. It does its own no locking: the Service guards
 // it with the same mutex that serializes admission, so get/add are plain
-// list-and-map operations.
+// list-and-map operations. A capacity <= 0 cache holds nothing: get
+// always misses and add is a no-op (not an insert-then-evict, which
+// would do wasted list/map work and report a phantom eviction).
 type lruCache struct {
 	cap   int
 	ll    *list.List // front = most recently used
 	items map[string]*list.Element
+	// byFP indexes entries by their raw persistent-store key, so the
+	// shard peer-fetch endpoint can answer from the LRU without knowing
+	// the canonical form. Entries cached without a persistent tier have
+	// no store key and are not indexed.
+	byFP map[string]*list.Element
 }
 
 type lruItem struct {
 	key string
+	fp  string // raw store key; empty when there is no persistent tier
 	val *entry
 }
 
 func newLRU(capacity int) *lruCache {
-	return &lruCache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+	return &lruCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+		byFP:  make(map[string]*list.Element),
+	}
 }
 
 // get returns the entry for key, refreshing its recency.
 func (c *lruCache) get(key string) (*entry, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
 	el, ok := c.items[key]
 	if !ok {
 		return nil, false
@@ -31,20 +47,52 @@ func (c *lruCache) get(key string) (*entry, bool) {
 	return el.Value.(*lruItem).val, true
 }
 
+// getByFP returns the entry stored under the raw store key fp, without
+// refreshing recency — peer fetches should not keep another node's hot
+// set pinned in this node's cache.
+func (c *lruCache) getByFP(fp string) *entry {
+	if el, ok := c.byFP[fp]; ok {
+		return el.Value.(*lruItem).val
+	}
+	return nil
+}
+
 // add inserts (or refreshes) key and returns how many entries were
-// evicted to stay within capacity.
-func (c *lruCache) add(key string, val *entry) int {
-	if el, ok := c.items[key]; ok {
-		c.ll.MoveToFront(el)
-		el.Value.(*lruItem).val = val
+// evicted to stay within capacity. fp is the entry's raw persistent-
+// store key ("" when there is no persistent tier).
+func (c *lruCache) add(key, fp string, val *entry) int {
+	if c.cap <= 0 {
 		return 0
 	}
-	c.items[key] = c.ll.PushFront(&lruItem{key: key, val: val})
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		it := el.Value.(*lruItem)
+		it.val = val
+		if it.fp != fp {
+			if it.fp != "" {
+				delete(c.byFP, it.fp)
+			}
+			it.fp = fp
+			if fp != "" {
+				c.byFP[fp] = el
+			}
+		}
+		return 0
+	}
+	el := c.ll.PushFront(&lruItem{key: key, fp: fp, val: val})
+	c.items[key] = el
+	if fp != "" {
+		c.byFP[fp] = el
+	}
 	evicted := 0
 	for c.ll.Len() > c.cap {
 		last := c.ll.Back()
 		c.ll.Remove(last)
-		delete(c.items, last.Value.(*lruItem).key)
+		it := last.Value.(*lruItem)
+		delete(c.items, it.key)
+		if it.fp != "" {
+			delete(c.byFP, it.fp)
+		}
 		evicted++
 	}
 	return evicted

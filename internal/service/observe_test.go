@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"regexp"
@@ -13,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"tpq/internal/engine"
 	"tpq/internal/ics"
 	"tpq/internal/pattern"
 	"tpq/internal/trace"
@@ -296,13 +298,17 @@ func TestSlowLogFires(t *testing.T) {
 	for _, ph := range trace.Phases() {
 		known[ph.String()] = true
 	}
-	for name := range rec.PhaseMicros {
+	for name, us := range rec.PhaseMicros {
 		if !known[name] {
 			t.Errorf("unknown phase %q in slow log", name)
 		}
-	}
-	if _, ok := rec.PhaseMicros["acim"]; !ok {
-		t.Errorf("phase breakdown missing acim: %v", rec.PhaseMicros)
+		// Phases that round to zero microseconds are omitted, so every
+		// serialized value is positive — "phase": 0 never appears. (A
+		// fast run may legitimately omit any phase, acim included, so
+		// presence of a specific phase is not asserted.)
+		if us <= 0 {
+			t.Errorf("phase %q serialized as %d, zero-duration phases must be omitted", name, us)
+		}
 	}
 	if snap := svc.Stats(); snap.SlowQueries != 1 {
 		t.Errorf("Stats().SlowQueries = %d, want 1", snap.SlowQueries)
@@ -314,6 +320,76 @@ func TestSlowLogFires(t *testing.T) {
 	}
 	if got := strings.Count(string(buf.Bytes()), "\n"); got != 1 {
 		t.Errorf("cache hit appended to slow log: %d lines", got)
+	}
+}
+
+// failingWriter rejects every write, like a full disk or a closed pipe.
+type failingWriter struct{ calls int }
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	w.calls++
+	return 0, errors.New("disk full")
+}
+
+// TestSlowLogDroppedOnFailingWriter pins the accounting when the slow
+// log's writer fails: the line is lost, so slowQueries must NOT count
+// it — the drop lands in slowLogDropped instead, on /stats and
+// /metrics.
+func TestSlowLogDroppedOnFailingWriter(t *testing.T) {
+	w := &failingWriter{}
+	svc := New(Options{
+		SlowLogThreshold: time.Nanosecond,
+		SlowLog:          w,
+	})
+	if _, _, err := svc.Minimize(context.Background(), pattern.MustParse("a*[/b, /b]")); err != nil {
+		t.Fatal(err)
+	}
+	if w.calls == 0 {
+		t.Fatal("slow log writer never invoked — threshold did not fire")
+	}
+	snap := svc.Stats()
+	if snap.SlowQueries != 0 {
+		t.Errorf("SlowQueries = %d, want 0 (the line was never written)", snap.SlowQueries)
+	}
+	if snap.SlowLogDropped != int64(w.calls) {
+		t.Errorf("SlowLogDropped = %d, want %d", snap.SlowLogDropped, w.calls)
+	}
+	var buf bytes.Buffer
+	svc.WritePrometheus(&buf)
+	scrape := parsePrometheus(t, buf.Bytes())
+	if got := scrape.samples["tpq_slow_log_dropped_total"]; got != float64(w.calls) {
+		t.Errorf("tpq_slow_log_dropped_total = %v, want %d", got, w.calls)
+	}
+	if got := scrape.samples["tpq_slow_queries_total"]; got != 0 {
+		t.Errorf("tpq_slow_queries_total = %v, want 0", got)
+	}
+}
+
+// TestSlowLogOmitsZeroMicrosPhases drives logSlow directly with a
+// crafted trace: a sub-microsecond phase must be omitted from the
+// serialized breakdown (it would round to the ambiguous "phase": 0),
+// while a phase of at least one microsecond survives.
+func TestSlowLogOmitsZeroMicrosPhases(t *testing.T) {
+	buf := newSyncBuffer()
+	svc := New(Options{
+		SlowLogThreshold: time.Nanosecond,
+		SlowLog:          buf,
+	})
+	q := pattern.MustParse("a*/b")
+	tr := trace.New()
+	tr.AddDur(trace.CDM, 500*time.Nanosecond) // rounds to 0µs → omitted
+	tr.AddDur(trace.ACIM, 2*time.Microsecond) // survives
+	svc.logSlow(q, engine.Result{Output: q}, tr, time.Millisecond)
+
+	var rec SlowQuery
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("slow log line is not JSON: %v\n%s", err, buf.Bytes())
+	}
+	if us, ok := rec.PhaseMicros["cdm"]; ok {
+		t.Errorf("sub-microsecond cdm phase serialized as %d, want omitted", us)
+	}
+	if us, ok := rec.PhaseMicros["acim"]; !ok || us != 2 {
+		t.Errorf("acim phase = %d (present=%v), want 2", us, ok)
 	}
 }
 

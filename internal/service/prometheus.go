@@ -7,6 +7,7 @@ import (
 	"strconv"
 
 	"tpq/internal/chase"
+	"tpq/internal/store"
 	"tpq/internal/trace"
 )
 
@@ -32,6 +33,15 @@ const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
 //	    lookups by this service's pipeline runs (miss = compile)
 //	tpq_match_requests_total, tpq_match_streams_total,
 //	tpq_match_answers_total, tpq_match_limited_total     — /match evaluations
+//	tpq_slow_log_dropped_total                           — slow-log lines lost
+//	tpq_store_hits_total, tpq_store_misses_total,
+//	tpq_store_puts_total, tpq_store_errors_total,
+//	tpq_store_dropped_total, tpq_store_compactions_total,
+//	tpq_warm_start_entries_total                         — persistent tier
+//	tpq_store_entries, tpq_store_log_bytes,
+//	tpq_store_replayed_records, tpq_store_torn_bytes     — store gauges
+//	tpq_peer_fetches_total, tpq_peer_hits_total,
+//	tpq_peer_errors_total                                — shard peer fetch
 //	tpq_cache_entries, tpq_cache_capacity, tpq_inflight_requests,
 //	tpq_plan_cache_entries, tpq_plan_cache_capacity,
 //	tpq_workers, tpq_constraints, tpq_uptime_seconds     — gauges
@@ -66,6 +76,16 @@ func (s *Service) WritePrometheus(w io.Writer) {
 	counter("tpq_match_streams_total", "Match evaluations served in streaming (NDJSON) mode.", s.stats.matchStreams.Load())
 	counter("tpq_match_answers_total", "Answers delivered across all match evaluations.", s.stats.matchAnswers.Load())
 	counter("tpq_match_limited_total", "Match evaluations truncated by a result limit.", s.stats.matchLimited.Load())
+	counter("tpq_slow_log_dropped_total", "Slow-query log lines lost to a failing writer.", s.stats.slowLogDropped.Load())
+	counter("tpq_store_hits_total", "LRU misses answered by the persistent tier.", s.stats.storeHits.Load())
+	counter("tpq_store_misses_total", "LRU misses the persistent tier could not answer.", s.stats.storeMisses.Load())
+	counter("tpq_store_puts_total", "Write-behind puts applied to the persistent tier.", s.stats.storePuts.Load())
+	counter("tpq_store_errors_total", "Persistent-tier failures (put errors, undecodable entries).", s.stats.storeErrors.Load())
+	counter("tpq_store_dropped_total", "Write-behind puts dropped on a full queue.", s.stats.storeDropped.Load())
+	counter("tpq_warm_start_entries_total", "Entries preloaded into the LRU from the store at startup.", s.stats.warmStarted.Load())
+	counter("tpq_peer_fetches_total", "Lookups forwarded to the key's owner replica.", s.stats.peerFetches.Load())
+	counter("tpq_peer_hits_total", "Peer fetches that returned an entry.", s.stats.peerHits.Load())
+	counter("tpq_peer_errors_total", "Peer fetches that failed (transport or decode).", s.stats.peerErrors.Load())
 
 	fmt.Fprintf(w, "# HELP tpq_nodes_removed_total Nodes eliminated, split by pipeline phase.\n# TYPE tpq_nodes_removed_total counter\n")
 	fmt.Fprintf(w, "tpq_nodes_removed_total{phase=\"cdm\"} %d\n", s.stats.cdmRemoved.Load())
@@ -86,6 +106,15 @@ func (s *Service) WritePrometheus(w io.Writer) {
 	gauge("tpq_plan_cache_entries", "Compiled chase plans resident in the process-wide registry.", float64(reg.Len))
 	gauge("tpq_plan_cache_capacity", "Chase-plan registry capacity.", float64(reg.Cap))
 	gauge("tpq_inflight_requests", "Requests currently inside Minimize.", float64(s.stats.inflight.Load()))
+	var storeStats store.Stats
+	if s.store != nil {
+		storeStats = s.store.Stats()
+	}
+	gauge("tpq_store_entries", "Live entries in the persistent tier (0 without one).", float64(storeStats.Entries))
+	gauge("tpq_store_log_bytes", "Append-log bytes since the last compaction.", float64(storeStats.LogBytes))
+	gauge("tpq_store_replayed_records", "Log records replayed at the last open.", float64(storeStats.ReplayedRecords))
+	gauge("tpq_store_torn_bytes", "Torn log bytes discarded at the last open.", float64(storeStats.TornBytes))
+	counter("tpq_store_compactions_total", "Snapshot rewrites of the persistent tier.", storeStats.Compactions)
 	gauge("tpq_workers", "Worker-pool size of the engine.", float64(s.eng.Workers()))
 	gauge("tpq_constraints", "Size of the closed constraint set.", float64(s.closed.Len()))
 	gauge("tpq_uptime_seconds", "Seconds since the service was constructed.", secondsSince(s))

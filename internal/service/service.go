@@ -36,6 +36,8 @@ import (
 	"tpq/internal/engine"
 	"tpq/internal/ics"
 	"tpq/internal/pattern"
+	"tpq/internal/shard"
+	"tpq/internal/store"
 	"tpq/internal/trace"
 )
 
@@ -73,6 +75,27 @@ type Options struct {
 	// SlowLog receives the slow-query lines; nil with a nonzero threshold
 	// means os.Stderr. Writes are serialized by the service.
 	SlowLog io.Writer
+	// Store is the optional persistent tier beneath the LRU: computed
+	// entries are written behind asynchronously, LRU misses consult it
+	// before paying for the pipeline, and WarmStart pre-populates the LRU
+	// from it at construction. The caller owns the store's lifecycle
+	// (open before New, close after Close). Ignored when caching is
+	// disabled (CacheSize < 0) — the store is a cache tier, not a log.
+	Store *store.Store
+	// WarmStart is how many of the most recently written store entries to
+	// preload into the LRU at construction: negative means up to the
+	// cache capacity, zero disables warm-start. Only meaningful with
+	// Store set.
+	WarmStart int
+	// Peers is the static replica fleet (host:port, every node listed,
+	// this one included) for consistent-hash sharding; empty disables
+	// peer fetch. All nodes must be configured with the same list.
+	Peers []string
+	// Self is this node's own address as it appears in Peers; required
+	// when Peers is set.
+	Self string
+	// PeerTimeout bounds one peer fetch (default shard.DefaultTimeout).
+	PeerTimeout time.Duration
 }
 
 // Report describes how one request was served.
@@ -91,12 +114,14 @@ type Report struct {
 	Merged bool
 }
 
-// entry is a cached minimization: the minimized pattern (cloned on every
-// return, never handed out directly) and its report with the per-request
-// flags unset.
+// entry is a cached minimization: the canonical form of the input (the
+// identity the persistent tier and peers verify against), the minimized
+// pattern (cloned on every return, never handed out directly) and its
+// report with the per-request flags unset.
 type entry struct {
-	out *pattern.Pattern
-	rep Report
+	canon string
+	out   *pattern.Pattern
+	rep   Report
 }
 
 // Service is a long-lived minimization server. It is safe for concurrent
@@ -117,6 +142,22 @@ type Service struct {
 	slowThreshold time.Duration
 	slowMu        sync.Mutex // serializes slow-query log lines
 	slowLog       io.Writer
+
+	// Persistent tier (nil without Options.Store): entries computed here
+	// are written behind through storeQ; LRU misses read the store before
+	// computing. fpRaw is the decoded constraint fingerprint — the fixed
+	// key prefix of every entry this service owns.
+	store     *store.Store
+	fpRaw     []byte
+	storeQ    chan storeWrite
+	storeOnce sync.Once
+	storeDone chan struct{}
+
+	// Shard tier (nil without Options.Peers): consistent-hash ring over
+	// the fleet plus the peer-fetch client.
+	ring       *shard.Ring
+	peerClient *shard.Client
+	self       string
 
 	// computeGate, when set (tests only), runs on the leader's goroutine
 	// after it wins the flight and before it computes — the hook the
@@ -151,6 +192,24 @@ func New(opts Options) *Service {
 	case opts.CacheSize > 0:
 		s.cache = newLRU(opts.CacheSize)
 	}
+	if opts.Store != nil && s.cache != nil {
+		s.store = opts.Store
+		s.fpRaw = decodeFingerprint(s.fp)
+		s.storeQ = make(chan storeWrite, storeQueueDepth)
+		s.storeDone = make(chan struct{})
+		go s.drainStore()
+		s.warmStart(opts.WarmStart)
+	}
+	if len(opts.Peers) > 0 && opts.Self != "" {
+		if ring, err := shard.NewRing(opts.Peers, 0); err == nil {
+			s.ring = ring
+			s.peerClient = shard.NewClient(opts.PeerTimeout)
+			s.self = opts.Self
+			if s.fpRaw == nil {
+				s.fpRaw = decodeFingerprint(s.fp)
+			}
+		}
+	}
 	return s
 }
 
@@ -172,6 +231,18 @@ func (s *Service) Stats() Snapshot {
 	s.mu.Unlock()
 	reg := chase.DefaultRegistry.Stats()
 	snap.PlanCacheLen, snap.PlanCacheCap = reg.Len, reg.Cap
+	if s.store != nil {
+		st := s.store.Stats()
+		snap.Store = &StoreSnapshot{
+			Entries:         st.Entries,
+			LogRecords:      st.LogRecords,
+			LogBytes:        st.LogBytes,
+			SnapshotRecords: st.SnapshotRecords,
+			ReplayedRecords: st.ReplayedRecords,
+			TornBytes:       st.TornBytes,
+			Compactions:     st.Compactions,
+		}
+	}
 	snap.Constraints = s.closed.Len()
 	snap.ConstraintFingerprint = s.fp
 	snap.Workers = s.eng.Workers()
@@ -211,7 +282,8 @@ func (s *Service) Closing() bool {
 }
 
 // Close begins graceful shutdown: new requests fail with ErrClosed and
-// Close blocks until inflight requests drain or ctx expires.
+// Close blocks until inflight requests — and the write-behind queue, so
+// no computed entry is lost on a clean stop — drain or ctx expires.
 func (s *Service) Close(ctx context.Context) error {
 	s.mu.Lock()
 	s.closing = true
@@ -219,6 +291,10 @@ func (s *Service) Close(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() {
 		s.inflight.Wait()
+		if s.storeQ != nil {
+			s.storeOnce.Do(func() { close(s.storeQ) })
+			<-s.storeDone
+		}
 		close(done)
 	}()
 	select {
@@ -271,7 +347,8 @@ func (s *Service) minimize(ctx context.Context, p *pattern.Pattern) (*pattern.Pa
 		}
 		return e.out, e.rep, nil
 	}
-	key := p.Canonical() + "\x00" + s.fp
+	canon := p.Canonical()
+	key := canon + "\x00" + s.fp
 	for {
 		if e, ok := s.cacheGet(key); ok {
 			rep := e.rep
@@ -308,6 +385,20 @@ func (s *Service) minimize(ctx context.Context, p *pattern.Pattern) (*pattern.Pa
 			rep.CacheHit = true
 			return e.out.Clone(), rep, nil
 		}
+		// Second tier: the local persistent store; third tier: the key's
+		// owner in the fleet. Either hit is promoted into the LRU and
+		// served as a cache hit — no pipeline run.
+		e, tiered := s.storeGet(canon)
+		if !tiered {
+			e, tiered = s.peerGet(ctx, canon)
+		}
+		if tiered {
+			s.cacheAdd(key, e)
+			s.flight.finish(key, c, e)
+			rep := e.rep
+			rep.CacheHit = true
+			return e.out.Clone(), rep, nil
+		}
 		s.stats.misses.Add(1)
 		if s.computeGate != nil {
 			s.computeGate()
@@ -317,14 +408,26 @@ func (s *Service) minimize(ctx context.Context, p *pattern.Pattern) (*pattern.Pa
 			s.flight.fail(key, c, err)
 			return nil, Report{}, err
 		}
-		s.mu.Lock()
-		evicted := s.cache.add(key, e)
-		s.mu.Unlock()
-		if evicted > 0 {
-			s.stats.evictions.Add(int64(evicted))
-		}
+		e.canon = canon
+		s.cacheAdd(key, e)
+		s.storeEnqueue(e)
 		s.flight.finish(key, c, e)
 		return e.out.Clone(), e.rep, nil
+	}
+}
+
+// cacheAdd admits an entry under the service lock, indexing it by its
+// store key when a persistent or shard tier needs byte-key lookups.
+func (s *Service) cacheAdd(key string, e *entry) {
+	fp := ""
+	if s.store != nil || s.ring != nil {
+		fp = string(s.storeKey(e.canon))
+	}
+	s.mu.Lock()
+	evicted := s.cache.add(key, fp, e)
+	s.mu.Unlock()
+	if evicted > 0 {
+		s.stats.evictions.Add(int64(evicted))
 	}
 }
 

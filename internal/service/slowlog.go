@@ -58,8 +58,11 @@ func (s *Service) logSlow(p *pattern.Pattern, r engine.Result, tr *trace.Trace, 
 		PhaseMicros:     make(map[string]int64, trace.NumPhases),
 	}
 	for _, ph := range trace.Phases() {
-		if d := tr.Dur(ph); d > 0 {
-			rec.PhaseMicros[ph.String()] = d.Microseconds()
+		// Omit phases whose duration rounds to zero microseconds, not just
+		// those that never ran: a serialized "phase": 0 is indistinguishable
+		// from "did not run", so sub-microsecond phases stay out entirely.
+		if us := tr.Dur(ph).Microseconds(); us > 0 {
+			rec.PhaseMicros[ph.String()] = us
 		}
 	}
 	line, err := json.Marshal(rec)
@@ -67,8 +70,15 @@ func (s *Service) logSlow(p *pattern.Pattern, r engine.Result, tr *trace.Trace, 
 		return
 	}
 	line = append(line, '\n')
-	s.stats.slowQueries.Add(1)
 	s.slowMu.Lock()
-	s.slowLog.Write(line)
+	_, werr := s.slowLog.Write(line)
 	s.slowMu.Unlock()
+	if werr != nil {
+		// A failing writer (disk full, closed pipe) silently loses the
+		// line; count the drop instead of counting a query that was never
+		// logged.
+		s.stats.slowLogDropped.Add(1)
+		return
+	}
+	s.stats.slowQueries.Add(1)
 }

@@ -13,22 +13,34 @@ import (
 // path never takes the cache lock just to count. Snapshot renders a
 // consistent-enough copy for /stats and expvar publication.
 type Stats struct {
-	requests      atomic.Int64 // Minimize calls accepted (incl. batch members)
-	hits          atomic.Int64 // served straight from the cache
-	misses        atomic.Int64 // not in cache at lookup time
-	merges        atomic.Int64 // followers that joined an inflight minimization
-	minimizations atomic.Int64 // actual engine pipeline runs
-	evictions     atomic.Int64 // cache entries displaced by capacity
-	unsat         atomic.Int64 // minimized queries found unsatisfiable
-	cdmRemoved    atomic.Int64 // nodes removed by the CDM pre-filter
-	acimRemoved   atomic.Int64 // nodes removed by the ACIM phase
-	tablesBuilt   atomic.Int64 // full images-table constructions in the CIM phase
-	tablesDerived atomic.Int64 // per-leaf tables derived from a run's master state
-	plansCompiled atomic.Int64 // chase plans compiled by pipeline runs (registry misses)
-	planHits      atomic.Int64 // chase-plan registry hits by pipeline runs
-	batches       atomic.Int64 // MinimizeBatch calls
-	errors        atomic.Int64 // requests failed (cancellation, shutdown)
-	slowQueries   atomic.Int64 // requests logged by the slow-query log
+	requests       atomic.Int64 // Minimize calls accepted (incl. batch members)
+	hits           atomic.Int64 // served straight from the cache
+	misses         atomic.Int64 // not in cache at lookup time
+	merges         atomic.Int64 // followers that joined an inflight minimization
+	minimizations  atomic.Int64 // actual engine pipeline runs
+	evictions      atomic.Int64 // cache entries displaced by capacity
+	unsat          atomic.Int64 // minimized queries found unsatisfiable
+	cdmRemoved     atomic.Int64 // nodes removed by the CDM pre-filter
+	acimRemoved    atomic.Int64 // nodes removed by the ACIM phase
+	tablesBuilt    atomic.Int64 // full images-table constructions in the CIM phase
+	tablesDerived  atomic.Int64 // per-leaf tables derived from a run's master state
+	plansCompiled  atomic.Int64 // chase plans compiled by pipeline runs (registry misses)
+	planHits       atomic.Int64 // chase-plan registry hits by pipeline runs
+	batches        atomic.Int64 // MinimizeBatch calls
+	errors         atomic.Int64 // requests failed (cancellation, shutdown)
+	slowQueries    atomic.Int64 // slow-query lines actually written
+	slowLogDropped atomic.Int64 // slow-query lines lost to a failing writer
+
+	storeHits    atomic.Int64 // LRU misses answered by the persistent tier
+	storeMisses  atomic.Int64 // LRU misses the persistent tier could not answer
+	storePuts    atomic.Int64 // write-behind puts applied to the store
+	storeErrors  atomic.Int64 // store failures (put errors, undecodable entries)
+	storeDropped atomic.Int64 // write-behind puts dropped on a full queue
+	warmStarted  atomic.Int64 // entries preloaded into the LRU at construction
+
+	peerFetches atomic.Int64 // lookups forwarded to the key's owner replica
+	peerHits    atomic.Int64 // peer fetches that returned an entry
+	peerErrors  atomic.Int64 // peer fetches that failed (transport, decode)
 
 	matchRequests atomic.Int64 // /match evaluations accepted
 	matchStreams  atomic.Int64 // evaluations served in streaming (NDJSON) mode
@@ -144,7 +156,22 @@ type Snapshot struct {
 	Batches        int64 `json:"batches"`
 	Errors         int64 `json:"errors"`
 	SlowQueries    int64 `json:"slowQueries"`
+	SlowLogDropped int64 `json:"slowLogDropped"`
 	Inflight       int64 `json:"inflight"`
+
+	StoreHits    int64 `json:"storeHits"`
+	StoreMisses  int64 `json:"storeMisses"`
+	StorePuts    int64 `json:"storePuts"`
+	StoreErrors  int64 `json:"storeErrors"`
+	StoreDropped int64 `json:"storeDropped"`
+	WarmStarted  int64 `json:"warmStarted"`
+	PeerFetches  int64 `json:"peerFetches"`
+	PeerHits     int64 `json:"peerHits"`
+	PeerErrors   int64 `json:"peerErrors"`
+
+	// Store mirrors the persistent tier's own state; nil when the
+	// service runs without one.
+	Store *StoreSnapshot `json:"store,omitempty"`
 
 	MatchRequests int64 `json:"matchRequests"`
 	MatchStreams  int64 `json:"matchStreams"`
@@ -186,6 +213,17 @@ type PhaseSnapshot struct {
 	P99Micros  int64   `json:"p99Micros"` // -1: beyond the last bound
 }
 
+// StoreSnapshot is the persistent tier's state as seen on /stats.
+type StoreSnapshot struct {
+	Entries         int   `json:"entries"`
+	LogRecords      int   `json:"logRecords"`
+	LogBytes        int64 `json:"logBytes"`
+	SnapshotRecords int   `json:"snapshotRecords"`
+	ReplayedRecords int   `json:"replayedRecords"`
+	TornBytes       int64 `json:"tornBytes"`
+	Compactions     int64 `json:"compactions"`
+}
+
 func (s *Stats) snapshot() Snapshot {
 	snap := Snapshot{
 		Requests:       s.requests.Load(),
@@ -204,7 +242,17 @@ func (s *Stats) snapshot() Snapshot {
 		Batches:        s.batches.Load(),
 		Errors:         s.errors.Load(),
 		SlowQueries:    s.slowQueries.Load(),
+		SlowLogDropped: s.slowLogDropped.Load(),
 		Inflight:       s.inflight.Load(),
+		StoreHits:      s.storeHits.Load(),
+		StoreMisses:    s.storeMisses.Load(),
+		StorePuts:      s.storePuts.Load(),
+		StoreErrors:    s.storeErrors.Load(),
+		StoreDropped:   s.storeDropped.Load(),
+		WarmStarted:    s.warmStarted.Load(),
+		PeerFetches:    s.peerFetches.Load(),
+		PeerHits:       s.peerHits.Load(),
+		PeerErrors:     s.peerErrors.Load(),
 		MatchRequests:  s.matchRequests.Load(),
 		MatchStreams:   s.matchStreams.Load(),
 		MatchAnswers:   s.matchAnswers.Load(),

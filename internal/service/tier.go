@@ -1,0 +1,258 @@
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"tpq/internal/pattern"
+	"tpq/internal/store"
+)
+
+// storeQueueDepth bounds the write-behind queue. Persistence is
+// best-effort: when the drainer falls behind, new entries are dropped
+// (counted in storeDropped) rather than back-pressuring the serving
+// path — a dropped put costs a recomputation after a restart, nothing
+// more.
+const storeQueueDepth = 256
+
+// storedEntry is the persisted form of one cache entry. Canon is the
+// full canonical form, not just its fingerprint: it lets warm-start
+// rebuild the exact LRU key and lets every decode path reject a
+// fingerprint collision (or a corrupt record that slipped past the
+// CRC) by comparing canonical forms directly.
+type storedEntry struct {
+	Canon         string          `json:"canon"`
+	Output        json.RawMessage `json:"output"`
+	InputSize     int             `json:"inputSize"`
+	OutputSize    int             `json:"outputSize"`
+	CDMRemoved    int             `json:"cdmRemoved"`
+	ACIMRemoved   int             `json:"acimRemoved"`
+	Unsatisfiable bool            `json:"unsatisfiable,omitempty"`
+}
+
+// encodeStored serializes one cache entry for the persistent tier and
+// the peer-fetch wire (they share the codec byte for byte).
+func encodeStored(e *entry) ([]byte, error) {
+	out, err := json.Marshal(e.out)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(storedEntry{
+		Canon:         e.canon,
+		Output:        out,
+		InputSize:     e.rep.InputSize,
+		OutputSize:    e.rep.OutputSize,
+		CDMRemoved:    e.rep.CDMRemoved,
+		ACIMRemoved:   e.rep.ACIMRemoved,
+		Unsatisfiable: e.rep.Unsatisfiable,
+	})
+}
+
+// decodeStored is the inverse of encodeStored. The pattern decode
+// validates structure (pattern.UnmarshalJSON rejects malformed trees),
+// so a successfully decoded entry is always a servable one.
+func decodeStored(val []byte) (*entry, error) {
+	var se storedEntry
+	if err := json.Unmarshal(val, &se); err != nil {
+		return nil, err
+	}
+	if se.Canon == "" || len(se.Output) == 0 {
+		return nil, fmt.Errorf("service: stored entry missing canon or output")
+	}
+	p := &pattern.Pattern{}
+	if err := json.Unmarshal(se.Output, p); err != nil {
+		return nil, err
+	}
+	return &entry{
+		canon: se.Canon,
+		out:   p,
+		rep: Report{
+			InputSize:     se.InputSize,
+			OutputSize:    se.OutputSize,
+			CDMRemoved:    se.CDMRemoved,
+			ACIMRemoved:   se.ACIMRemoved,
+			Unsatisfiable: se.Unsatisfiable,
+		},
+	}, nil
+}
+
+// storeKey builds the fixed-size persistent key for a canonical form:
+// the raw constraint-set digest followed by the raw pattern digest —
+// the same bytes store.EncodeKey produces from the hex fingerprints.
+func (s *Service) storeKey(canon string) []byte {
+	sum := sha256.Sum256([]byte(canon))
+	key := make([]byte, 0, store.KeySize)
+	key = append(key, s.fpRaw...)
+	key = append(key, sum[:store.KeySize/2]...)
+	return key
+}
+
+// storeWrite is one queued write-behind put.
+type storeWrite struct {
+	key, val []byte
+}
+
+// drainStore is the write-behind goroutine: it applies queued puts to
+// the persistent tier until the queue is closed at shutdown.
+func (s *Service) drainStore() {
+	defer close(s.storeDone)
+	for w := range s.storeQ {
+		if err := s.store.Put(w.key, w.val); err != nil {
+			s.stats.storeErrors.Add(1)
+		} else {
+			s.stats.storePuts.Add(1)
+		}
+	}
+}
+
+// storeEnqueue hands a freshly computed entry to the write-behind
+// queue. Never blocks: a full queue drops the put and counts it.
+func (s *Service) storeEnqueue(e *entry) {
+	if s.storeQ == nil {
+		return
+	}
+	val, err := encodeStored(e)
+	if err != nil {
+		s.stats.storeErrors.Add(1)
+		return
+	}
+	select {
+	case s.storeQ <- storeWrite{key: s.storeKey(e.canon), val: val}:
+	default:
+		s.stats.storeDropped.Add(1)
+	}
+}
+
+// storeGet is the second lookup tier: the local persistent store.
+// A decoded entry whose canonical form does not match the request is a
+// fingerprint collision — served as a miss, never as a wrong answer.
+func (s *Service) storeGet(canon string) (*entry, bool) {
+	if s.store == nil {
+		return nil, false
+	}
+	val, ok := s.store.Get(s.storeKey(canon))
+	if !ok {
+		s.stats.storeMisses.Add(1)
+		return nil, false
+	}
+	e, err := decodeStored(val)
+	if err != nil || e.canon != canon {
+		s.stats.storeErrors.Add(1)
+		s.stats.storeMisses.Add(1)
+		return nil, false
+	}
+	s.stats.storeHits.Add(1)
+	return e, true
+}
+
+// peerGet is the third lookup tier: ask the key's owner in the fleet.
+// Only called when this node is not the owner; the owner answers from
+// its own tiers only (single hop), so a peer miss is definitive.
+// Fetched entries populate this node's LRU but not its store — the
+// owner persists them, and duplicating them here would defeat the
+// sharding.
+func (s *Service) peerGet(ctx context.Context, canon string) (*entry, bool) {
+	if s.ring == nil {
+		return nil, false
+	}
+	key := s.storeKey(canon)
+	owner := s.ring.Owner(key)
+	if owner == s.self {
+		return nil, false
+	}
+	s.stats.peerFetches.Add(1)
+	body, ok, err := s.peerClient.FetchEntry(ctx, owner, key)
+	if err != nil {
+		s.stats.peerErrors.Add(1)
+		return nil, false
+	}
+	if !ok {
+		return nil, false
+	}
+	e, err := decodeStored(body)
+	if err != nil || e.canon != canon {
+		s.stats.peerErrors.Add(1)
+		return nil, false
+	}
+	s.stats.peerHits.Add(1)
+	return e, true
+}
+
+// LookupEncoded serves the shard peer-fetch protocol: the entry under
+// a raw store key, in the persisted wire encoding, answered strictly
+// from this node's own tiers (LRU first, then store — never a forward,
+// never a compute). This is what keeps peer fetches single-hop.
+func (s *Service) LookupEncoded(key []byte) ([]byte, bool) {
+	if len(key) != store.KeySize {
+		return nil, false
+	}
+	s.mu.Lock()
+	var e *entry
+	if s.cache != nil {
+		e = s.cache.getByFP(string(key))
+	}
+	s.mu.Unlock()
+	if e != nil {
+		if val, err := encodeStored(e); err == nil {
+			return val, true
+		}
+	}
+	if s.store != nil {
+		if val, ok := s.store.Get(key); ok {
+			return val, true
+		}
+	}
+	return nil, false
+}
+
+// warmStart pre-populates the LRU from the persistent tier: the limit
+// most recently written entries under this service's constraint-set
+// prefix (limit < 0 means up to the cache capacity), inserted oldest
+// first so the hottest entry ends up most recently used. Runs once,
+// at construction, before any request is admitted.
+func (s *Service) warmStart(limit int) {
+	if limit == 0 || s.cache == nil || s.store == nil {
+		return
+	}
+	if limit < 0 || limit > s.cache.cap {
+		limit = s.cache.cap
+	}
+	type cand struct {
+		key, val []byte
+		seq      uint64
+	}
+	var cands []cand
+	s.store.Scan(s.fpRaw, func(key, val []byte, seq uint64) bool {
+		cands = append(cands, cand{key: key, val: val, seq: seq})
+		return true
+	})
+	sort.Slice(cands, func(i, j int) bool { return cands[i].seq > cands[j].seq })
+	if len(cands) > limit {
+		cands = cands[:limit]
+	}
+	for i := len(cands) - 1; i >= 0; i-- {
+		e, err := decodeStored(cands[i].val)
+		if err != nil {
+			s.stats.storeErrors.Add(1)
+			continue
+		}
+		s.mu.Lock()
+		s.cache.add(e.canon+"\x00"+s.fp, string(cands[i].key), e)
+		s.mu.Unlock()
+		s.stats.warmStarted.Add(1)
+	}
+}
+
+// decodeFingerprint turns the hex constraint fingerprint into the raw
+// key prefix once, at construction.
+func decodeFingerprint(fp string) []byte {
+	raw, err := hex.DecodeString(fp)
+	if err != nil || len(raw) != store.KeySize/2 {
+		return nil
+	}
+	return raw
+}

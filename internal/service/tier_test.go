@@ -1,0 +1,322 @@
+package service
+
+import (
+	"context"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"tpq/internal/pattern"
+	"tpq/internal/store"
+)
+
+func openStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+func closeService(t *testing.T, svc *Service) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := svc.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreSecondTier is the persistence round trip inside one process:
+// a computed entry is written behind to the store, and a fresh service
+// over the same store (no warm-start) serves it as a cache hit without
+// recomputing.
+func TestStoreSecondTier(t *testing.T) {
+	dir := t.TempDir()
+	q := pattern.MustParse("a*[/b, /b]")
+
+	svc1 := New(Options{Store: openStore(t, dir)})
+	out1, rep, err := svc1.Minimize(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CacheHit {
+		t.Fatal("first minimization reported a cache hit")
+	}
+	closeService(t, svc1) // drains the write-behind queue
+	if snap := svc1.Stats(); snap.StorePuts != 1 || snap.StoreDropped != 0 {
+		t.Fatalf("after close: StorePuts=%d StoreDropped=%d, want 1, 0", snap.StorePuts, snap.StoreDropped)
+	}
+
+	// Same store, new service, cold LRU: the store answers the miss.
+	svc2 := New(Options{Store: openStore(t, dir), WarmStart: 0})
+	defer closeService(t, svc2)
+	out2, rep, err := svc2.Minimize(context.Background(), q.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.CacheHit {
+		t.Error("store-tier hit not reported as a cache hit")
+	}
+	if out1.Canonical() != out2.Canonical() {
+		t.Errorf("persisted result differs: %s vs %s", out1, out2)
+	}
+	snap := svc2.Stats()
+	if snap.Minimizations != 0 {
+		t.Errorf("Minimizations = %d, want 0 (store answered)", snap.Minimizations)
+	}
+	if snap.StoreHits != 1 {
+		t.Errorf("StoreHits = %d, want 1", snap.StoreHits)
+	}
+	if snap.WarmStarted != 0 {
+		t.Errorf("WarmStarted = %d, want 0 (warm-start disabled)", snap.WarmStarted)
+	}
+
+	// Promoted into the LRU: the repeat is a plain LRU hit.
+	if _, rep, err = svc2.Minimize(context.Background(), q.Clone()); err != nil || !rep.CacheHit {
+		t.Fatalf("repeat: rep=%+v err=%v", rep, err)
+	}
+	if snap := svc2.Stats(); snap.Hits != 1 || snap.StoreHits != 1 {
+		t.Errorf("after repeat: Hits=%d StoreHits=%d, want 1, 1", snap.Hits, snap.StoreHits)
+	}
+}
+
+// TestWarmStart restarts the service over a populated store and checks
+// the LRU is pre-filled: the first request is already an LRU hit, no
+// store read, no pipeline run.
+func TestWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	queries := []string{"a*[/b, /b]", "c*[//d, //d]", "e*/f"}
+
+	svc1 := New(Options{Store: openStore(t, dir)})
+	for _, src := range queries {
+		if _, _, err := svc1.Minimize(context.Background(), pattern.MustParse(src)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	closeService(t, svc1)
+
+	svc2 := New(Options{Store: openStore(t, dir), WarmStart: -1})
+	defer closeService(t, svc2)
+	if snap := svc2.Stats(); snap.WarmStarted != int64(len(queries)) {
+		t.Fatalf("WarmStarted = %d, want %d", snap.WarmStarted, len(queries))
+	}
+	for _, src := range queries {
+		_, rep, err := svc2.Minimize(context.Background(), pattern.MustParse(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.CacheHit {
+			t.Errorf("warm-started query %q not served as a cache hit", src)
+		}
+	}
+	snap := svc2.Stats()
+	if snap.Hits != int64(len(queries)) || snap.StoreHits != 0 || snap.Minimizations != 0 {
+		t.Errorf("after warm-start: Hits=%d StoreHits=%d Minimizations=%d, want %d, 0, 0",
+			snap.Hits, snap.StoreHits, snap.Minimizations, len(queries))
+	}
+}
+
+// TestWarmStartBounded checks the limit: only the n most recently
+// written entries are preloaded.
+func TestWarmStartBounded(t *testing.T) {
+	dir := t.TempDir()
+	svc1 := New(Options{Store: openStore(t, dir)})
+	for i := 0; i < 5; i++ {
+		q := pattern.MustParse(fmt.Sprintf("q%d*/x", i))
+		if _, _, err := svc1.Minimize(context.Background(), q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	closeService(t, svc1)
+
+	svc2 := New(Options{Store: openStore(t, dir), WarmStart: 2})
+	defer closeService(t, svc2)
+	if snap := svc2.Stats(); snap.WarmStarted != 2 {
+		t.Fatalf("WarmStarted = %d, want 2", snap.WarmStarted)
+	}
+	// The most recently written query is among the preloaded ones.
+	_, rep, err := svc2.Minimize(context.Background(), pattern.MustParse("q4*/x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.CacheHit || svc2.Stats().Hits != 1 {
+		t.Error("most recent entry missing from the warm-started LRU")
+	}
+}
+
+// TestEntryEndpoint covers the peer-fetch wire protocol end to end:
+// hex-keyed lookup, 404 on unknown keys, 400 on malformed ones.
+func TestEntryEndpoint(t *testing.T) {
+	svc, ts := newTestServer(t, Options{Store: openStore(t, t.TempDir())}, HandlerOptions{})
+	q := pattern.MustParse("a*[/b, /b]")
+	if _, _, err := svc.Minimize(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+	key := svc.storeKey(q.Canonical())
+
+	resp, err := http.Get(ts.URL + "/internal/entry?key=" + hex.EncodeToString(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	e, err := decodeStored(body)
+	if err != nil {
+		t.Fatalf("response is not a stored entry: %v\n%s", err, body)
+	}
+	if e.canon != q.Canonical() {
+		t.Errorf("entry canon mismatch: %q", e.canon)
+	}
+
+	unknown := make([]byte, store.KeySize)
+	if resp, err := http.Get(ts.URL + "/internal/entry?key=" + hex.EncodeToString(unknown)); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("unknown key: status %d, want 404", resp.StatusCode)
+		}
+	}
+	for _, bad := range []string{"", "zz", "abcd"} {
+		resp, err := http.Get(ts.URL + "/internal/entry?key=" + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("key %q: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
+// TestPeerFetch runs a two-node fleet: node B misses locally on a key
+// owned by node A, fetches A's entry over /internal/entry, and serves
+// it as a cache hit without running the pipeline.
+func TestPeerFetch(t *testing.T) {
+	svcA, tsA := newTestServer(t, Options{Store: openStore(t, t.TempDir())}, HandlerOptions{})
+	addrA := strings.TrimPrefix(tsA.URL, "http://")
+	const addrB = "node-b.invalid:1" // B never receives fetches in this test
+
+	svcB := New(Options{Peers: []string{addrA, addrB}, Self: addrB})
+	defer closeService(t, svcB)
+
+	// Pick a query whose key the ring assigns to A, so B must fetch.
+	var q *pattern.Pattern
+	for i := 0; i < 64; i++ {
+		cand := pattern.MustParse(fmt.Sprintf("p%d*[/b, /b]", i))
+		if svcB.ring.Owner(svcB.storeKey(cand.Canonical())) == addrA {
+			q = cand
+			break
+		}
+	}
+	if q == nil {
+		t.Fatal("no candidate key owned by node A — ring badly unbalanced")
+	}
+
+	// A owns the key but has not computed it yet: B's fetch misses and B
+	// computes locally (a definitive single-hop miss, not an error).
+	if _, rep, err := svcB.Minimize(context.Background(), q.Clone()); err != nil || rep.CacheHit {
+		t.Fatalf("pre-publication: rep=%+v err=%v", rep, err)
+	}
+	snap := svcB.Stats()
+	if snap.PeerFetches != 1 || snap.PeerHits != 0 || snap.PeerErrors != 0 || snap.Minimizations != 1 {
+		t.Fatalf("pre-publication stats: %+v", snap)
+	}
+
+	// Publish on A, then ask a fresh B (cold LRU) again: served by peer
+	// fetch, no pipeline run.
+	outA, _, err := svcA.Minimize(context.Background(), q.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	svcB2 := New(Options{Peers: []string{addrA, addrB}, Self: addrB})
+	defer closeService(t, svcB2)
+	outB, rep, err := svcB2.Minimize(context.Background(), q.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.CacheHit {
+		t.Error("peer-fetched entry not reported as a cache hit")
+	}
+	if outA.Canonical() != outB.Canonical() {
+		t.Errorf("peer-fetched result differs: %s vs %s", outA, outB)
+	}
+	snap = svcB2.Stats()
+	if snap.PeerFetches != 1 || snap.PeerHits != 1 || snap.Minimizations != 0 {
+		t.Fatalf("post-publication stats: %+v", snap)
+	}
+
+	// The fetched entry was promoted into B's LRU: no second fetch.
+	if _, rep, err := svcB2.Minimize(context.Background(), q.Clone()); err != nil || !rep.CacheHit {
+		t.Fatalf("repeat: rep=%+v err=%v", rep, err)
+	}
+	if snap := svcB2.Stats(); snap.PeerFetches != 1 || snap.Hits != 1 {
+		t.Fatalf("repeat stats: PeerFetches=%d Hits=%d, want 1, 1", snap.PeerFetches, snap.Hits)
+	}
+}
+
+// TestPeerFetchSelfOwned checks that keys this node owns never leave
+// the node: no fetch, straight to compute.
+func TestPeerFetchSelfOwned(t *testing.T) {
+	const addrA = "node-a.invalid:1"
+	const addrB = "node-b.invalid:1"
+	svc := New(Options{Peers: []string{addrA, addrB}, Self: addrB})
+	defer closeService(t, svc)
+
+	var q *pattern.Pattern
+	for i := 0; i < 64; i++ {
+		cand := pattern.MustParse(fmt.Sprintf("s%d*/x", i))
+		if svc.ring.Owner(svc.storeKey(cand.Canonical())) == addrB {
+			q = cand
+			break
+		}
+	}
+	if q == nil {
+		t.Fatal("no candidate key owned by self")
+	}
+	if _, rep, err := svc.Minimize(context.Background(), q); err != nil || rep.CacheHit {
+		t.Fatalf("rep=%+v err=%v", rep, err)
+	}
+	if snap := svc.Stats(); snap.PeerFetches != 0 || snap.Minimizations != 1 {
+		t.Fatalf("self-owned key left the node: %+v", snap)
+	}
+}
+
+// TestStoreRoundTripCodec pins the persisted encoding: encode → decode
+// is the identity on everything the serving layer needs.
+func TestStoreRoundTripCodec(t *testing.T) {
+	q := pattern.MustParse("a*[/b, //c]")
+	e := &entry{
+		canon: q.Canonical(),
+		out:   q,
+		rep: Report{
+			InputSize: 4, OutputSize: 3, CDMRemoved: 1, ACIMRemoved: 0, Unsatisfiable: true,
+		},
+	}
+	val, err := encodeStored(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeStored(val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.canon != e.canon || got.out.Canonical() != q.Canonical() || got.rep != e.rep {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, e)
+	}
+	for _, bad := range [][]byte{nil, []byte("{}"), []byte(`{"canon":"x"}`), []byte(`{"canon":"x","output":{"bad":1}}`)} {
+		if _, err := decodeStored(bad); err == nil {
+			t.Errorf("decodeStored(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package shard
+
+import (
+	"context"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// EntryPath is the internal peer-fetch endpoint every tpqd node
+// serves. The owner answers only from its local tiers (single-hop: it
+// never forwards the request again).
+const EntryPath = "/internal/entry"
+
+// DefaultTimeout bounds a single peer fetch. Peer fetches sit on the
+// public-miss path, so a slow peer must degrade to a local compute,
+// not a stall.
+const DefaultTimeout = 2 * time.Second
+
+// maxEntryBytes caps a peer response body; a serialized cache entry is
+// a few KB, so anything near this limit is a misbehaving peer.
+const maxEntryBytes = 8 << 20
+
+// Client fetches cache entries from peer replicas.
+type Client struct {
+	hc *http.Client
+}
+
+// NewClient returns a peer-fetch client with the given per-request
+// timeout (DefaultTimeout if <= 0).
+func NewClient(timeout time.Duration) *Client {
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	return &Client{hc: &http.Client{Timeout: timeout}}
+}
+
+// FetchEntry asks peer for the entry stored under key. It returns
+// (body, true, nil) on a hit, (nil, false, nil) on a definitive miss
+// (HTTP 404), and an error for anything else — timeouts, refused
+// connections, unexpected statuses — so the caller can count peer
+// failures separately from misses.
+func (c *Client) FetchEntry(ctx context.Context, peer string, key []byte) ([]byte, bool, error) {
+	url := fmt.Sprintf("http://%s%s?key=%s", peer, EntryPath, hex.EncodeToString(key))
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		body, err := io.ReadAll(io.LimitReader(resp.Body, maxEntryBytes))
+		if err != nil {
+			return nil, false, err
+		}
+		return body, true, nil
+	case http.StatusNotFound:
+		return nil, false, nil
+	default:
+		return nil, false, fmt.Errorf("shard: peer %s returned %s", peer, resp.Status)
+	}
+}

@@ -1,0 +1,128 @@
+// Package shard distributes minimization-cache ownership across a
+// static fleet of tpqd replicas.
+//
+// Ownership is decided by consistent hashing over the replica list:
+// each replica is projected onto a 64-bit ring at a fixed number of
+// virtual points, and a key belongs to the first replica clockwise of
+// the key's hash. Every node is configured with the same replica list
+// (order-insensitive — the ring sorts and dedupes), so all nodes agree
+// on ownership without any coordination traffic.
+//
+// The fetch protocol is deliberately single-hop: a node that misses
+// locally asks the key's owner over HTTP (`GET /internal/entry?key=`),
+// and the owner answers only from its own tiers — it never forwards
+// again. A miss at the owner is a definitive fleet-wide miss.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVirtualNodes is the number of ring points per replica. 64
+// points keeps the ownership imbalance across a handful of replicas
+// within a few percent while the ring stays small enough to rebuild
+// instantly.
+const DefaultVirtualNodes = 64
+
+// Ring maps keys to replica addresses by consistent hashing.
+// It is immutable after construction and safe for concurrent use.
+type Ring struct {
+	hashes   []uint64 // sorted ring points
+	owners   []string // owners[i] owns hashes[i]
+	replicas []string // sorted, deduped replica list
+}
+
+// NewRing builds a ring over the given replica addresses with
+// virtualNodes points per replica (DefaultVirtualNodes if <= 0).
+// Addresses are sorted and deduped so every node in a fleet builds an
+// identical ring regardless of flag order.
+func NewRing(replicas []string, virtualNodes int) (*Ring, error) {
+	if virtualNodes <= 0 {
+		virtualNodes = DefaultVirtualNodes
+	}
+	seen := map[string]bool{}
+	var uniq []string
+	for _, r := range replicas {
+		if r == "" {
+			return nil, fmt.Errorf("shard: empty replica address")
+		}
+		if !seen[r] {
+			seen[r] = true
+			uniq = append(uniq, r)
+		}
+	}
+	if len(uniq) == 0 {
+		return nil, fmt.Errorf("shard: no replicas")
+	}
+	sort.Strings(uniq)
+
+	ring := &Ring{replicas: uniq}
+	for _, rep := range uniq {
+		for v := 0; v < virtualNodes; v++ {
+			ring.hashes = append(ring.hashes, hash64(fmt.Sprintf("%s#%d", rep, v)))
+			ring.owners = append(ring.owners, rep)
+		}
+	}
+	sort.Sort(byHash{ring})
+	return ring, nil
+}
+
+// Owner returns the replica that owns key.
+func (r *Ring) Owner(key []byte) string {
+	h := hash64b(key)
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		i = 0 // wrap around the ring
+	}
+	return r.owners[i]
+}
+
+// Replicas returns the sorted, deduped replica list the ring was built
+// over.
+func (r *Ring) Replicas() []string {
+	out := make([]string, len(r.replicas))
+	copy(out, r.replicas)
+	return out
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+func hash64b(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer. Raw FNV of short, similar strings
+// ("n1:8080#0", "n1:8080#1", ...) leaves the ring points correlated
+// and the arcs badly unbalanced; a full-avalanche mix fixes that.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// byHash sorts the parallel hashes/owners slices by hash, breaking the
+// (astronomically unlikely) tie by owner so the ring is deterministic.
+type byHash struct{ r *Ring }
+
+func (s byHash) Len() int { return len(s.r.hashes) }
+func (s byHash) Less(i, j int) bool {
+	if s.r.hashes[i] != s.r.hashes[j] {
+		return s.r.hashes[i] < s.r.hashes[j]
+	}
+	return s.r.owners[i] < s.r.owners[j]
+}
+func (s byHash) Swap(i, j int) {
+	s.r.hashes[i], s.r.hashes[j] = s.r.hashes[j], s.r.hashes[i]
+	s.r.owners[i], s.r.owners[j] = s.r.owners[j], s.r.owners[i]
+}

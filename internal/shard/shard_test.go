@@ -1,0 +1,111 @@
+package shard
+
+import (
+	"context"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRingDeterministicAcrossOrderings(t *testing.T) {
+	a, err := NewRing([]string{"n1:8080", "n2:8080", "n3:8080"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"n3:8080", "n1:8080", "n2:8080", "n1:8080"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(a.Replicas()) != fmt.Sprint(b.Replicas()) {
+		t.Fatalf("replica lists differ: %v vs %v", a.Replicas(), b.Replicas())
+	}
+	for i := 0; i < 500; i++ {
+		key := []byte(fmt.Sprintf("key-%d", i))
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("rings disagree on key %d: %s vs %s", i, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r, err := NewRing([]string{"a", "b", "c"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		counts[r.Owner([]byte(fmt.Sprintf("key-%d", i)))]++
+	}
+	for rep, c := range counts {
+		// With 64 vnodes per replica, each of 3 replicas should own
+		// roughly a third of the keyspace; allow a wide band.
+		if c < n/6 || c > n/2 {
+			t.Fatalf("replica %s owns %d/%d keys — ring badly unbalanced: %v", rep, c, n, counts)
+		}
+	}
+}
+
+func TestRingSingleReplicaOwnsAll(t *testing.T) {
+	r, err := NewRing([]string{"solo:1"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if got := r.Owner([]byte(fmt.Sprintf("k%d", i))); got != "solo:1" {
+			t.Fatalf("Owner = %q, want solo:1", got)
+		}
+	}
+}
+
+func TestRingRejectsBadReplicaLists(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty replica list accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Error("blank replica address accepted")
+	}
+}
+
+func TestFetchEntry(t *testing.T) {
+	wantKey := []byte{0xde, 0xad, 0xbe, 0xef}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != EntryPath {
+			http.NotFound(w, r)
+			return
+		}
+		switch r.URL.Query().Get("key") {
+		case hex.EncodeToString(wantKey):
+			w.Write([]byte(`{"entry":"payload"}`))
+		case "00":
+			http.NotFound(w, r)
+		default:
+			http.Error(w, "boom", http.StatusInternalServerError)
+		}
+	}))
+	defer srv.Close()
+	peer := strings.TrimPrefix(srv.URL, "http://")
+	c := NewClient(time.Second)
+
+	body, ok, err := c.FetchEntry(context.Background(), peer, wantKey)
+	if err != nil || !ok || string(body) != `{"entry":"payload"}` {
+		t.Fatalf("hit: body=%q ok=%v err=%v", body, ok, err)
+	}
+
+	body, ok, err = c.FetchEntry(context.Background(), peer, []byte{0x00})
+	if err != nil || ok || body != nil {
+		t.Fatalf("miss: body=%q ok=%v err=%v", body, ok, err)
+	}
+
+	if _, _, err = c.FetchEntry(context.Background(), peer, []byte{0x01}); err == nil {
+		t.Fatal("500 response did not surface as an error")
+	}
+
+	if _, _, err = c.FetchEntry(context.Background(), "127.0.0.1:1", wantKey); err == nil {
+		t.Fatal("refused connection did not surface as an error")
+	}
+}

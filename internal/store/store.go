@@ -1,0 +1,454 @@
+// Package store is the persistent tier of the serving layer: an
+// embedded, sort-ordered key-value store for canonical-form → minimal-
+// query entries, built as an append log plus a snapshot.
+//
+// The design follows what the workload needs and nothing more. Cache
+// entries are tiny (a minimized pattern plus a few counters), keys are
+// fixed-size digests, and the access pattern is read-mostly with
+// append-only writes — so the whole key space lives in memory and the
+// disk structures exist purely for durability:
+//
+//   - Every Put appends one CRC-checked record to the log. A record the
+//     CRC does not vouch for is never surfaced, so a torn write (crash
+//     mid-append, disk-full truncation) costs at most the tail records,
+//     never a corrupt entry.
+//   - Open loads the snapshot (if any), then replays the log over it.
+//     Replay stops at the first record the framing or checksum rejects
+//     and truncates the file there — the crash-consistent prefix wins,
+//     the torn tail is discarded, and the store is immediately writable
+//     again.
+//   - Compact writes every live entry, in key order, to a fresh
+//     snapshot (atomically, via rename) and truncates the log. A
+//     gracefully shut down store therefore reopens from the snapshot
+//     alone with an empty log to replay.
+//
+// Keys are raw bytes compared lexicographically, which makes the
+// encoding order-preserving by construction. The serving layer uses
+// fixed-prefix keys — constraint-set fingerprint (16 bytes) followed by
+// pattern fingerprint (16 bytes), see EncodeKey — so one constraint
+// set's entries are contiguous under Scan and a replica warm-starts by
+// scanning exactly its own prefix. Entries carry a monotonic write
+// sequence so callers can rank them by recency (the warm-start "hottest
+// first" order: last written, first reloaded).
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// KeySize is the length of a serving-layer key: two 16-byte
+// fingerprints, constraint set first. The store itself accepts keys of
+// any nonzero length up to 64 KiB — fixed-size keys are a property of
+// the serving layer's encoding, not a store invariant.
+const KeySize = 32
+
+// EncodeKey builds the serving-layer key for one cache entry from the
+// two hex fingerprints (ics.Set.Fingerprint, pattern.Fingerprint): the
+// decoded constraint digest followed by the decoded pattern digest.
+// Keys sort first by constraint set, then by pattern — the fixed prefix
+// that makes per-constraint-set batch scans contiguous.
+func EncodeKey(constraintFP, patternFP string) ([]byte, error) {
+	c, err := hex.DecodeString(constraintFP)
+	if err != nil {
+		return nil, fmt.Errorf("store: constraint fingerprint %q is not hex: %w", constraintFP, err)
+	}
+	p, err := hex.DecodeString(patternFP)
+	if err != nil {
+		return nil, fmt.Errorf("store: pattern fingerprint %q is not hex: %w", patternFP, err)
+	}
+	if len(c) != KeySize/2 || len(p) != KeySize/2 {
+		return nil, fmt.Errorf("store: fingerprint lengths %d+%d, want %d+%d", len(c), len(p), KeySize/2, KeySize/2)
+	}
+	return append(c, p...), nil
+}
+
+// Record framing, identical in the log and the snapshot:
+//
+//	[4B big-endian payload length][4B big-endian CRC-32C of payload][payload]
+//	payload = [2B big-endian key length][key][value]
+//
+// The CRC covers the payload only; the length field is validated by
+// range checks (a corrupt length either fails them or misaligns the CRC,
+// which then fails). Big-endian lengths keep hex dumps readable; the
+// keys themselves are opaque bytes.
+const (
+	recHeaderSize = 8
+	maxKeyLen     = 1 << 16
+	maxValLen     = 1 << 26 // 64 MiB — far above any minimized pattern
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// Options configure Open.
+type Options struct {
+	// Sync fsyncs the log after every Put. Off by default: the serving
+	// layer treats the store as a cache whose worst-case loss (records
+	// since the last OS writeback) costs recomputation, not correctness.
+	Sync bool
+	// CompactThreshold auto-compacts when the live log holds at least
+	// this many records. Zero means manual compaction only (Compact, or
+	// the daemon's graceful shutdown).
+	CompactThreshold int
+}
+
+// Stats describes the store's state and the outcome of its last Open.
+type Stats struct {
+	// Entries is the number of live keys.
+	Entries int
+	// LogRecords and LogBytes describe the append log since the last
+	// compaction.
+	LogRecords int
+	LogBytes   int64
+	// SnapshotRecords and ReplayedRecords split the entries loaded at
+	// Open between the snapshot and the log replayed over it.
+	SnapshotRecords int
+	ReplayedRecords int
+	// TornBytes is how many trailing log bytes Open discarded because a
+	// record's framing or checksum rejected them (a torn append).
+	TornBytes int64
+	// Compactions counts snapshot rewrites over the store's lifetime in
+	// this process.
+	Compactions int64
+}
+
+type record struct {
+	val []byte
+	seq uint64
+}
+
+// Store is an embedded persistent KV store. It is safe for concurrent
+// use.
+type Store struct {
+	mu      sync.Mutex
+	dir     string
+	log     *os.File
+	logW    *bufio.Writer
+	entries map[string]record
+	seq     uint64
+	opts    Options
+	stats   Stats
+	closed  bool
+}
+
+func logPath(dir string) string      { return filepath.Join(dir, "log") }
+func snapshotPath(dir string) string { return filepath.Join(dir, "snapshot") }
+
+// Open opens (creating if needed) the store rooted at dir: it loads the
+// snapshot, replays the log over it — truncating a torn tail — and
+// leaves the log open for appends.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, entries: make(map[string]record), opts: opts}
+
+	if err := s.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	if err := s.replayLog(); err != nil {
+		return nil, err
+	}
+
+	f, err := os.OpenFile(logPath(dir), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s.log = f
+	s.logW = bufio.NewWriter(f)
+	s.stats.Entries = len(s.entries)
+	return s, nil
+}
+
+// loadSnapshot reads the compacted baseline, if one exists. A snapshot
+// is written atomically (tmp + rename), so a torn snapshot can only come
+// from file corruption; replay stops at the first bad record and keeps
+// the prefix, mirroring the log policy.
+func (s *Store) loadSnapshot() error {
+	f, err := os.Open(snapshotPath(s.dir))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	n, _, err := s.readRecords(f)
+	if err != nil {
+		return fmt.Errorf("store: reading snapshot: %w", err)
+	}
+	s.stats.SnapshotRecords = n
+	return nil
+}
+
+// replayLog applies the append log over the snapshot state and
+// truncates it at the first record that fails framing or CRC — the torn
+// tail of a crashed append.
+func (s *Store) replayLog() error {
+	f, err := os.Open(logPath(s.dir))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	n, good, err := s.readRecords(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("store: replaying log: %w", err)
+	}
+	fi, err := os.Stat(logPath(s.dir))
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if torn := fi.Size() - good; torn > 0 {
+		s.stats.TornBytes = torn
+		if err := os.Truncate(logPath(s.dir), good); err != nil {
+			return fmt.Errorf("store: truncating torn log tail: %w", err)
+		}
+	}
+	s.stats.ReplayedRecords = n
+	s.stats.LogRecords = n
+	s.stats.LogBytes = good
+	return nil
+}
+
+// readRecords streams records from r into the entry map, returning the
+// record count and the byte offset of the end of the last good record.
+// A record rejected by framing or CRC ends the stream without error —
+// that is the torn-tail policy, not a failure. Only I/O errors are
+// returned.
+func (s *Store) readRecords(r io.Reader) (n int, good int64, err error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [recHeaderSize]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return n, good, nil
+			}
+			return n, good, err
+		}
+		plen := binary.BigEndian.Uint32(hdr[0:4])
+		sum := binary.BigEndian.Uint32(hdr[4:8])
+		if plen < 2 || plen > maxKeyLen+maxValLen {
+			return n, good, nil // implausible length: treat as torn
+		}
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return n, good, nil
+			}
+			return n, good, err
+		}
+		if crc32.Checksum(payload, crcTable) != sum {
+			return n, good, nil // checksum rejects: torn or corrupt, stop here
+		}
+		klen := int(binary.BigEndian.Uint16(payload[0:2]))
+		if klen == 0 || 2+klen > len(payload) {
+			return n, good, nil
+		}
+		key := string(payload[2 : 2+klen])
+		val := payload[2+klen:]
+		s.seq++
+		s.entries[key] = record{val: val, seq: s.seq}
+		n++
+		good += int64(recHeaderSize) + int64(plen)
+	}
+}
+
+func appendRecord(w io.Writer, key, val []byte) (int64, error) {
+	plen := 2 + len(key) + len(val)
+	buf := make([]byte, recHeaderSize+plen)
+	binary.BigEndian.PutUint32(buf[0:4], uint32(plen))
+	binary.BigEndian.PutUint16(buf[8:10], uint16(len(key)))
+	copy(buf[10:], key)
+	copy(buf[10+len(key):], val)
+	binary.BigEndian.PutUint32(buf[4:8], crc32.Checksum(buf[8:], crcTable))
+	n, err := w.Write(buf)
+	return int64(n), err
+}
+
+// Put inserts or replaces key. The value is copied; the caller keeps
+// ownership of both slices.
+func (s *Store) Put(key, val []byte) error {
+	if len(key) == 0 || len(key) > maxKeyLen {
+		return fmt.Errorf("store: key length %d out of range", len(key))
+	}
+	if len(val) > maxValLen {
+		return fmt.Errorf("store: value length %d exceeds %d", len(val), maxValLen)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	n, err := appendRecord(s.logW, key, val)
+	if err == nil {
+		err = s.logW.Flush()
+	}
+	if err == nil && s.opts.Sync {
+		err = s.log.Sync()
+	}
+	if err != nil {
+		return fmt.Errorf("store: appending: %w", err)
+	}
+	s.seq++
+	s.entries[string(key)] = record{val: append([]byte(nil), val...), seq: s.seq}
+	s.stats.Entries = len(s.entries)
+	s.stats.LogRecords++
+	s.stats.LogBytes += n
+	if s.opts.CompactThreshold > 0 && s.stats.LogRecords >= s.opts.CompactThreshold {
+		return s.compactLocked()
+	}
+	return nil
+}
+
+// Get returns a copy of the value stored under key.
+func (s *Store) Get(key []byte) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.entries[string(key)]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), rec.val...), true
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Scan calls fn for every entry whose key starts with prefix, in
+// ascending key order (bytewise — the encoding is order-preserving), with
+// the entry's write sequence (higher = written later). fn returning
+// false stops the scan. The slices passed to fn are snapshots the
+// callback may retain; a nil or empty prefix scans everything.
+func (s *Store) Scan(prefix []byte, fn func(key, val []byte, seq uint64) bool) {
+	s.mu.Lock()
+	keys := make([]string, 0, len(s.entries))
+	p := string(prefix)
+	for k := range s.entries {
+		if len(k) >= len(p) && k[:len(p)] == p {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	type kv struct {
+		key string
+		rec record
+	}
+	out := make([]kv, len(keys))
+	for i, k := range keys {
+		out[i] = kv{k, s.entries[k]}
+	}
+	s.mu.Unlock()
+	for _, e := range out {
+		if !fn([]byte(e.key), append([]byte(nil), e.rec.val...), e.rec.seq) {
+			return
+		}
+	}
+}
+
+// Compact rewrites the snapshot from the live entries (sorted by key,
+// written to a temporary file, fsynced, renamed into place) and
+// truncates the log. After a clean Compact + Close the next Open replays
+// nothing.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.compactLocked()
+}
+
+func (s *Store) compactLocked() error {
+	tmp := snapshotPath(s.dir) + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	keys := make([]string, 0, len(s.entries))
+	for k := range s.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := appendRecord(w, []byte(k), s.entries[k].val); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("store: writing snapshot: %w", err)
+		}
+	}
+	if err := w.Flush(); err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp, snapshotPath(s.dir)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := s.log.Truncate(0); err != nil {
+		return fmt.Errorf("store: truncating log: %w", err)
+	}
+	if _, err := s.log.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.logW.Reset(s.log)
+	s.stats.LogRecords = 0
+	s.stats.LogBytes = 0
+	s.stats.Compactions++
+	return nil
+}
+
+// Stats returns a snapshot of the store's state.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = len(s.entries)
+	return st
+}
+
+// Close flushes and closes the log. The store is unusable afterwards;
+// reopen with Open.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.logW.Flush()
+	if cerr := s.log.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("store: closing: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,244 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func mustOpen(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func key(b byte, i int) []byte {
+	k := bytes.Repeat([]byte{b}, KeySize/2)
+	return append(k, []byte(fmt.Sprintf("%016d", i))...)
+}
+
+func TestPutGetReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	for i := 0; i < 20; i++ {
+		if err := s.Put(key('a', i), []byte(fmt.Sprintf("val-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Overwrites replace, never duplicate.
+	if err := s.Put(key('a', 3), []byte("replaced")); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Len(); got != 20 {
+		t.Fatalf("Len = %d, want 20", got)
+	}
+	if v, ok := s.Get(key('a', 3)); !ok || string(v) != "replaced" {
+		t.Fatalf("Get after overwrite = %q, %v", v, ok)
+	}
+	if _, ok := s.Get(key('b', 0)); ok {
+		t.Fatal("Get of a missing key succeeded")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen replays the log: every record, overwrite included.
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	st := s2.Stats()
+	if st.Entries != 20 || st.ReplayedRecords != 21 || st.TornBytes != 0 {
+		t.Fatalf("reopen stats: %+v", st)
+	}
+	if v, ok := s2.Get(key('a', 3)); !ok || string(v) != "replaced" {
+		t.Fatalf("reopened Get = %q, %v", v, ok)
+	}
+}
+
+func TestScanOrderAndPrefix(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	defer s.Close()
+	// Insert out of order under two prefixes.
+	for _, i := range []int{5, 1, 9, 3} {
+		if err := s.Put(key('a', i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Put(key('b', 2), []byte("other")); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []int
+	var seqs []uint64
+	s.Scan(bytes.Repeat([]byte{'a'}, KeySize/2), func(k, v []byte, seq uint64) bool {
+		got = append(got, int(v[0]))
+		seqs = append(seqs, seq)
+		return true
+	})
+	if want := []int{1, 3, 5, 9}; fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("prefix scan order = %v, want %v", got, want)
+	}
+	// Sequence ranks recency: 5 was written before 1, so key 1's seq > key 5's.
+	bySeq := map[int]uint64{}
+	for i, v := range got {
+		bySeq[v] = seqs[i]
+	}
+	if !(bySeq[5] < bySeq[1] && bySeq[1] < bySeq[9] && bySeq[9] < bySeq[3]) {
+		t.Fatalf("write sequences do not rank recency: %v", bySeq)
+	}
+
+	n := 0
+	s.Scan(nil, func(k, v []byte, seq uint64) bool { n++; return true })
+	if n != 5 {
+		t.Fatalf("full scan visited %d entries, want 5", n)
+	}
+	n = 0
+	s.Scan(nil, func(k, v []byte, seq uint64) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early-exit scan visited %d entries, want 1", n)
+	}
+}
+
+func TestCompactAndReopenFromSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	for i := 0; i < 10; i++ {
+		if err := s.Put(key('a', i), []byte(strings.Repeat("x", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.LogRecords != 0 || st.LogBytes != 0 || st.Compactions != 1 {
+		t.Fatalf("post-compact stats: %+v", st)
+	}
+	// Appends after compaction land in the fresh log.
+	if err := s.Put(key('a', 10), []byte("post")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	st = s2.Stats()
+	if st.Entries != 11 || st.SnapshotRecords != 10 || st.ReplayedRecords != 1 {
+		t.Fatalf("reopen-from-snapshot stats: %+v", st)
+	}
+	if v, ok := s2.Get(key('a', 10)); !ok || string(v) != "post" {
+		t.Fatalf("post-compact record lost: %q, %v", v, ok)
+	}
+}
+
+func TestAutoCompact(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{CompactThreshold: 5})
+	defer s.Close()
+	for i := 0; i < 12; i++ {
+		if err := s.Put(key('a', i), []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Compactions != 2 {
+		t.Fatalf("Compactions = %d, want 2 (threshold 5, 12 puts)", st.Compactions)
+	}
+	if st.Entries != 12 {
+		t.Fatalf("Entries = %d, want 12", st.Entries)
+	}
+}
+
+func TestEncodeKey(t *testing.T) {
+	cfp := strings.Repeat("0a", 16)
+	pfp := strings.Repeat("ff", 16)
+	k, err := EncodeKey(cfp, pfp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(k) != KeySize {
+		t.Fatalf("key length = %d, want %d", len(k), KeySize)
+	}
+	if !bytes.HasPrefix(k, bytes.Repeat([]byte{0x0a}, 16)) {
+		t.Fatalf("constraint prefix not leading: %x", k)
+	}
+	for _, bad := range [][2]string{
+		{"zz", pfp},                     // not hex
+		{cfp, "abcd"},                   // wrong length
+		{strings.Repeat("00", 15), pfp}, // short constraint half
+	} {
+		if _, err := EncodeKey(bad[0], bad[1]); err == nil {
+			t.Errorf("EncodeKey(%q, %q) accepted", bad[0], bad[1])
+		}
+	}
+}
+
+func TestClosedStoreRejects(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put([]byte("k"), []byte("v")); err != ErrClosed {
+		t.Fatalf("Put after Close: %v, want ErrClosed", err)
+	}
+	if err := s.Compact(); err != ErrClosed {
+		t.Fatalf("Compact after Close: %v, want ErrClosed", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+}
+
+func TestBadPutArguments(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	defer s.Close()
+	if err := s.Put(nil, []byte("v")); err == nil {
+		t.Error("empty key accepted")
+	}
+	if err := s.Put(bytes.Repeat([]byte{1}, maxKeyLen+1), nil); err == nil {
+		t.Error("oversized key accepted")
+	}
+}
+
+func TestConcurrentPutsAndScans(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	defer s.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := s.Put(key(byte('a'+w), i), []byte{byte(i)}); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%10 == 0 {
+					s.Scan(nil, func(k, v []byte, seq uint64) bool { return true })
+					s.Get(key(byte('a'+w), i))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := s.Len(); got != 200 {
+		t.Fatalf("Len = %d, want 200", got)
+	}
+}
+
+func TestOpenOnNonDirectoryFails(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "file")
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, Options{}); err == nil {
+		t.Fatal("Open on a plain file succeeded")
+	}
+}
