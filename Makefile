@@ -6,10 +6,10 @@ GO ?= go
 # rises.
 COVER_FLOOR ?= 84.0
 
-.PHONY: check ci build vet test race race-service store-fault fuzz-smoke bench-smoke fmtcheck bench bench-regression bench-chase bench-match cover fmt
+.PHONY: check ci build vet test race race-service store-fault fuzz-smoke bench-smoke bench-load bench-load-smoke fmtcheck bench bench-regression bench-chase bench-match cover fmt
 
 # The gate every change must pass before commit.
-check: build vet fmtcheck test race race-service store-fault fuzz-smoke bench-smoke
+check: build vet fmtcheck test race race-service store-fault fuzz-smoke bench-smoke bench-load-smoke
 
 # What .github/workflows/ci.yml runs, as one local target: the check
 # gate plus the coverage floor and the benchmark-regression gate.
@@ -99,6 +99,24 @@ bench-chase:
 bench-match:
 	$(GO) run ./cmd/tpqbench -json -fig fig-match -outdir .bench
 	$(GO) run ./cmd/tpqbench -compare BENCH_baseline.json .bench/BENCH_fig-match.json -threshold 1.5x
+
+# Targeted serving-concurrency gate: re-measure the service-scale figure
+# (aggregate ns/request of a Zipf mix at 1..8 concurrent workers, hot
+# and mixed series) and compare against the baseline. On a multi-core
+# box the hot series falling with worker count is the sharded-cache
+# scaling claim; the -compare gate pins whatever this box measured.
+bench-load:
+	$(GO) run ./cmd/tpqbench -json -fig service-scale -outdir .bench
+	$(GO) run ./cmd/tpqbench -compare BENCH_baseline.json .bench/BENCH_service-scale.json -threshold 1.5x
+
+# Load-path smoke for `check`: the quick service-scale sweep (no
+# baseline compare — this verifies the figure still runs, not its
+# numbers) plus one short open-loop tpqload run against an in-process
+# service via its own test, which exercises the full HTTP hot path,
+# the HDR histograms, and the tpq-bench/1 emitter end to end.
+bench-load-smoke:
+	$(GO) run ./cmd/tpqbench -json -fig service-scale -quick -outdir .bench
+	$(GO) test -run 'TestLoadAgainstLiveService' -count=1 ./cmd/tpqload
 
 # Full-suite statement coverage with a floor: fails when the total drops
 # below COVER_FLOOR. coverage.out is the artifact CI uploads.

@@ -11,6 +11,13 @@
 //	tpqgen -kind redundant -size 101 -red 30 -degree 3
 //	tpqgen -kind halflocal -size 61
 //	tpqgen -kind random -size 15 -alphabet 5 -seed 7 -n 3 -cons 4
+//	tpqgen -zipf 1.2 -patterns 16 -n 100 -seed 7   # Zipf query mix
+//
+// Mix mode (-zipf > 0) emits n queries drawn Zipf-distributed from a
+// deterministic set of -patterns structurally distinct queries (the
+// same mix cmd/tpqload drives over HTTP, via internal/workload): one
+// query per line, hottest rank first in frequency. -zipf <= 1 falls
+// back to a uniform mix. Identical flags emit identical streams.
 //
 // The query prints on the first line; any generated constraints follow,
 // one per line, prefixed with "# ic: " so the output can be fed back to
@@ -28,6 +35,7 @@ import (
 	"tpq/internal/genquery"
 	"tpq/internal/ics"
 	"tpq/internal/pattern"
+	"tpq/internal/workload"
 )
 
 func main() {
@@ -44,10 +52,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	degree := fs.Int("degree", 2, "redundancy degree (redundant)")
 	alphabet := fs.Int("alphabet", 4, "type alphabet size (random)")
 	seed := fs.Int64("seed", 1, "random seed (random)")
-	n := fs.Int("n", 1, "number of queries (random)")
+	n := fs.Int("n", 1, "number of queries (random, mix)")
 	ncons := fs.Int("cons", 0, "random constraints to emit alongside (random)")
+	zipf := fs.Float64("zipf", 0, "emit a Zipf-distributed query mix with this skew (mix mode; <=1 uniform)")
+	patterns := fs.Int("patterns", 16, "distinct queries in the mix (mix mode)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *zipf > 0 {
+		mix := workload.Queries(*patterns, *seed)
+		sampler := workload.NewSampler(len(mix), *zipf, 0, *seed)
+		for i := 0; i < *n; i++ {
+			rank, _ := sampler.Next()
+			fmt.Fprintln(stdout, mix[rank].Text)
+		}
+		return 0
 	}
 
 	emit := func(q *pattern.Pattern, cs *ics.Set) {

@@ -87,6 +87,55 @@ func TestDeterministicSeed(t *testing.T) {
 	}
 }
 
+// TestZipfMixDeterministic pins mix mode: identical flags emit an
+// identical stream, every line parses, draws come from exactly
+// -patterns distinct queries, and the stream is actually skewed (the
+// hottest query is the most frequent line).
+func TestZipfMixDeterministic(t *testing.T) {
+	args := []string{"-zipf", "1.3", "-patterns", "8", "-n", "200", "-seed", "5"}
+	a, _, code := runCmd(t, args...)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	b, _, _ := runCmd(t, args...)
+	if a != b {
+		t.Error("same flags produced different mix streams")
+	}
+	counts := map[string]int{}
+	lines := 0
+	for _, line := range strings.Split(strings.TrimSpace(a), "\n") {
+		if line == "" {
+			continue
+		}
+		lines++
+		if _, err := pattern.Parse(line); err != nil {
+			t.Fatalf("mix line does not parse: %q: %v", line, err)
+		}
+		counts[line]++
+	}
+	if lines != 200 {
+		t.Errorf("emitted %d lines, want 200", lines)
+	}
+	if len(counts) > 8 {
+		t.Errorf("stream draws from %d distinct queries, want <= 8", len(counts))
+	}
+	max, total := 0, 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+		total += c
+	}
+	if max*len(counts) <= total {
+		t.Error("hottest query is not over-represented — mix is not Zipf-skewed")
+	}
+
+	c, _, _ := runCmd(t, "-zipf", "1.3", "-patterns", "8", "-n", "200", "-seed", "6")
+	if a == c {
+		t.Error("different seeds produced identical mix streams")
+	}
+}
+
 func TestErrors(t *testing.T) {
 	if _, stderr, code := runCmd(t, "-kind", "nope"); code == 0 || !strings.Contains(stderr, "unknown kind") {
 		t.Errorf("unknown kind: exit %d, stderr %q", code, stderr)

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tpq/internal/bench"
+	"tpq/internal/service"
+)
+
+// TestLoadAgainstLiveService drives the generator end to end against an
+// in-process tpqd handler: every request must succeed, the latency table
+// must print, and the -json output must be valid tpq-bench/1 with a p50
+// and p99 per rate.
+func TestLoadAgainstLiveService(t *testing.T) {
+	svc := service.New(service.Options{})
+	defer svc.Close(t.Context())
+	srv := httptest.NewServer(service.NewHandler(svc, service.HandlerOptions{}))
+	defer srv.Close()
+
+	out := filepath.Join(t.TempDir(), "load.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-addr", srv.URL,
+		"-qps", "50,100",
+		"-duration", "300ms",
+		"-warmup", "100ms",
+		"-patterns", "8",
+		"-seed", "3",
+		"-json", out,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "p99") {
+		t.Errorf("no latency table in output:\n%s", stdout.String())
+	}
+
+	f, err := bench.ReadJSON(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, r := range f.Results {
+		names[r.Name] = true
+		if strings.HasSuffix(r.Name, "/p99") {
+			if r.Counters["ok"] == 0 {
+				t.Errorf("%s completed no requests", r.Name)
+			}
+			if r.Counters["errors"] != 0 {
+				t.Errorf("%s saw %d errors against a healthy server", r.Name, r.Counters["errors"])
+			}
+			if r.NsPerOp <= 0 {
+				t.Errorf("%s has no latency", r.Name)
+			}
+		}
+	}
+	for _, want := range []string{
+		"tpqload/mix/qps=50/p50", "tpqload/mix/qps=50/p99",
+		"tpqload/mix/qps=100/p50", "tpqload/mix/qps=100/p99",
+	} {
+		if !names[want] {
+			t.Errorf("missing result %s", want)
+		}
+	}
+
+	// The mix hit the cache: repeat ranks under Zipf skew must be hits.
+	if svc.Stats().Hits == 0 {
+		t.Error("load run produced no cache hits")
+	}
+}
+
+// TestBadFlags pins the CLI error paths.
+func TestBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-qps", "0"}, &stdout, &stderr); code != 2 {
+		t.Errorf("qps=0 exited %d, want 2", code)
+	}
+	if code := run([]string{"-qps", "abc"}, &stdout, &stderr); code != 2 {
+		t.Errorf("qps=abc exited %d, want 2", code)
+	}
+}

@@ -467,7 +467,7 @@ func All(opts Options) []*Table {
 		Fig7a(opts), Fig7b(opts), Fig7bIncremental(opts), Fig8a(opts), Fig8b(opts),
 		Fig9a(opts), Fig9b(opts), Motivation(opts),
 		AblationCIM(opts), AblationClosure(opts), AblationVirtual(opts), AblationCDM(opts),
-		BatchMinimize(opts), ServiceThroughput(opts), FigMatch(opts),
+		BatchMinimize(opts), ServiceThroughput(opts), ServiceScale(opts), FigMatch(opts),
 	}
 }
 
@@ -503,6 +503,8 @@ func ByName(name string) func(Options) *Table {
 		return BatchMinimize
 	case "service":
 		return ServiceThroughput
+	case "service-scale":
+		return ServiceScale
 	case "match":
 		return FigMatch
 	}
@@ -511,5 +513,5 @@ func ByName(name string) func(Options) *Table {
 
 // Names lists the experiment ids in presentation order.
 func Names() []string {
-	return []string{"7a", "7b", "7b-incremental", "8a", "8b", "9a", "9b", "motivation", "ablation-cim", "ablation-closure", "ablation-virtual", "ablation-cdm", "batch", "service", "match"}
+	return []string{"7a", "7b", "7b-incremental", "8a", "8b", "9a", "9b", "motivation", "ablation-cim", "ablation-closure", "ablation-virtual", "ablation-cdm", "batch", "service", "service-scale", "match"}
 }

@@ -369,6 +369,7 @@ func JSONFigures() map[string]func(Options) JSONFile {
 		"service":              JSONService,
 		"fig-match":            JSONMatch,
 		"service-warm-restart": JSONServiceWarmRestart,
+		"service-scale":        JSONServiceScale,
 	}
 }
 

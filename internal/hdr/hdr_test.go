@@ -1,0 +1,135 @@
+package hdr
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestLayoutBounds(t *testing.T) {
+	l := DefaultLayout
+	bounds := l.Bounds()
+	if len(bounds) != l.NumBounds() {
+		t.Fatalf("len(bounds) = %d, NumBounds = %d", len(bounds), l.NumBounds())
+	}
+	if bounds[0] != 100 {
+		t.Fatalf("first bound = %d, want 100ns", bounds[0])
+	}
+	if bounds[len(bounds)-1] != int64(time.Second) {
+		t.Fatalf("last bound = %d, want 1s", bounds[len(bounds)-1])
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			t.Fatalf("bounds not strictly ascending at %d: %d then %d", i, bounds[i-1], bounds[i])
+		}
+	}
+	// The sub-millisecond range must be finely resolved: at least 25
+	// bounds strictly below 1ms, so µs-scale cache hits spread out.
+	subMS := 0
+	for _, b := range bounds {
+		if b < int64(time.Millisecond) {
+			subMS++
+		}
+	}
+	if subMS < 25 {
+		t.Fatalf("only %d bounds below 1ms", subMS)
+	}
+}
+
+// TestIndexMatchesLinearScan pins the arithmetic Index against the
+// obvious scan over the materialized bounds.
+func TestIndexMatchesLinearScan(t *testing.T) {
+	for _, l := range []Layout{DefaultLayout, {MinNanos: 1000, Decades: 4, Steps: 3}, {MinNanos: 50, Decades: 3, Steps: 1}} {
+		bounds := l.Bounds()
+		ref := func(ns int64) int {
+			for i, b := range bounds {
+				if ns <= b {
+					return i
+				}
+			}
+			return len(bounds)
+		}
+		check := func(ns int64) {
+			if got, want := l.Index(ns), ref(ns); got != want {
+				t.Fatalf("layout %+v: Index(%d) = %d, scan = %d", l, ns, got, want)
+			}
+		}
+		for _, b := range bounds {
+			check(b - 1)
+			check(b)
+			check(b + 1)
+		}
+		check(0)
+		check(1)
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 10000; i++ {
+			check(rng.Int63n(3 * l.MaxNanos()))
+		}
+	}
+}
+
+func TestLayoutValidate(t *testing.T) {
+	for _, bad := range []Layout{{MinNanos: 0, Decades: 1, Steps: 9}, {MinNanos: 1, Decades: 0, Steps: 9}, {MinNanos: 1, Decades: 1, Steps: 4}} {
+		if bad.Validate() == nil {
+			t.Fatalf("layout %+v should not validate", bad)
+		}
+	}
+	if err := DefaultLayout.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := New(Layout{})
+	// 90 fast observations at ~5µs, 10 slow at ~20ms.
+	for i := 0; i < 90; i++ {
+		h.Observe(5 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(20 * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if p50 := h.Quantile(0.50); p50 != 5*time.Microsecond {
+		t.Fatalf("p50 = %v, want 5µs", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 != 20*time.Millisecond {
+		t.Fatalf("p99 = %v, want 20ms", p99)
+	}
+	if max := h.Max(); max != 20*time.Millisecond {
+		t.Fatalf("max = %v", max)
+	}
+	// An observation past the last bound: quantile reports the exact max.
+	h2 := New(Layout{})
+	h2.Observe(3 * time.Second)
+	if got := h2.Quantile(0.99); got != 3*time.Second {
+		t.Fatalf("+Inf quantile = %v, want exact max 3s", got)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := New(Layout{})
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(g*1000+i) * time.Microsecond)
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if h.Count() != 4000 {
+		t.Fatalf("count = %d, want 4000", h.Count())
+	}
+	sum := int64(0)
+	for _, c := range h.Counts() {
+		sum += c
+	}
+	if sum != 4000 {
+		t.Fatalf("bucket sum = %d, want 4000", sum)
+	}
+}

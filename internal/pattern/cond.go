@@ -362,6 +362,11 @@ func ParseCondition(src string) (Condition, error) {
 		if err != nil {
 			return Condition{}, fmt.Errorf("pattern: condition %q: bad number %q", src, num)
 		}
+		// NaN compares unequal to everything, itself included: a NaN
+		// threshold can never be satisfied and breaks Condition equality.
+		if math.IsNaN(v) {
+			return Condition{}, fmt.Errorf("pattern: condition %q: NaN is not a valid threshold", src)
+		}
 		if attr == "" {
 			return Condition{}, fmt.Errorf("pattern: condition %q: empty attribute", src)
 		}

@@ -209,4 +209,12 @@ func TestParseConditionErrors(t *testing.T) {
 			t.Errorf("Parse(%q) succeeded", bad)
 		}
 	}
+	// Fuzz-found: strconv accepts "NAN", but a NaN threshold satisfies no
+	// comparison and breaks Condition equality (NaN != NaN), so the
+	// parser must reject it rather than emit an unroundtrippable value.
+	for _, bad := range []string{"@0>NAN", "@p<nan", "@p = NaN"} {
+		if _, err := ParseCondition(bad); err == nil {
+			t.Errorf("ParseCondition(%q) succeeded, want NaN rejection", bad)
+		}
+	}
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package pattern
+
+const raceEnabled = false

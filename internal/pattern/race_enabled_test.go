@@ -1,0 +1,9 @@
+//go:build race
+
+package pattern
+
+// raceEnabled reports whether the race detector instrumented this
+// binary. Under -race, sync.Pool deliberately drops a fraction of Puts
+// to shake out lifetime bugs, so zero-allocation assertions over pooled
+// scratch are not meaningful there.
+const raceEnabled = true

@@ -1,0 +1,70 @@
+package service
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"tpq/internal/pattern"
+)
+
+// nullResponseWriter discards the response, reusing one header map, so
+// the hit-path benchmark measures the serving path rather than the
+// recorder harness.
+type nullResponseWriter struct{ h http.Header }
+
+func (w *nullResponseWriter) Header() http.Header         { return w.h }
+func (w *nullResponseWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (w *nullResponseWriter) WriteHeader(int)             {}
+
+// BenchmarkServiceHitAllocs pins the allocation count of the cached-hit
+// path at two layers: the in-process entry lookup (minimizeEntry — key
+// build, shard pick, LRU hit), the public Minimize API (which must keep
+// cloning), and the full HTTP round trip including request decode and
+// the pre-rendered response write. bench_results.txt records the
+// before/after counts for the pooled-arena change.
+func BenchmarkServiceHitAllocs(b *testing.B) {
+	const src = "a*[/b, //c[/d], /b/e]"
+	p := pattern.MustParse(src)
+	svc := New(Options{})
+	defer svc.Close(context.Background())
+	ctx := context.Background()
+	if _, _, err := svc.Minimize(ctx, p); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("entry", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := svc.minimizeEntry(ctx, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("minimize", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := svc.Minimize(ctx, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	h := NewHandler(svc, HandlerOptions{})
+	body := `{"query": "` + src + `"}`
+	w := &nullResponseWriter{h: make(http.Header)}
+	req, err := http.NewRequest(http.MethodPost, "/minimize", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("http", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			req.Body = io.NopCloser(strings.NewReader(body))
+			h.ServeHTTP(w, req)
+		}
+	})
+}

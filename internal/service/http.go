@@ -6,8 +6,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"tpq/internal/data"
@@ -170,14 +173,48 @@ func (h *handler) requestCtx(r *http.Request) (context.Context, context.CancelFu
 	return r.Context(), func() {}
 }
 
+// bodyPool holds the per-request read buffers: bodies are read into
+// pooled scratch and unmarshaled from it, instead of allocating a
+// json.Decoder plus its bufio layer per request.
+var bodyPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+// readBody drains r into a pooled buffer. The returned release func
+// recycles the buffer; the caller must not retain the bytes past it.
+func readBody(w http.ResponseWriter, r *http.Request, maxBody int64) (buf []byte, release func(), err error) {
+	bp := bodyPool.Get().(*[]byte)
+	buf = (*bp)[:0]
+	body := http.MaxBytesReader(w, r.Body, maxBody)
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, rerr := body.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			*bp = buf
+			bodyPool.Put(bp)
+			return nil, nil, rerr
+		}
+	}
+	return buf, func() { *bp = buf; bodyPool.Put(bp) }, nil
+}
+
 func (h *handler) readRequest(w http.ResponseWriter, r *http.Request) (*minimizeRequest, bool) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST a JSON body")
 		return nil, false
 	}
+	buf, release, err := readBody(w, r, h.opts.MaxBody)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+		return nil, false
+	}
+	defer release()
 	var req minimizeRequest
-	body := http.MaxBytesReader(w, r.Body, h.opts.MaxBody)
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
+	if err := json.Unmarshal(buf, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
 		return nil, false
 	}
@@ -207,6 +244,15 @@ func (h *handler) minimize(w http.ResponseWriter, r *http.Request) {
 	req, ok := h.readRequest(w, r)
 	if !ok {
 		return
+	}
+	if req.Query != "" && len(req.Queries) == 0 {
+		// Exact-text fast path: byte-identical query text seen before and
+		// still cached — skip the parse and serve the pre-rendered bytes.
+		start := time.Now()
+		if e, _, ok := h.svc.hitText(req.Query); ok && len(e.hitJSON) > 0 {
+			writeHitResponse(w, e, time.Since(start).Microseconds())
+			return
+		}
 	}
 	ctx, cancel := h.requestCtx(r)
 	defer cancel()
@@ -254,18 +300,83 @@ func (h *handler) minimize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	out, rep, err := h.svc.Minimize(ctx, p)
+	e, rep, err := h.svc.minimizeEntry(ctx, p)
 	if err != nil {
 		writeServiceError(w, err)
 		return
 	}
-	resp := toResponse(out, rep, time.Since(start).Microseconds())
+	micros := time.Since(start).Microseconds()
+	if !wasXPath {
+		h.svc.registerText(req.Query, e)
+	}
+	if rep.CacheHit && !rep.Merged && !wasXPath && len(e.hitJSON) > 0 {
+		// Repeat hit: the response except for "micros" was rendered when
+		// the entry was cached — append the digits and serve the bytes.
+		writeHitResponse(w, e, micros)
+		return
+	}
+	out := e.text
+	if out == "" {
+		out = e.out.String()
+	}
+	resp := minimizeResponse{
+		Output:        out,
+		InputSize:     rep.InputSize,
+		OutputSize:    rep.OutputSize,
+		CDMRemoved:    rep.CDMRemoved,
+		ACIMRemoved:   rep.ACIMRemoved,
+		Unsatisfiable: rep.Unsatisfiable,
+		CacheHit:      rep.CacheHit,
+		Merged:        rep.Merged,
+		Micros:        micros,
+	}
 	if wasXPath {
-		if x, err := xpath.ToXPath(out); err == nil {
+		if x, err := xpath.ToXPath(e.out); err == nil {
 			resp.OutputXPath = x
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// respPool holds the buffers hit responses are assembled in.
+var respPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
+// renderHitPrefix pre-renders the single-query cache-hit response for an
+// entry, compact, through `"micros":` — the hot path appends only the
+// digits and the closing brace. Field order matches minimizeResponse.
+func renderHitPrefix(e *entry) []byte {
+	out, err := json.Marshal(e.text)
+	if err != nil {
+		return nil
+	}
+	b := make([]byte, 0, len(out)+112)
+	b = append(b, `{"output":`...)
+	b = append(b, out...)
+	b = append(b, `,"inputSize":`...)
+	b = strconv.AppendInt(b, int64(e.rep.InputSize), 10)
+	b = append(b, `,"outputSize":`...)
+	b = strconv.AppendInt(b, int64(e.rep.OutputSize), 10)
+	b = append(b, `,"cdmRemoved":`...)
+	b = strconv.AppendInt(b, int64(e.rep.CDMRemoved), 10)
+	b = append(b, `,"acimRemoved":`...)
+	b = strconv.AppendInt(b, int64(e.rep.ACIMRemoved), 10)
+	if e.rep.Unsatisfiable {
+		b = append(b, `,"unsatisfiable":true`...)
+	}
+	b = append(b, `,"cacheHit":true,"micros":`...)
+	return b
+}
+
+// writeHitResponse serves a pre-rendered hit from pooled scratch.
+func writeHitResponse(w http.ResponseWriter, e *entry, micros int64) {
+	bp := respPool.Get().(*[]byte)
+	buf := append((*bp)[:0], e.hitJSON...)
+	buf = strconv.AppendInt(buf, micros, 10)
+	buf = append(buf, '}', '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf)
+	*bp = buf
+	respPool.Put(bp)
 }
 
 func (h *handler) match(w http.ResponseWriter, r *http.Request) {

@@ -47,6 +47,21 @@ func (c *lruCache) get(key string) (*entry, bool) {
 	return el.Value.(*lruItem).val, true
 }
 
+// getBytes is get for a key still in a scratch buffer: the map index
+// with an inline string conversion compiles to a no-allocation lookup,
+// which is what keeps the cache-hit path allocation-free.
+func (c *lruCache) getBytes(key []byte) (*entry, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	el, ok := c.items[string(key)]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruItem).val, true
+}
+
 // getByFP returns the entry stored under the raw store key fp, without
 // refreshing recency — peer fetches should not keep another node's hot
 // set pinned in this node's cache.

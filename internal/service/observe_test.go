@@ -212,8 +212,8 @@ func TestPrometheusHistogramShape(t *testing.T) {
 	scrape := parsePrometheus(t, buf.Bytes())
 
 	var bounds []float64
-	for _, us := range latencyBoundsMicros {
-		bounds = append(bounds, float64(us)/1e6)
+	for _, ns := range latencyBoundsNanos {
+		bounds = append(bounds, float64(ns)/1e9)
 	}
 	prev := 0.0
 	for _, b := range bounds {

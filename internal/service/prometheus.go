@@ -42,7 +42,8 @@ const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
 //	tpq_store_replayed_records, tpq_store_torn_bytes     — store gauges
 //	tpq_peer_fetches_total, tpq_peer_hits_total,
 //	tpq_peer_errors_total                                — shard peer fetch
-//	tpq_cache_entries, tpq_cache_capacity, tpq_inflight_requests,
+//	tpq_cache_entries, tpq_cache_capacity, tpq_cache_shards,
+//	tpq_inflight_requests,
 //	tpq_plan_cache_entries, tpq_plan_cache_capacity,
 //	tpq_workers, tpq_constraints, tpq_uptime_seconds     — gauges
 //	tpq_nodes_removed_total{phase="cdm"|"acim"}          — removals
@@ -94,14 +95,10 @@ func (s *Service) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "tpq_tables_total{kind=\"built\"} %d\n", s.stats.tablesBuilt.Load())
 	fmt.Fprintf(w, "tpq_tables_total{kind=\"derived\"} %d\n", s.stats.tablesDerived.Load())
 
-	snap := struct{ len, cap int }{}
-	s.mu.Lock()
-	if s.cache != nil {
-		snap.len, snap.cap = s.cache.len(), s.cache.cap
-	}
-	s.mu.Unlock()
-	gauge("tpq_cache_entries", "Cached minimizations resident.", float64(snap.len))
-	gauge("tpq_cache_capacity", "Cache capacity (0 when caching is disabled).", float64(snap.cap))
+	cacheLen, cacheCap := s.cacheLenCap()
+	gauge("tpq_cache_entries", "Cached minimizations resident.", float64(cacheLen))
+	gauge("tpq_cache_capacity", "Cache capacity (0 when caching is disabled).", float64(cacheCap))
+	gauge("tpq_cache_shards", "Lock domains the LRU is split over.", float64(len(s.shards)))
 	reg := chase.DefaultRegistry.Stats()
 	gauge("tpq_plan_cache_entries", "Compiled chase plans resident in the process-wide registry.", float64(reg.Len))
 	gauge("tpq_plan_cache_capacity", "Chase-plan registry capacity.", float64(reg.Cap))
@@ -130,34 +127,34 @@ func (s *Service) WritePrometheus(w io.Writer) {
 func secondsSince(s *Service) float64 { return s.Stats().UptimeSeconds }
 
 // writeHistogram renders one histogram family in the exposition format:
-// cumulative buckets over the shared 1-2-5 bounds, then sum and count.
-// help == "" suppresses the HELP/TYPE header (for labeled families whose
-// header is written once by the caller); labels ("phase=\"cim\"") are
-// merged with the le label.
+// cumulative buckets over the shared log-linear sub-millisecond bounds,
+// then sum and count. help == "" suppresses the HELP/TYPE header (for
+// labeled families whose header is written once by the caller); labels
+// ("phase=\"cim\"") are merged with the le label.
 func writeHistogram(w io.Writer, name, help, labels string, h *latencyHist) {
 	if help != "" {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
 	}
-	counts, total, sumMicros := h.load()
+	counts, total, sumNanos := h.load()
 	sep := ""
 	if labels != "" {
 		sep = ","
 	}
 	cum := int64(0)
-	for i, bound := range latencyBoundsMicros {
+	for i, bound := range latencyBoundsNanos {
 		cum += counts[i]
 		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n",
-			name, labels, sep, strconv.FormatFloat(float64(bound)/1e6, 'g', -1, 64), cum)
+			name, labels, sep, strconv.FormatFloat(float64(bound)/1e9, 'g', -1, 64), cum)
 	}
-	cum += counts[len(latencyBoundsMicros)]
+	cum += counts[len(latencyBoundsNanos)]
 	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum)
 	if labels != "" {
 		fmt.Fprintf(w, "%s_sum{%s} %s\n", name, labels,
-			strconv.FormatFloat(float64(sumMicros)/1e6, 'g', -1, 64))
+			strconv.FormatFloat(float64(sumNanos)/1e9, 'g', -1, 64))
 		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, total)
 	} else {
 		fmt.Fprintf(w, "%s_sum %s\n", name,
-			strconv.FormatFloat(float64(sumMicros)/1e6, 'g', -1, 64))
+			strconv.FormatFloat(float64(sumNanos)/1e9, 'g', -1, 64))
 		fmt.Fprintf(w, "%s_count %d\n", name, total)
 	}
 }

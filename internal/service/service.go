@@ -29,6 +29,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tpq/internal/acim"
@@ -116,12 +117,21 @@ type Report struct {
 
 // entry is a cached minimization: the canonical form of the input (the
 // identity the persistent tier and peers verify against), the minimized
-// pattern (cloned on every return, never handed out directly) and its
-// report with the per-request flags unset.
+// pattern (cloned by the public API, never handed out for mutation) and
+// its report with the per-request flags unset. Cached entries are
+// finalized with the rendered output text and a pre-rendered hit
+// response, so repeat hits serve bytes instead of re-encoding JSON.
 type entry struct {
 	canon string
 	out   *pattern.Pattern
 	rep   Report
+
+	// text is out.String(), rendered once at finalize time.
+	text string
+	// hitJSON is the single-query cache-hit response, pre-rendered
+	// through `"micros":` — the HTTP fast path appends the digits and
+	// the closing brace. Nil on never-cached entries.
+	hitJSON []byte
 }
 
 // Service is a long-lived minimization server. It is safe for concurrent
@@ -133,25 +143,35 @@ type Service struct {
 	start  time.Time
 	stats  Stats
 
-	mu       sync.Mutex // guards cache, closing
-	cache    *lruCache  // nil when caching is disabled
+	mu       sync.Mutex // guards closing
 	closing  bool
-	flight   flightGroup
 	inflight sync.WaitGroup
+
+	// Sharded cache tier (nil when caching is disabled): each request
+	// hashes its cache key to one shard and takes only that shard's
+	// lock, flight map and write-behind queue — the hot path contends
+	// on 1/len(shards) of the traffic instead of one global mutex.
+	shards    []*cacheShard
+	shardMask uint64
 
 	slowThreshold time.Duration
 	slowMu        sync.Mutex // serializes slow-query log lines
 	slowLog       io.Writer
 
 	// Persistent tier (nil without Options.Store): entries computed here
-	// are written behind through storeQ; LRU misses read the store before
-	// computing. fpRaw is the decoded constraint fingerprint — the fixed
-	// key prefix of every entry this service owns.
+	// are written behind through the per-shard queues; LRU misses read
+	// the store before computing. fpRaw is the decoded constraint
+	// fingerprint — the fixed key prefix of every entry this service
+	// owns.
 	store     *store.Store
 	fpRaw     []byte
-	storeQ    chan storeWrite
-	storeOnce sync.Once
-	storeDone chan struct{}
+	storeOnce sync.Once // closes every shard's write-behind queue once
+	// writeTick numbers write-behind puts in request-completion order;
+	// persisted with each entry so warm-start can rank recency even though
+	// the per-shard drains apply puts to the store out of order. Seeded
+	// from the store's max persisted tick so it stays monotonic across
+	// restarts.
+	writeTick atomic.Uint64
 
 	// Shard tier (nil without Options.Peers): consistent-hash ring over
 	// the fleet plus the peer-fetch client.
@@ -186,18 +206,27 @@ func New(opts Options) *Service {
 			s.slowLog = os.Stderr
 		}
 	}
-	switch {
-	case opts.CacheSize == 0:
-		s.cache = newLRU(DefaultCacheSize)
-	case opts.CacheSize > 0:
-		s.cache = newLRU(opts.CacheSize)
+	cacheSize := opts.CacheSize
+	if cacheSize == 0 {
+		cacheSize = DefaultCacheSize
 	}
-	if opts.Store != nil && s.cache != nil {
+	if cacheSize > 0 {
+		s.shards = newShards(cacheSize)
+		s.shardMask = uint64(len(s.shards) - 1)
+	}
+	if opts.Store != nil && len(s.shards) > 0 {
 		s.store = opts.Store
 		s.fpRaw = decodeFingerprint(s.fp)
-		s.storeQ = make(chan storeWrite, storeQueueDepth)
-		s.storeDone = make(chan struct{})
-		go s.drainStore()
+		depth := storeQueueDepth / len(s.shards)
+		if depth < 16 {
+			depth = 16
+		}
+		s.initWriteTick()
+		for _, sh := range s.shards {
+			sh.storeQ = make(chan storeWrite, depth)
+			sh.storeDone = make(chan struct{})
+			go s.drainStore(sh)
+		}
 		s.warmStart(opts.WarmStart)
 	}
 	if len(opts.Peers) > 0 && opts.Self != "" {
@@ -224,11 +253,8 @@ func (s *Service) Fingerprint() string { return s.fp }
 // Stats returns a snapshot of the service counters.
 func (s *Service) Stats() Snapshot {
 	snap := s.stats.snapshot()
-	s.mu.Lock()
-	if s.cache != nil {
-		snap.CacheLen, snap.CacheCap = s.cache.len(), s.cache.cap
-	}
-	s.mu.Unlock()
+	snap.CacheLen, snap.CacheCap = s.cacheLenCap()
+	snap.CacheShards = len(s.shards)
 	reg := chase.DefaultRegistry.Stats()
 	snap.PlanCacheLen, snap.PlanCacheCap = reg.Len, reg.Cap
 	if s.store != nil {
@@ -282,8 +308,10 @@ func (s *Service) Closing() bool {
 }
 
 // Close begins graceful shutdown: new requests fail with ErrClosed and
-// Close blocks until inflight requests — and the write-behind queue, so
-// no computed entry is lost on a clean stop — drain or ctx expires.
+// Close blocks until inflight requests — and every shard's write-behind
+// queue, so no computed entry is lost on a clean stop — drain or ctx
+// expires. The queues are closed only after the last inflight request
+// has left, so an enqueue can never race a closed channel.
 func (s *Service) Close(ctx context.Context) error {
 	s.mu.Lock()
 	s.closing = true
@@ -291,9 +319,17 @@ func (s *Service) Close(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() {
 		s.inflight.Wait()
-		if s.storeQ != nil {
-			s.storeOnce.Do(func() { close(s.storeQ) })
-			<-s.storeDone
+		s.storeOnce.Do(func() {
+			for _, sh := range s.shards {
+				if sh.storeQ != nil {
+					close(sh.storeQ)
+				}
+			}
+		})
+		for _, sh := range s.shards {
+			if sh.storeDone != nil {
+				<-sh.storeDone
+			}
 		}
 		close(done)
 	}()
@@ -305,6 +341,28 @@ func (s *Service) Close(ctx context.Context) error {
 	}
 }
 
+// cacheLenCap sums residency and capacity across the shards.
+func (s *Service) cacheLenCap() (length, capacity int) {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		length += sh.lru.len()
+		capacity += sh.lru.cap
+		sh.mu.Unlock()
+	}
+	return length, capacity
+}
+
+// shardForKey picks the shard owning a cache key still in its scratch
+// buffer.
+func (s *Service) shardForKey(key []byte) *cacheShard {
+	return s.shards[shardHash(key)&s.shardMask]
+}
+
+// shardForString is shardForKey for slow paths holding the key string.
+func (s *Service) shardForString(key string) *cacheShard {
+	return s.shards[shardHashString(key)&s.shardMask]
+}
+
 // Minimize returns the minimal query equivalent to p under the service's
 // constraints, served from the cache when an isomorphic query has been
 // minimized before. The returned pattern is always a private copy. The
@@ -312,6 +370,24 @@ func (s *Service) Close(ctx context.Context) error {
 // the CDM and ACIM phases; errors are only ever context errors, ErrClosed,
 // or a rejection of an empty pattern.
 func (s *Service) Minimize(ctx context.Context, p *pattern.Pattern) (*pattern.Pattern, Report, error) {
+	e, rep, err := s.minimizeEntry(ctx, p)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	out := e.out
+	if len(s.shards) > 0 {
+		// The entry is (or may be) shared through the cache; hand the
+		// caller a private copy. With caching disabled the entry is
+		// request-local and the copy would be waste.
+		out = out.Clone()
+	}
+	return out, rep, nil
+}
+
+// minimizeEntry is the package-internal form of Minimize: it returns the
+// shared cache entry itself, saving the clone for callers (the HTTP
+// layer) that only read the result. The caller must not mutate e.out.
+func (s *Service) minimizeEntry(ctx context.Context, p *pattern.Pattern) (*entry, Report, error) {
 	if p == nil || p.Root == nil {
 		return nil, Report{}, errEmptyPattern
 	}
@@ -329,33 +405,122 @@ func (s *Service) Minimize(ctx context.Context, p *pattern.Pattern) (*pattern.Pa
 	defer s.stats.inflight.Add(-1)
 	s.stats.requests.Add(1)
 	start := time.Now()
-	out, rep, err := s.minimize(ctx, p)
+	e, rep, err := s.minimize(ctx, p)
 	if err != nil {
 		s.stats.errors.Add(1)
 		return nil, Report{}, err
 	}
 	s.stats.lat.observe(time.Since(start))
-	return out, rep, nil
+	return e, rep, nil
 }
 
-func (s *Service) minimize(ctx context.Context, p *pattern.Pattern) (*pattern.Pattern, Report, error) {
-	if s.cache == nil {
+// hitText is the exact-text fast path: if src (the raw query text of a
+// request) was seen before and its entry is still cached, serve it with
+// full hit bookkeeping — no parse, no canonicalization, no allocation.
+// Misses (unknown text, evicted entry, caching disabled, shutdown) are
+// reported as !ok and cost one map probe; the caller falls back to the
+// parse path, which re-registers the mapping.
+func (s *Service) hitText(src string) (*entry, Report, bool) {
+	if len(s.shards) == 0 || src == "" {
+		return nil, Report{}, false
+	}
+	tsh := s.shards[shardHashString(src)&s.shardMask]
+	tsh.mu.Lock()
+	key, ok := tsh.textIdx[src]
+	tsh.mu.Unlock()
+	if !ok {
+		return nil, Report{}, false
+	}
+	s.mu.Lock()
+	if s.closing {
+		// Let the slow path produce ErrClosed with its usual accounting.
+		s.mu.Unlock()
+		return nil, Report{}, false
+	}
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	defer s.inflight.Done()
+	start := time.Now()
+	e, ok := s.shardForString(key).get(key)
+	if !ok {
+		return nil, Report{}, false
+	}
+	s.stats.requests.Add(1)
+	s.stats.hits.Add(1)
+	rep := e.rep
+	rep.CacheHit = true
+	s.stats.lat.observe(time.Since(start))
+	return e, rep, true
+}
+
+// registerText records src → cache key after the slow path resolved it,
+// so the next byte-identical request takes hitText. Bounded per shard by
+// displacing an arbitrary mapping; slow-path only, so the allocation for
+// the key string is off the hot path.
+func (s *Service) registerText(src string, e *entry) {
+	if len(s.shards) == 0 || src == "" || e == nil || e.canon == "" {
+		return
+	}
+	key := e.canon + "\x00" + s.fp
+	tsh := s.shards[shardHashString(src)&s.shardMask]
+	tsh.mu.Lock()
+	if _, ok := tsh.textIdx[src]; !ok {
+		if len(tsh.textIdx) >= tsh.textCap {
+			for k := range tsh.textIdx {
+				delete(tsh.textIdx, k)
+				break
+			}
+		}
+		tsh.textIdx[src] = key
+	}
+	tsh.mu.Unlock()
+}
+
+// keyScratch is the pooled per-request buffer the cache key is built in:
+// a hit never materializes a single string or byte slice on the heap.
+type keyScratch struct{ buf []byte }
+
+var keyPool = sync.Pool{New: func() any { return &keyScratch{buf: make([]byte, 0, 256)} }}
+
+func (s *Service) minimize(ctx context.Context, p *pattern.Pattern) (*entry, Report, error) {
+	if len(s.shards) == 0 {
 		s.stats.misses.Add(1)
 		e, err := s.compute(ctx, p)
 		if err != nil {
 			return nil, Report{}, err
 		}
-		return e.out, e.rep, nil
+		return e, e.rep, nil
 	}
-	canon := p.Canonical()
-	key := canon + "\x00" + s.fp
+	// Build canon + "\x00" + constraint fingerprint in pooled scratch and
+	// try the owning shard: the hot path is one hash, one shard lock, one
+	// map probe — no allocation.
+	ks := keyPool.Get().(*keyScratch)
+	buf := p.AppendCanonical(ks.buf[:0])
+	canonLen := len(buf)
+	buf = append(buf, 0)
+	buf = append(buf, s.fp...)
+	ks.buf = buf
+	sh := s.shardForKey(buf)
+	if e, ok := sh.getBytes(buf); ok {
+		keyPool.Put(ks)
+		s.stats.hits.Add(1)
+		rep := e.rep
+		rep.CacheHit = true
+		return e, rep, nil
+	}
+	// Miss: materialize the strings the slow path keeps (flight map key,
+	// entry identity) and release the scratch.
+	key := string(buf)
+	canon := key[:canonLen]
+	keyPool.Put(ks)
 	for {
-		if e, ok := s.cacheGet(key); ok {
+		if e, ok := sh.get(key); ok {
+			s.stats.hits.Add(1)
 			rep := e.rep
 			rep.CacheHit = true
-			return e.out.Clone(), rep, nil
+			return e, rep, nil
 		}
-		c, leader := s.flight.join(key)
+		c, leader := sh.flight.join(key)
 		if !leader {
 			// Another request is minimizing this exact query right now:
 			// merge with it instead of duplicating the work.
@@ -372,18 +537,19 @@ func (s *Service) minimize(ctx context.Context, p *pattern.Pattern) (*pattern.Pa
 				}
 				rep := c.val.rep
 				rep.Merged = true
-				return c.val.out.Clone(), rep, nil
+				return c.val, rep, nil
 			case <-ctx.Done():
 				return nil, Report{}, ctx.Err()
 			}
 		}
 		// Leader. A racing leader may have filled the cache between our
 		// lookup and the join; re-check before paying for the pipeline.
-		if e, ok := s.cacheGet(key); ok {
-			s.flight.finish(key, c, e)
+		if e, ok := sh.get(key); ok {
+			sh.flight.finish(key, c, e)
+			s.stats.hits.Add(1)
 			rep := e.rep
 			rep.CacheHit = true
-			return e.out.Clone(), rep, nil
+			return e, rep, nil
 		}
 		// Second tier: the local persistent store; third tier: the key's
 		// owner in the fleet. Either hit is promoted into the LRU and
@@ -393,11 +559,11 @@ func (s *Service) minimize(ctx context.Context, p *pattern.Pattern) (*pattern.Pa
 			e, tiered = s.peerGet(ctx, canon)
 		}
 		if tiered {
-			s.cacheAdd(key, e)
-			s.flight.finish(key, c, e)
+			s.cacheAdd(sh, key, e)
+			sh.flight.finish(key, c, e)
 			rep := e.rep
 			rep.CacheHit = true
-			return e.out.Clone(), rep, nil
+			return e, rep, nil
 		}
 		s.stats.misses.Add(1)
 		if s.computeGate != nil {
@@ -405,40 +571,39 @@ func (s *Service) minimize(ctx context.Context, p *pattern.Pattern) (*pattern.Pa
 		}
 		e, err := s.compute(ctx, p)
 		if err != nil {
-			s.flight.fail(key, c, err)
+			sh.flight.fail(key, c, err)
 			return nil, Report{}, err
 		}
 		e.canon = canon
-		s.cacheAdd(key, e)
-		s.storeEnqueue(e)
-		s.flight.finish(key, c, e)
-		return e.out.Clone(), e.rep, nil
+		e.finalize()
+		s.cacheAdd(sh, key, e)
+		s.storeEnqueue(sh, e)
+		sh.flight.finish(key, c, e)
+		return e, e.rep, nil
 	}
 }
 
-// cacheAdd admits an entry under the service lock, indexing it by its
+// cacheAdd admits an entry under its shard's lock, indexing it by its
 // store key when a persistent or shard tier needs byte-key lookups.
-func (s *Service) cacheAdd(key string, e *entry) {
+func (s *Service) cacheAdd(sh *cacheShard, key string, e *entry) {
 	fp := ""
 	if s.store != nil || s.ring != nil {
 		fp = string(s.storeKey(e.canon))
 	}
-	s.mu.Lock()
-	evicted := s.cache.add(key, fp, e)
-	s.mu.Unlock()
+	sh.mu.Lock()
+	evicted := sh.lru.add(key, fp, e)
+	sh.mu.Unlock()
 	if evicted > 0 {
 		s.stats.evictions.Add(int64(evicted))
 	}
 }
 
-func (s *Service) cacheGet(key string) (*entry, bool) {
-	s.mu.Lock()
-	e, ok := s.cache.get(key)
-	s.mu.Unlock()
-	if ok {
-		s.stats.hits.Add(1)
-	}
-	return e, ok
+// finalize renders the derived serving state of an entry about to be
+// shared through the cache: the output text (rendered once instead of
+// per response) and the pre-rendered cache-hit response bytes.
+func (e *entry) finalize() {
+	e.text = e.out.String()
+	e.hitJSON = renderHitPrefix(e)
 }
 
 // compute runs the actual pipeline plus the unsatisfiability verdict,

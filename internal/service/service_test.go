@@ -426,11 +426,11 @@ func TestStatsSnapshotShape(t *testing.T) {
 	if snap.LatencyCount != 3 {
 		t.Fatalf("count = %d", snap.LatencyCount)
 	}
-	if snap.LatencyP50Micros != 50 { // 30µs falls in the (20,50] bucket
-		t.Errorf("p50 = %d, want 50", snap.LatencyP50Micros)
+	if snap.LatencyP50Micros != 30 { // 30µs lands exactly on a log-linear bound
+		t.Errorf("p50 = %v, want 30", snap.LatencyP50Micros)
 	}
-	if snap.LatencyP99Micros != 5000 {
-		t.Errorf("p99 = %d, want 5000", snap.LatencyP99Micros)
+	if snap.LatencyP99Micros != 3000 { // 3ms lands exactly on a bound too
+		t.Errorf("p99 = %v, want 3000", snap.LatencyP99Micros)
 	}
 	total := int64(0)
 	for _, b := range snap.LatencyBuckets {

@@ -1,0 +1,123 @@
+package service
+
+import (
+	"runtime"
+	"sync"
+
+	"tpq/internal/shard"
+)
+
+// cacheShard is one lock domain of the sharded cache tier: its slice of
+// the LRU, its own singleflight group, and its own write-behind handoff
+// queue. Requests hash their cache key to a shard and contend only with
+// the traffic that lands there — the cache lock, the flight map lock and
+// the store drain all split N ways.
+type cacheShard struct {
+	mu     sync.Mutex
+	lru    *lruCache
+	flight flightGroup
+
+	// textIdx maps exact request text to the cache key it resolved to,
+	// letting repeat requests with byte-identical query text skip the
+	// parse and canonicalization entirely. Sharded by text hash (its own
+	// dimension — the canon shard is usually a different one), bounded by
+	// textCap with arbitrary displacement; a stale mapping only costs a
+	// missed fast path, never a wrong answer, because the key lookup in
+	// the canon shard stays authoritative.
+	textIdx map[string]string
+	textCap int
+
+	// Write-behind handoff (nil without a persistent tier). Each shard
+	// drains its own queue with its own goroutine, so one busy drain
+	// never serializes the other shards' computed entries.
+	storeQ    chan storeWrite
+	storeDone chan struct{}
+}
+
+// numShards picks the shard count for a cache of the given total
+// capacity: the next power of two ≥ 4×GOMAXPROCS — enough lock domains
+// that even a core count's worth of spinning requests rarely collide —
+// but never more shards than cache entries, so every shard keeps a
+// usable capacity.
+func numShards(totalCap int) int {
+	n := 1
+	for n < 4*runtime.GOMAXPROCS(0) {
+		n <<= 1
+	}
+	for n > 1 && n > totalCap {
+		n >>= 1
+	}
+	return n
+}
+
+// newShards builds the shard array, splitting totalCap across shards
+// (earlier shards absorb the remainder, so the capacities sum exactly
+// to totalCap).
+func newShards(totalCap int) []*cacheShard {
+	n := numShards(totalCap)
+	base, extra := totalCap/n, totalCap%n
+	shards := make([]*cacheShard, n)
+	for i := range shards {
+		c := base
+		if i < extra {
+			c++
+		}
+		tc := c
+		if tc < 1 {
+			tc = 1
+		}
+		shards[i] = &cacheShard{lru: newLRU(c), textIdx: make(map[string]string), textCap: tc}
+	}
+	return shards
+}
+
+// shardHash spreads a cache key over the shard space: FNV-1a finalized
+// by splitmix64 (shard.Mix64), the same mix the consistent-hash ring
+// uses — raw FNV of keys sharing the constraint-fingerprint suffix
+// stays correlated in the low bits, and the shard index is exactly the
+// low bits.
+func shardHash(key []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return shard.Mix64(h)
+}
+
+// shardHashString is shardHash for slow paths that already materialized
+// the key string.
+func shardHashString(key string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return shard.Mix64(h)
+}
+
+// getBytes returns the shard's entry for a key still in its scratch
+// buffer, refreshing recency. The []byte-keyed map lookup compiles to a
+// no-allocation access.
+func (sh *cacheShard) getBytes(key []byte) (*entry, bool) {
+	sh.mu.Lock()
+	e, ok := sh.lru.getBytes(key)
+	sh.mu.Unlock()
+	return e, ok
+}
+
+// get returns the shard's entry for key, refreshing recency.
+func (sh *cacheShard) get(key string) (*entry, bool) {
+	sh.mu.Lock()
+	e, ok := sh.lru.get(key)
+	sh.mu.Unlock()
+	return e, ok
+}

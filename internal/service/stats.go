@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tpq/internal/hdr"
 	"tpq/internal/trace"
 )
 
@@ -53,7 +54,7 @@ type Stats struct {
 	// phase holds one duration histogram per pipeline phase
 	// (parse/chase/cdm/acim/cim/compact), fed by the per-request traces of
 	// the compute path (cache hits run no phases) plus the serving layer's
-	// parse observations. Same 1-2-5 bucketing as lat.
+	// parse observations. Same log-linear bucketing as lat.
 	phase [trace.NumPhases]latencyHist
 }
 
@@ -71,25 +72,37 @@ func (s *Stats) observePhases(tr *trace.Trace) {
 	}
 }
 
-// latencyBoundsMicros are the histogram bucket upper bounds, in
-// microseconds; an implicit +Inf bucket catches the rest. The spacing is
-// 1-2-5 per decade from 1µs to 1s — minimizations span hash-lookup hits
-// (sub-µs) to O(n⁶) worst cases.
-var latencyBoundsMicros = [...]int64{
-	1, 2, 5, 10, 20, 50, 100, 200, 500,
-	1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000, 200_000, 500_000, 1_000_000,
+// latencyLayout is the bucket layout shared by the request and per-phase
+// histograms: log-linear (HDR-style), 9 bounds per decade from 100ns to
+// 1s. The old 1-2-5 three-decade spacing put every µs-scale cached hit
+// in one bucket, which made the p50/p99 of a hot service meaningless —
+// the sub-millisecond decades are where the serving hot path lives.
+var latencyLayout = hdr.Layout{MinNanos: 100, Decades: 7, Steps: 9}
+
+// latencyBoundsNanos are the materialized bucket upper bounds, in
+// nanoseconds; an implicit +Inf bucket catches the rest.
+var latencyBoundsNanos = latencyLayout.Bounds()
+
+// numLatencyBounds keeps the bucket array a fixed-size struct field; the
+// init check pins it to the layout.
+const numLatencyBounds = 64
+
+func init() {
+	if len(latencyBoundsNanos) != numLatencyBounds {
+		panic("service: latencyLayout does not match numLatencyBounds")
+	}
 }
 
 type latencyHist struct {
-	buckets [len(latencyBoundsMicros) + 1]atomic.Int64
+	buckets [numLatencyBounds + 1]atomic.Int64
 	count   atomic.Int64
-	sum     atomic.Int64 // microseconds
+	sum     atomic.Int64 // nanoseconds
 }
 
 // load copies the histogram into plain slices for rendering. The copies
 // of the individual atomics are not mutually consistent under concurrent
 // observes — the usual monitoring tolerance.
-func (h *latencyHist) load() (counts []int64, total, sumMicros int64) {
+func (h *latencyHist) load() (counts []int64, total, sumNanos int64) {
 	counts = make([]int64, len(h.buckets))
 	for i := range h.buckets {
 		counts[i] = h.buckets[i].Load()
@@ -98,19 +111,19 @@ func (h *latencyHist) load() (counts []int64, total, sumMicros int64) {
 }
 
 func (h *latencyHist) observe(d time.Duration) {
-	us := d.Microseconds()
-	i := 0
-	for i < len(latencyBoundsMicros) && us > latencyBoundsMicros[i] {
-		i++
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
 	}
-	h.buckets[i].Add(1)
+	h.buckets[latencyLayout.Index(ns)].Add(1)
 	h.count.Add(1)
-	h.sum.Add(us)
+	h.sum.Add(ns)
 }
 
-// quantile returns an upper bound on the q-quantile in microseconds: the
-// bound of the first bucket at which the cumulative count reaches q·total.
-func (h *latencyHist) quantile(q float64, counts []int64, total int64) int64 {
+// quantile returns an upper bound on the q-quantile in microseconds
+// (fractional below 1µs): the bound of the first bucket at which the
+// cumulative count reaches q·total.
+func (h *latencyHist) quantile(q float64, counts []int64, total int64) float64 {
 	if total == 0 {
 		return 0
 	}
@@ -122,8 +135,8 @@ func (h *latencyHist) quantile(q float64, counts []int64, total int64) int64 {
 	for i, c := range counts {
 		cum += c
 		if cum >= need {
-			if i < len(latencyBoundsMicros) {
-				return latencyBoundsMicros[i]
+			if i < numLatencyBounds {
+				return float64(latencyBoundsNanos[i]) / 1e3
 			}
 			return -1 // in the +Inf bucket
 		}
@@ -133,9 +146,10 @@ func (h *latencyHist) quantile(q float64, counts []int64, total int64) int64 {
 
 // LatencyBucket is one histogram bar: the count of requests that took at
 // most LEMicros microseconds (and more than the previous bound).
+// Fractional bounds are the sub-microsecond buckets.
 type LatencyBucket struct {
-	LEMicros int64 `json:"leMicros"` // -1 on the +Inf bucket
-	Count    int64 `json:"count"`
+	LEMicros float64 `json:"leMicros"` // -1 on the +Inf bucket
+	Count    int64   `json:"count"`
 }
 
 // Snapshot is a point-in-time copy of the counters, shaped for JSON.
@@ -180,6 +194,9 @@ type Snapshot struct {
 
 	CacheLen int `json:"cacheLen"`
 	CacheCap int `json:"cacheCap"`
+	// CacheShards is the number of lock domains the LRU is split over
+	// (0 when caching is disabled).
+	CacheShards int `json:"cacheShards"`
 
 	// PlanCacheLen and PlanCacheCap mirror the process-wide chase-plan
 	// registry (compiled augmentation plans keyed by constraint-set
@@ -194,9 +211,9 @@ type Snapshot struct {
 
 	LatencyCount      int64           `json:"latencyCount"`
 	LatencyMeanMicros float64         `json:"latencyMeanMicros"`
-	LatencyP50Micros  int64           `json:"latencyP50Micros"` // -1: beyond the last bound
-	LatencyP90Micros  int64           `json:"latencyP90Micros"`
-	LatencyP99Micros  int64           `json:"latencyP99Micros"`
+	LatencyP50Micros  float64         `json:"latencyP50Micros"` // -1: beyond the last bound
+	LatencyP90Micros  float64         `json:"latencyP90Micros"`
+	LatencyP99Micros  float64         `json:"latencyP99Micros"`
 	LatencyBuckets    []LatencyBucket `json:"latencyBuckets"`
 
 	// Phases summarizes the per-phase duration histograms of the compute
@@ -210,7 +227,7 @@ type Snapshot struct {
 type PhaseSnapshot struct {
 	Count      int64   `json:"count"`
 	MeanMicros float64 `json:"meanMicros"`
-	P99Micros  int64   `json:"p99Micros"` // -1: beyond the last bound
+	P99Micros  float64 `json:"p99Micros"` // -1: beyond the last bound
 }
 
 // StoreSnapshot is the persistent tier's state as seen on /stats.
@@ -265,7 +282,7 @@ func (s *Stats) snapshot() Snapshot {
 	total := s.lat.count.Load()
 	snap.LatencyCount = total
 	if total > 0 {
-		snap.LatencyMeanMicros = float64(s.lat.sum.Load()) / float64(total)
+		snap.LatencyMeanMicros = float64(s.lat.sum.Load()) / 1e3 / float64(total)
 	}
 	snap.LatencyP50Micros = s.lat.quantile(0.50, counts, total)
 	snap.LatencyP90Micros = s.lat.quantile(0.90, counts, total)
@@ -274,9 +291,9 @@ func (s *Stats) snapshot() Snapshot {
 		if c == 0 {
 			continue
 		}
-		le := int64(-1)
-		if i < len(latencyBoundsMicros) {
-			le = latencyBoundsMicros[i]
+		le := float64(-1)
+		if i < numLatencyBounds {
+			le = float64(latencyBoundsNanos[i]) / 1e3
 		}
 		snap.LatencyBuckets = append(snap.LatencyBuckets, LatencyBucket{LEMicros: le, Count: c})
 	}
@@ -291,7 +308,7 @@ func (s *Stats) snapshot() Snapshot {
 		}
 		snap.Phases[p.String()] = PhaseSnapshot{
 			Count:      phTotal,
-			MeanMicros: float64(sum) / float64(phTotal),
+			MeanMicros: float64(sum) / 1e3 / float64(phTotal),
 			P99Micros:  h.quantile(0.99, counts, phTotal),
 		}
 	}

@@ -32,11 +32,18 @@ type storedEntry struct {
 	CDMRemoved    int             `json:"cdmRemoved"`
 	ACIMRemoved   int             `json:"acimRemoved"`
 	Unsatisfiable bool            `json:"unsatisfiable,omitempty"`
+	// Tick is the service-global write ticket, assigned at enqueue time.
+	// The per-shard drain goroutines race, so the store's own append
+	// sequence no longer reflects completion order; warm-start ranks
+	// recency by tick instead. Zero on peer-wire encodings and entries
+	// written before ticks existed.
+	Tick uint64 `json:"tick,omitempty"`
 }
 
 // encodeStored serializes one cache entry for the persistent tier and
-// the peer-fetch wire (they share the codec byte for byte).
-func encodeStored(e *entry) ([]byte, error) {
+// the peer-fetch wire (they share the codec byte for byte). tick is the
+// write ticket for persisted entries, 0 on the peer wire.
+func encodeStored(e *entry, tick uint64) ([]byte, error) {
 	out, err := json.Marshal(e.out)
 	if err != nil {
 		return nil, err
@@ -49,6 +56,7 @@ func encodeStored(e *entry) ([]byte, error) {
 		CDMRemoved:    e.rep.CDMRemoved,
 		ACIMRemoved:   e.rep.ACIMRemoved,
 		Unsatisfiable: e.rep.Unsatisfiable,
+		Tick:          tick,
 	})
 }
 
@@ -67,7 +75,7 @@ func decodeStored(val []byte) (*entry, error) {
 	if err := json.Unmarshal(se.Output, p); err != nil {
 		return nil, err
 	}
-	return &entry{
+	e := &entry{
 		canon: se.Canon,
 		out:   p,
 		rep: Report{
@@ -77,7 +85,11 @@ func decodeStored(val []byte) (*entry, error) {
 			ACIMRemoved:   se.ACIMRemoved,
 			Unsatisfiable: se.Unsatisfiable,
 		},
-	}, nil
+	}
+	// Decoded entries are about to be cached and served as hits; render
+	// their serving state once, here.
+	e.finalize()
+	return e, nil
 }
 
 // storeKey builds the fixed-size persistent key for a canonical form:
@@ -96,11 +108,13 @@ type storeWrite struct {
 	key, val []byte
 }
 
-// drainStore is the write-behind goroutine: it applies queued puts to
-// the persistent tier until the queue is closed at shutdown.
-func (s *Service) drainStore() {
-	defer close(s.storeDone)
-	for w := range s.storeQ {
+// drainStore is one shard's write-behind goroutine: it applies that
+// shard's queued puts to the persistent tier until the queue is closed
+// at shutdown. One goroutine per shard, so a slow put serializes only
+// its own shard's handoff.
+func (s *Service) drainStore(sh *cacheShard) {
+	defer close(sh.storeDone)
+	for w := range sh.storeQ {
 		if err := s.store.Put(w.key, w.val); err != nil {
 			s.stats.storeErrors.Add(1)
 		} else {
@@ -109,19 +123,20 @@ func (s *Service) drainStore() {
 	}
 }
 
-// storeEnqueue hands a freshly computed entry to the write-behind
-// queue. Never blocks: a full queue drops the put and counts it.
-func (s *Service) storeEnqueue(e *entry) {
-	if s.storeQ == nil {
+// storeEnqueue hands a freshly computed entry to its shard's
+// write-behind queue. Never blocks: a full queue drops the put and
+// counts it.
+func (s *Service) storeEnqueue(sh *cacheShard, e *entry) {
+	if sh.storeQ == nil {
 		return
 	}
-	val, err := encodeStored(e)
+	val, err := encodeStored(e, s.writeTick.Add(1))
 	if err != nil {
 		s.stats.storeErrors.Add(1)
 		return
 	}
 	select {
-	case s.storeQ <- storeWrite{key: s.storeKey(e.canon), val: val}:
+	case sh.storeQ <- storeWrite{key: s.storeKey(e.canon), val: val}:
 	default:
 		s.stats.storeDropped.Add(1)
 	}
@@ -190,14 +205,22 @@ func (s *Service) LookupEncoded(key []byte) ([]byte, bool) {
 	if len(key) != store.KeySize {
 		return nil, false
 	}
-	s.mu.Lock()
+	// The store key does not determine the cache shard (that hash covers
+	// the canonical form, which only the entry knows), so scan the
+	// shards' byFP indexes; peer fetches are rare and the shard count is
+	// small.
 	var e *entry
-	if s.cache != nil {
-		e = s.cache.getByFP(string(key))
+	fp := string(key)
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		e = sh.lru.getByFP(fp)
+		sh.mu.Unlock()
+		if e != nil {
+			break
+		}
 	}
-	s.mu.Unlock()
 	if e != nil {
-		if val, err := encodeStored(e); err == nil {
+		if val, err := encodeStored(e, 0); err == nil {
 			return val, true
 		}
 	}
@@ -209,28 +232,60 @@ func (s *Service) LookupEncoded(key []byte) ([]byte, bool) {
 	return nil, false
 }
 
+// initWriteTick seeds the write ticket from the largest tick already
+// persisted under this constraint set, so ticks written after a restart
+// rank above every existing entry. Runs once, at construction, before
+// the drain goroutines start.
+func (s *Service) initWriteTick() {
+	max := uint64(0)
+	s.store.Scan(s.fpRaw, func(_, val []byte, _ uint64) bool {
+		var meta struct {
+			Tick uint64 `json:"tick"`
+		}
+		if json.Unmarshal(val, &meta) == nil && meta.Tick > max {
+			max = meta.Tick
+		}
+		return true
+	})
+	s.writeTick.Store(max)
+}
+
 // warmStart pre-populates the LRU from the persistent tier: the limit
 // most recently written entries under this service's constraint-set
 // prefix (limit < 0 means up to the cache capacity), inserted oldest
 // first so the hottest entry ends up most recently used. Runs once,
 // at construction, before any request is admitted.
 func (s *Service) warmStart(limit int) {
-	if limit == 0 || s.cache == nil || s.store == nil {
+	if limit == 0 || len(s.shards) == 0 || s.store == nil {
 		return
 	}
-	if limit < 0 || limit > s.cache.cap {
-		limit = s.cache.cap
+	_, totalCap := s.cacheLenCap()
+	if limit < 0 || limit > totalCap {
+		limit = totalCap
 	}
 	type cand struct {
 		key, val []byte
 		seq      uint64
+		tick     uint64
 	}
 	var cands []cand
 	s.store.Scan(s.fpRaw, func(key, val []byte, seq uint64) bool {
-		cands = append(cands, cand{key: key, val: val, seq: seq})
+		var meta struct {
+			Tick uint64 `json:"tick"`
+		}
+		_ = json.Unmarshal(val, &meta)
+		cands = append(cands, cand{key: key, val: val, seq: seq, tick: meta.Tick})
 		return true
 	})
-	sort.Slice(cands, func(i, j int) bool { return cands[i].seq > cands[j].seq })
+	// Rank by write ticket (assigned in request-completion order), falling
+	// back to the store's append sequence for pre-tick records; the store
+	// sequence alone is scrambled by the racing per-shard drains.
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].tick != cands[j].tick {
+			return cands[i].tick > cands[j].tick
+		}
+		return cands[i].seq > cands[j].seq
+	})
 	if len(cands) > limit {
 		cands = cands[:limit]
 	}
@@ -240,9 +295,11 @@ func (s *Service) warmStart(limit int) {
 			s.stats.storeErrors.Add(1)
 			continue
 		}
-		s.mu.Lock()
-		s.cache.add(e.canon+"\x00"+s.fp, string(cands[i].key), e)
-		s.mu.Unlock()
+		key := e.canon + "\x00" + s.fp
+		sh := s.shardForString(key)
+		sh.mu.Lock()
+		sh.lru.add(key, string(cands[i].key), e)
+		sh.mu.Unlock()
 		s.stats.warmStarted.Add(1)
 	}
 }

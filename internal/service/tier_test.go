@@ -303,7 +303,7 @@ func TestStoreRoundTripCodec(t *testing.T) {
 			InputSize: 4, OutputSize: 3, CDMRemoved: 1, ACIMRemoved: 0, Unsatisfiable: true,
 		},
 	}
-	val, err := encodeStored(e)
+	val, err := encodeStored(e, 7)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -90,19 +90,20 @@ func (r *Ring) Replicas() []string {
 func hash64(s string) uint64 {
 	h := fnv.New64a()
 	h.Write([]byte(s))
-	return mix64(h.Sum64())
+	return Mix64(h.Sum64())
 }
 
 func hash64b(b []byte) uint64 {
 	h := fnv.New64a()
 	h.Write(b)
-	return mix64(h.Sum64())
+	return Mix64(h.Sum64())
 }
 
-// mix64 is the splitmix64 finalizer. Raw FNV of short, similar strings
+// Mix64 is the splitmix64 finalizer. Raw FNV of short, similar strings
 // ("n1:8080#0", "n1:8080#1", ...) leaves the ring points correlated
-// and the arcs badly unbalanced; a full-avalanche mix fixes that.
-func mix64(x uint64) uint64 {
+// and the arcs badly unbalanced; a full-avalanche mix fixes that. The
+// service's sharded LRU reuses it to spread cache keys over shards.
+func Mix64(x uint64) uint64 {
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9
 	x ^= x >> 27

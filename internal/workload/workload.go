@@ -1,0 +1,129 @@
+// Package workload builds deterministic request mixes for the load
+// generator (cmd/tpqload), the query-mix mode of cmd/tpqgen, and the
+// serving-scale benchmarks: a ranked set of structurally distinct
+// queries drawn from the genquery shape family, and a Zipf sampler over
+// the ranks. Everything is seeded — two runs with the same parameters
+// produce byte-identical request streams, so load results are
+// comparable across machines and commits.
+package workload
+
+import (
+	"math/rand"
+
+	"tpq/internal/genquery"
+	"tpq/internal/pattern"
+)
+
+// Query is one distinct query of a mix: the wire text (what a client
+// POSTs), the parsed pattern (what in-process benchmarks submit), and
+// the generator shape it came from.
+type Query struct {
+	Text    string
+	Pattern *pattern.Pattern
+	Shape   string
+}
+
+// shapes is the rotation of genquery generators a mix cycles through.
+// Sizes grow with the rotation count, so two queries of the same shape
+// are still structurally distinct.
+var shapes = []string{"chain", "bushy", "star", "fan", "redundant", "random"}
+
+// Queries returns n structurally distinct queries, deterministic in
+// (n, seed): the shape rotation is fixed, sizes grow with rank, and the
+// only random shape ("random") draws from a rand.Rand seeded here.
+// Distinctness is by canonical form — candidates that collide with an
+// earlier rank are skipped, so every rank is a different cache entry.
+func Queries(n int, seed int64) []Query {
+	if n < 1 {
+		panic("workload: Queries needs n >= 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Query, 0, n)
+	seen := make(map[string]bool, n)
+	for round := 0; len(out) < n; round++ {
+		size := 6 + 2*round
+		for _, shape := range shapes {
+			if len(out) >= n {
+				break
+			}
+			q := build(shape, size, rng)
+			canon := q.Canonical()
+			if seen[canon] {
+				continue
+			}
+			seen[canon] = true
+			out = append(out, Query{Text: q.String(), Pattern: q, Shape: shape})
+		}
+	}
+	return out
+}
+
+// build constructs one query of the given shape and approximate size.
+// Constraint sets the generators produce alongside are discarded — the
+// serving layer minimizes under its own constraint set.
+func build(shape string, size int, rng *rand.Rand) *pattern.Pattern {
+	switch shape {
+	case "chain":
+		q, _ := genquery.Chain(size)
+		return q
+	case "bushy":
+		q, _ := genquery.Bushy(size, 3)
+		return q
+	case "star":
+		q, _ := genquery.Star(size)
+		return q
+	case "fan":
+		return genquery.Fan(size)
+	case "redundant":
+		// Minimum size for 2 redundant nodes at degree 2 is 7.
+		if size < 7 {
+			size = 7
+		}
+		return genquery.Redundant(size, 2, 2)
+	case "random":
+		return genquery.Random(rng, size, 6)
+	default:
+		panic("workload: unknown shape " + shape)
+	}
+}
+
+// Sampler draws (rank, isMatch) pairs: ranks Zipf-distributed over
+// [0, n) — rank 0 hottest — and a Bernoulli coin for routing the
+// request to /match instead of /minimize. Deterministic in its seed.
+// Not safe for concurrent use; give each load worker its own.
+type Sampler struct {
+	rng       *rand.Rand
+	zipf      *rand.Zipf
+	n         int
+	matchFrac float64
+}
+
+// NewSampler returns a sampler over n ranks with Zipf parameter s
+// (s > 1; s <= 1 falls back to a uniform mix, the conventional
+// "no skew" escape since rand.Zipf requires s > 1) and the given
+// fraction of match requests.
+func NewSampler(n int, s, matchFrac float64, seed int64) *Sampler {
+	if n < 1 {
+		panic("workload: NewSampler needs n >= 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sm := &Sampler{rng: rng, n: n, matchFrac: matchFrac}
+	if s > 1 {
+		sm.zipf = rand.NewZipf(rng, s, 1, uint64(n-1))
+	}
+	return sm
+}
+
+// Next returns the next request of the stream: the query rank to issue
+// and whether to route it to /match.
+func (sm *Sampler) Next() (rank int, match bool) {
+	if sm.zipf != nil {
+		rank = int(sm.zipf.Uint64())
+	} else {
+		rank = sm.rng.Intn(sm.n)
+	}
+	if sm.matchFrac > 0 {
+		match = sm.rng.Float64() < sm.matchFrac
+	}
+	return rank, match
+}

@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"testing"
+
+	"tpq/internal/pattern"
+)
+
+// TestQueriesDistinctAndParseable pins the mix contract: n queries, all
+// structurally distinct (distinct canonical forms), each one's Text
+// round-tripping through the parser to the same canonical form — so a
+// load generator POSTing Text exercises exactly the cache entries the
+// in-process benchmarks touch via Pattern.
+func TestQueriesDistinctAndParseable(t *testing.T) {
+	const n = 40
+	qs := Queries(n, 7)
+	if len(qs) != n {
+		t.Fatalf("got %d queries, want %d", len(qs), n)
+	}
+	seen := map[string]int{}
+	for i, q := range qs {
+		canon := q.Pattern.Canonical()
+		if prev, dup := seen[canon]; dup {
+			t.Errorf("rank %d duplicates rank %d (%s)", i, prev, q.Text)
+		}
+		seen[canon] = i
+		p, err := pattern.Parse(q.Text)
+		if err != nil {
+			t.Fatalf("rank %d text does not parse: %v\n%s", i, err, q.Text)
+		}
+		if p.Canonical() != canon {
+			t.Errorf("rank %d text round-trips to a different canonical form", i)
+		}
+	}
+}
+
+// TestQueriesDeterministic pins that the mix is a pure function of
+// (n, seed).
+func TestQueriesDeterministic(t *testing.T) {
+	a := Queries(24, 42)
+	b := Queries(24, 42)
+	for i := range a {
+		if a[i].Text != b[i].Text || a[i].Shape != b[i].Shape {
+			t.Fatalf("rank %d differs across identical seeds", i)
+		}
+	}
+}
+
+// TestSamplerDeterministicAndSkewed pins the sampler contract: identical
+// seeds produce identical streams, ranks stay in range, rank 0 is the
+// hottest under Zipf skew, and the match coin respects its fraction.
+func TestSamplerDeterministicAndSkewed(t *testing.T) {
+	const n, draws = 16, 10000
+	a := NewSampler(n, 1.2, 0.25, 3)
+	b := NewSampler(n, 1.2, 0.25, 3)
+	counts := make([]int, n)
+	matches := 0
+	for i := 0; i < draws; i++ {
+		ra, ma := a.Next()
+		rb, mb := b.Next()
+		if ra != rb || ma != mb {
+			t.Fatalf("draw %d differs across identical seeds", i)
+		}
+		if ra < 0 || ra >= n {
+			t.Fatalf("rank %d out of range", ra)
+		}
+		counts[ra]++
+		if ma {
+			matches++
+		}
+	}
+	for r := 1; r < n; r++ {
+		if counts[r] > counts[0] {
+			t.Errorf("rank %d drawn %d times, more than rank 0's %d — not Zipf-skewed",
+				r, counts[r], counts[0])
+		}
+	}
+	if matches < draws/8 || matches > draws/2 {
+		t.Errorf("match fraction 0.25 produced %d/%d matches", matches, draws)
+	}
+}
+
+// TestSamplerUniformFallback pins the s <= 1 escape: every rank is
+// drawn, with no rank starving (uniform, not skewed).
+func TestSamplerUniformFallback(t *testing.T) {
+	const n, draws = 8, 8000
+	sm := NewSampler(n, 1.0, 0, 9)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		r, m := sm.Next()
+		if m {
+			t.Fatal("matchFrac 0 produced a match request")
+		}
+		counts[r]++
+	}
+	for r, c := range counts {
+		if c < draws/n/2 {
+			t.Errorf("rank %d drawn only %d times in a uniform mix", r, c)
+		}
+	}
+}
