@@ -6,7 +6,7 @@ GO ?= go
 # rises.
 COVER_FLOOR ?= 84.0
 
-.PHONY: check ci build vet test race race-service store-fault fuzz-smoke bench-smoke bench-load bench-load-smoke fmtcheck bench bench-regression bench-chase bench-match cover fmt
+.PHONY: check ci build vet test race race-service store-fault fuzz-smoke bench-smoke bench-load bench-load-smoke fmtcheck bench bench-regression bench-chase bench-match bench-or cover fmt
 
 # The gate every change must pass before commit.
 check: build vet fmtcheck test race race-service store-fault fuzz-smoke bench-smoke bench-load-smoke
@@ -46,9 +46,10 @@ race-service:
 store-fault:
 	$(GO) test -race -run 'TestCrash|TestFaultInjection|TestCorruptRecord' -count=1 ./internal/store
 
-# Differential fuzzing smoke: the seeded 1200-case sweep through all five
-# oracles, then 10s of coverage-guided mutation per fuzz target on top of
-# the checked-in seed corpora. Open-ended hunting: go test -fuzz=<target>
+# Differential fuzzing smoke: the seeded 1200-case sweep through all nine
+# oracles (the conjunctive eight plus the disjunctive union oracle), then
+# 10s of coverage-guided mutation per fuzz target on top of the
+# checked-in seed corpora. Open-ended hunting: go test -fuzz=<target>
 # with no -fuzztime, or cmd/tpqfuzz for sweep/triage/replay.
 fuzz-smoke:
 	$(GO) test -run 'TestSeededSweep|TestSweepGenerators' -count=1 ./internal/difffuzz
@@ -56,6 +57,8 @@ fuzz-smoke:
 	$(GO) test -fuzz='^FuzzMinimizeUnderICs$$' -fuzztime=10s ./internal/difffuzz
 	$(GO) test -fuzz='^FuzzServiceConsistency$$' -fuzztime=10s ./internal/difffuzz
 	$(GO) test -fuzz='^FuzzDecode$$' -fuzztime=10s ./internal/difffuzz
+	$(GO) test -fuzz='^FuzzOr$$' -fuzztime=10s ./internal/difffuzz
+	$(GO) test -fuzz='^FuzzOrDecode$$' -fuzztime=10s ./internal/difffuzz
 	$(GO) test -fuzz='^FuzzParse$$' -fuzztime=10s ./internal/pattern
 	$(GO) test -fuzz='^FuzzParseCondition$$' -fuzztime=10s ./internal/pattern
 	$(GO) test -fuzz='^FuzzFromXPath$$' -fuzztime=10s ./internal/xpath
@@ -99,6 +102,16 @@ bench-chase:
 bench-match:
 	$(GO) run ./cmd/tpqbench -json -fig fig-match -outdir .bench
 	$(GO) run ./cmd/tpqbench -compare BENCH_baseline.json .bench/BENCH_fig-match.json -threshold 1.5x
+
+# Targeted disjunctive-minimization gate: re-measure the fig-or series
+# (k-disjunct unions of 101-node redundant disjuncts over disjoint type
+# alphabets, one worker — the curve must stay ~linear in k) and compare
+# against the baseline. The exact counters (disjuncts_out, absorbed,
+# unsat) pin the absorption semantics; the compare tool also fails if
+# any fig-or series disappears from the head run.
+bench-or:
+	$(GO) run ./cmd/tpqbench -json -fig fig-or -outdir .bench
+	$(GO) run ./cmd/tpqbench -compare BENCH_baseline.json .bench/BENCH_fig-or.json -threshold 1.5x
 
 # Targeted serving-concurrency gate: re-measure the service-scale figure
 # (aggregate ns/request of a Zipf mix at 1..8 concurrent workers, hot

@@ -120,7 +120,10 @@ func TestJSONMerged(t *testing.T) {
 func TestComparePasses(t *testing.T) {
 	dir := t.TempDir()
 	base, head := filepath.Join(dir, "old.json"), filepath.Join(dir, "new.json")
-	writeBenchFile(t, base, res("a", 100), res("b", 200), res("only-old", 1))
+	// only-old belongs to a figure the head run does not cover — a
+	// targeted gate must not demand it.
+	onlyOld := bench.JSONResult{Name: "only-old", Figure: "uncovered", NsPerOp: 1}
+	writeBenchFile(t, base, res("a", 100), res("b", 200), onlyOld)
 	writeBenchFile(t, head, res("a", 120), res("b", 190), res("only-new", 1))
 	out, stderr, code := runCmd(t, "-compare", base, head, "-threshold", "1.5x")
 	if code != 0 {
@@ -131,6 +134,26 @@ func TestComparePasses(t *testing.T) {
 	}
 	if strings.Contains(out, "only-old") || strings.Contains(out, "only-new") {
 		t.Errorf("non-intersecting results compared:\n%s", out)
+	}
+}
+
+// TestCompareFailsOnMissingSeries: a baseline series whose figure the
+// head run covers but whose name the head file lacks must fail the gate
+// — a renamed or dropped series would otherwise pass silently forever.
+func TestCompareFailsOnMissingSeries(t *testing.T) {
+	dir := t.TempDir()
+	base, head := filepath.Join(dir, "old.json"), filepath.Join(dir, "new.json")
+	writeBenchFile(t, base, res("a", 100), res("vanished", 50))
+	writeBenchFile(t, head, res("a", 100))
+	out, stderr, code := runCmd(t, "-compare", base, head, "-threshold", "1.5x")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stdout:\n%s\nstderr %q", code, out, stderr)
+	}
+	if !strings.Contains(out, "vanished") || !strings.Contains(out, "MISSING") {
+		t.Errorf("missing series not reported:\n%s", out)
+	}
+	if !strings.Contains(stderr, "missing from head") {
+		t.Errorf("stderr does not explain the failure: %q", stderr)
 	}
 }
 

@@ -22,7 +22,15 @@
 // -compare matches results by name over the two files' intersection and
 // exits 1 when any time grew past the threshold (counters that changed
 // are reported but never fail the gate — they are algorithmic changes,
-// not noise). -threshold may be given before or after the file names.
+// not noise). A baseline series missing from a head run that covers its
+// figure also fails: a renamed or dropped series must show up as a
+// baseline refresh, never as a silent pass. -threshold may be given
+// before or after the file names.
+//
+// -json -o FILE -merge folds the fresh results into the existing FILE
+// (fresh wins on duplicate names) instead of replacing it — how a new
+// figure's series joins BENCH_baseline.json without re-measuring the
+// rest.
 //
 // Experiments: 7a 7b 7b-incremental 8a 8b 9a 9b motivation ablation-cim
 // ablation-closure ablation-virtual ablation-cdm batch service.
@@ -63,6 +71,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jsonMode := fs.Bool("json", false, "run the pinned benchmarks and write BENCH_<figure>.json files")
 	outdir := fs.String("outdir", ".", "directory for -json output files")
 	merged := fs.String("o", "", "with -json: write one merged file here instead of per-figure files")
+	mergeInto := fs.Bool("merge", false, "with -json -o: fold fresh results into the existing file instead of replacing it")
 	compare := fs.Bool("compare", false, "compare two BENCH json files: tpqbench -compare old.json new.json [-threshold 1.5x]")
 	threshold := fs.String("threshold", "1.5x", "regression threshold for -compare (ratio, optional x suffix)")
 	if err := fs.Parse(args); err != nil {
@@ -90,7 +99,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runCompare(fs.Args(), *threshold, stdout, stderr)
 	}
 	if *jsonMode {
-		return runJSON(opts, *fig, *outdir, *merged, stdout, stderr)
+		return runJSON(opts, *fig, *outdir, *merged, *mergeInto, stdout, stderr)
 	}
 
 	names := bench.Names()
@@ -147,8 +156,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 // union into that single file (how BENCH_baseline.json is refreshed).
 // fig narrows the run to one pinned figure id ("all" runs every one) —
 // the cheap targeted gate `tpqbench -json -fig fig7b` CI uses for the
-// chase-phase check.
-func runJSON(opts bench.Options, fig, outdir, merged string, stdout, stderr io.Writer) int {
+// chase-phase check. mergeInto additionally folds an existing merged
+// file's results in under the fresh ones, so one figure can join the
+// baseline without re-measuring every other.
+func runJSON(opts bench.Options, fig, outdir, merged string, mergeInto bool, stdout, stderr io.Writer) int {
 	figures := bench.JSONFigures()
 	ids := make([]string, 0, len(figures))
 	for id := range figures {
@@ -183,6 +194,14 @@ func runJSON(opts bench.Options, fig, outdir, merged string, stdout, stderr io.W
 		fmt.Fprintf(stdout, "tpqbench: wrote %s (%d results)\n", path, len(f.Results))
 	}
 	if merged != "" {
+		if mergeInto {
+			if old, err := bench.ReadJSON(merged); err == nil {
+				files = append([]bench.JSONFile{old}, files...)
+			} else if !os.IsNotExist(err) {
+				fmt.Fprintf(stderr, "tpqbench: -merge: %v\n", err)
+				return 1
+			}
+		}
 		f := bench.MergeJSON("baseline", files...)
 		data, err := json.MarshalIndent(f, "", "  ")
 		if err != nil {
@@ -245,15 +264,21 @@ func runCompare(args []string, threshold string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	comps, regressions := bench.CompareJSON(older, newer, ratio)
-	if len(comps) == 0 {
+	matched := 0
+	for _, c := range comps {
+		if !c.Missing {
+			matched++
+		}
+	}
+	if matched == 0 {
 		fmt.Fprintln(stderr, "tpqbench: the two files share no result names — nothing compared")
 		return 1
 	}
 	fmt.Fprint(stdout, bench.FormatComparisons(comps, ratio))
 	if regressions > 0 {
-		fmt.Fprintf(stderr, "tpqbench: %d regression(s) beyond %.2fx\n", regressions, ratio)
+		fmt.Fprintf(stderr, "tpqbench: %d regression(s) (slower than %.2fx, or baseline series missing from head)\n", regressions, ratio)
 		return 1
 	}
-	fmt.Fprintf(stdout, "tpqbench: %d result(s) within %.2fx of baseline\n", len(comps), ratio)
+	fmt.Fprintf(stdout, "tpqbench: %d result(s) within %.2fx of baseline\n", matched, ratio)
 	return 0
 }

@@ -11,7 +11,14 @@
 //	tpqgen -kind redundant -size 101 -red 30 -degree 3
 //	tpqgen -kind halflocal -size 61
 //	tpqgen -kind random -size 15 -alphabet 5 -seed 7 -n 3 -cons 4
+//	tpqgen -kind random -size 10 -or 3 -n 5         # or(...) unions
 //	tpqgen -zipf 1.2 -patterns 16 -n 100 -seed 7   # Zipf query mix
+//
+// -or K (random kind only) emits each query as a disjunctive union of K
+// independently drawn disjuncts in or(p1, p2, ...) syntax, ready for
+// tpqmatch, tpqmin or the /minimize endpoint. Disjuncts that collide
+// structurally are deduplicated by the canonical form, so a union can
+// come out with fewer than K disjuncts.
 //
 // Mix mode (-zipf > 0) emits n queries drawn Zipf-distributed from a
 // deterministic set of -patterns structurally distinct queries (the
@@ -54,6 +61,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 1, "random seed (random)")
 	n := fs.Int("n", 1, "number of queries (random, mix)")
 	ncons := fs.Int("cons", 0, "random constraints to emit alongside (random)")
+	orK := fs.Int("or", 1, "disjuncts per query; >1 emits or(...) unions (random)")
 	zipf := fs.Float64("zipf", 0, "emit a Zipf-distributed query mix with this skew (mix mode; <=1 uniform)")
 	patterns := fs.Int("patterns", 16, "distinct queries in the mix (mix mode)")
 	if err := fs.Parse(args); err != nil {
@@ -72,6 +80,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	emit := func(q *pattern.Pattern, cs *ics.Set) {
 		fmt.Fprintln(stdout, q)
+		if cs != nil {
+			for _, c := range cs.Constraints() {
+				fmt.Fprintf(stdout, "# ic: %s\n", c)
+			}
+		}
+	}
+	// emitOr prints a disjunction; a singleton union collapses to the
+	// plain pattern syntax, so -or 1 output is identical to emit's.
+	emitOr := func(d *pattern.Disjunction, cs *ics.Set) {
+		fmt.Fprintln(stdout, d)
 		if cs != nil {
 			for _, c := range cs.Constraints() {
 				fmt.Fprintf(stdout, "# ic: %s\n", c)
@@ -105,12 +123,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		case "random":
 			rng := rand.New(rand.NewSource(*seed))
 			for i := 0; i < *n; i++ {
-				q := genquery.Random(rng, *size, *alphabet)
+				var d *pattern.Disjunction
+				if *orK > 1 {
+					pats := make([]*pattern.Pattern, *orK)
+					for j := range pats {
+						pats[j] = genquery.Random(rng, *size, *alphabet)
+					}
+					d = pattern.NewDisjunction(pats...)
+				} else {
+					d = pattern.NewDisjunction(genquery.Random(rng, *size, *alphabet))
+				}
 				var cs *ics.Set
 				if *ncons > 0 {
 					cs = genquery.RandomConstraints(rng, *ncons, *alphabet)
 				}
-				emit(q, cs)
+				emitOr(d, cs)
 			}
 		default:
 			fmt.Fprintf(stderr, "tpqgen: unknown kind %q\n", *kind)

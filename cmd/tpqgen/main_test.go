@@ -148,3 +148,32 @@ func TestErrors(t *testing.T) {
 		t.Errorf("bad flag: exit %d", code)
 	}
 }
+
+func TestOrUnions(t *testing.T) {
+	out, stderr, code := runCmd(t, "-kind", "random", "-size", "8", "-or", "3", "-n", "4", "-seed", "11")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 unions, got %d lines: %q", len(lines), out)
+	}
+	for _, line := range lines {
+		d, err := pattern.ParseDisjunctive(line)
+		if err != nil {
+			t.Fatalf("generated union does not parse: %q: %v", line, err)
+		}
+		// NewDisjunction dedups colliding draws, so <= 3 but > 1 with
+		// overwhelming probability at this size and seed.
+		if len(d.Disjuncts) < 2 || len(d.Disjuncts) > 3 {
+			t.Errorf("union has %d disjuncts: %q", len(d.Disjuncts), line)
+		}
+	}
+
+	// -or 1 collapses to plain syntax and must match the non-or stream.
+	plain, _, _ := runCmd(t, "-kind", "random", "-size", "8", "-n", "2", "-seed", "5")
+	or1, _, _ := runCmd(t, "-kind", "random", "-size", "8", "-or", "1", "-n", "2", "-seed", "5")
+	if plain != or1 {
+		t.Errorf("-or 1 changed the stream:\n%q\nvs\n%q", plain, or1)
+	}
+}

@@ -4,9 +4,15 @@
 // Usage:
 //
 //	tpqmatch -xml doc.xml 'Library/Book*[/Title]'
-//	tpqmatch -xml doc.xml -xpath '//Book[Title]'
+//	tpqmatch -xml doc.xml 'or(Book*[/Title], Article*[/Title])'
+//	tpqmatch -xml doc.xml -xpath '//Book[Title] | //Article[Title]'
 //	tpqmatch -xml doc.xml -c 'Book -> Title' -minimize 'Book*[/Title]'
 //	cat doc.xml | tpqmatch 'Book*'
+//
+// Disjunctive queries — or(p1, p2, ...) in pattern syntax, '|' unions in
+// XPath — evaluate as the union of their disjuncts' answer sets, merged
+// in document order with duplicates removed. -minimize minimizes each
+// disjunct and absorption-prunes the union before evaluating.
 //
 // Output: one line per answer with the node's document position and its
 // path from the root, followed by a summary. Answers stream as they are
@@ -25,6 +31,7 @@ import (
 	"tpq/internal/acim"
 	"tpq/internal/cdm"
 	"tpq/internal/data"
+	"tpq/internal/engine"
 	"tpq/internal/ics"
 	"tpq/internal/match"
 	"tpq/internal/match/stream"
@@ -62,12 +69,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	var q *pattern.Pattern
+	var d *pattern.Disjunction
 	var err error
 	if *asXPath {
-		q, err = xpath.FromXPath(fs.Arg(0))
+		d, err = xpath.FromXPathDisjunctive(fs.Arg(0))
 	} else {
-		q, err = pattern.Parse(fs.Arg(0))
+		d, err = pattern.ParseDisjunctive(fs.Arg(0))
 	}
 	if err != nil {
 		return fail(err)
@@ -96,24 +103,47 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			}
 			cs.Add(con)
 		}
-		closed := cs.Closure()
-		pre := q.Clone()
-		cdm.MinimizeInPlace(pre, closed)
-		min := acim.Minimize(pre, closed)
-		if min.Size() < q.Size() {
-			fmt.Fprintf(stdout, "# minimized %d -> %d nodes: %s\n", q.Size(), min.Size(), min)
+		if q := d.Singleton(); q != nil {
+			closed := cs.Closure()
+			pre := q.Clone()
+			cdm.MinimizeInPlace(pre, closed)
+			min := acim.Minimize(pre, closed)
+			if min.Size() < q.Size() {
+				fmt.Fprintf(stdout, "# minimized %d -> %d nodes: %s\n", q.Size(), min.Size(), min)
+			}
+			d = pattern.NewDisjunction(min)
+		} else {
+			res, err := engine.New(engine.Options{Constraints: cs}).MinimizeDisjunction(context.Background(), d)
+			if err != nil {
+				return fail(err)
+			}
+			if res.Output.Size() < d.Size() || len(res.Output.Disjuncts) < len(d.Disjuncts) {
+				fmt.Fprintf(stdout, "# minimized %d -> %d nodes (%d disjunct(s), %d absorbed, %d unsatisfiable): %s\n",
+					d.Size(), res.Output.Size(), len(res.Output.Disjuncts), res.Absorbed, res.Unsat, res.Output)
+			}
+			d = res.Output
 		}
-		q = min
 	}
 
 	// Evaluation streams: answers print as they are found, and -limit
-	// stops the matcher early instead of materializing the full set.
-	sq, err := stream.Compile(q, match.NewForestIndex(forest), stream.Options{})
-	if err != nil {
-		return fail(err)
+	// stops the matcher early instead of materializing the full set. A
+	// union compiles one matcher per disjunct and merges their streams in
+	// document order, deduplicating answers shared between disjuncts.
+	idx := match.NewForestIndex(forest)
+	qs := make([]*stream.Query, 0, len(d.Disjuncts))
+	for _, p := range d.Disjuncts {
+		sq, err := stream.Compile(p, idx, stream.Options{})
+		if err != nil {
+			return fail(err)
+		}
+		qs = append(qs, sq)
+	}
+	answers := qs[0].Answers(context.Background())
+	if len(qs) > 1 {
+		answers = stream.UnionAnswers(context.Background(), qs)
 	}
 	count, truncated := 0, false
-	for n := range sq.Answers(context.Background()) {
+	for n := range answers {
 		if *limit > 0 && count >= *limit {
 			truncated = true
 			break

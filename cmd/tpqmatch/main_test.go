@@ -90,3 +90,49 @@ func TestMatchErrors(t *testing.T) {
 		t.Error("bad constraint accepted")
 	}
 }
+
+func TestMatchUnion(t *testing.T) {
+	// The two disjuncts overlap on the first Book (it has both a Title
+	// and an Author); the union must deduplicate it.
+	out, stderr, code := runCmd(t, doc, "or(Book*[/Title], Book*[/Author])")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(out, "2 answer(s)") {
+		t.Errorf("union answers = %q", out)
+	}
+
+	out, _, code = runCmd(t, doc, "-count", "or(Book/Title*, Book/Author*)")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if strings.TrimSpace(out) != "3" {
+		t.Errorf("union count = %q", out)
+	}
+}
+
+func TestMatchUnionXPath(t *testing.T) {
+	out, _, code := runCmd(t, doc, "-xpath", "-count", "//Book[Title] | //Author")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if strings.TrimSpace(out) != "3" {
+		t.Errorf("count = %q", out)
+	}
+}
+
+func TestMatchUnionMinimize(t *testing.T) {
+	// Book*[/Title] absorbs Book*[/Title, /Title]; the union collapses to
+	// one disjunct before evaluating.
+	out, _, code := runCmd(t, doc,
+		"-minimize", "or(Book*[/Title, /Title], Book*[/Title])")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "1 disjunct(s), 1 absorbed") {
+		t.Errorf("minimization note missing: %q", out)
+	}
+	if !strings.Contains(out, "2 answer(s)") {
+		t.Errorf("answers wrong: %q", out)
+	}
+}

@@ -23,6 +23,12 @@
 //	help                   this text
 //	quit                   exit
 //
+// min, match, stream and eq accept disjunctive queries — or(p1, p2, ...)
+// nodes anywhere a pattern node can appear — and xpath accepts | unions;
+// a union is distributed into its conjunctive disjuncts, minimized per
+// disjunct with absorption pruning, and evaluated as a document-order
+// merge.
+//
 // The min command runs through a session-scoped tpq.Minimizer, so
 // repeating a query (or an isomorphic one) is served from its cache; the
 // minimizer is rebuilt whenever the constraint set changes.
@@ -175,7 +181,7 @@ func (sh *shell) exec(line string) {
 		}
 		fmt.Fprintf(sh.out, "closure: %d constraints\n", sh.cs.Closure().Len())
 	case "min":
-		sh.withQuery(rest, func(q *pattern.Pattern) {
+		sh.withUnion(rest, func(q *pattern.Pattern) {
 			res, rep := sh.minimizer().MinimizeReport(q)
 			note := ""
 			if rep.CacheHit {
@@ -183,6 +189,14 @@ func (sh *shell) exec(line string) {
 			}
 			fmt.Fprintf(sh.out, "%s   (%d -> %d nodes; CDM removed %d, ACIM %d%s)\n",
 				res, rep.InputSize, rep.OutputSize, rep.CDMRemoved, rep.ACIMRemoved, note)
+		}, func(d *tpq.Disjunction) {
+			res, rep := sh.minimizer().MinimizeDisjunction(d)
+			note := ""
+			if rep.CacheHit {
+				note = "; cached"
+			}
+			fmt.Fprintf(sh.out, "%s   (%d -> %d nodes; %d disjunct(s), %d absorbed, %d unsatisfiable%s)\n",
+				res, rep.InputSize, rep.OutputSize, rep.Disjuncts, rep.Absorbed, rep.Unsat, note)
 		})
 	case "cim":
 		sh.withQuery(rest, func(q *pattern.Pattern) {
@@ -200,20 +214,33 @@ func (sh *shell) exec(line string) {
 			sh.errorf("usage: eq QUERY ; QUERY")
 			return
 		}
-		sh.withQuery(strings.TrimSpace(a), func(qa *pattern.Pattern) {
-			sh.withQuery(strings.TrimSpace(b), func(qb *pattern.Pattern) {
-				fmt.Fprintf(sh.out, "equivalent: %v; under constraints: %v\n",
-					acim.EquivalentUnder(qa, qb, ics.NewSet()),
-					acim.EquivalentUnder(qa, qb, sh.cs))
-			})
-		})
+		da, err := pattern.ParseDisjunctive(strings.TrimSpace(a))
+		if err != nil {
+			sh.errorf("%v", err)
+			return
+		}
+		db, err := pattern.ParseDisjunctive(strings.TrimSpace(b))
+		if err != nil {
+			sh.errorf("%v", err)
+			return
+		}
+		if pa, pb := da.Singleton(), db.Singleton(); pa != nil && pb != nil {
+			fmt.Fprintf(sh.out, "equivalent: %v; under constraints: %v\n",
+				acim.EquivalentUnder(pa, pb, ics.NewSet()),
+				acim.EquivalentUnder(pa, pb, sh.cs))
+			return
+		}
+		fmt.Fprintf(sh.out, "disjunct-wise equivalent: %v; under constraints: %v\n",
+			unionEquivalent(da, db, ics.NewSet()), unionEquivalent(da, db, sh.cs))
 	case "match":
 		if sh.forest == nil {
 			sh.errorf("no document loaded (start with -xml doc.xml)")
 			return
 		}
-		sh.withQuery(rest, func(q *pattern.Pattern) {
+		sh.withUnion(rest, func(q *pattern.Pattern) {
 			fmt.Fprintf(sh.out, "%d answer(s)\n", sh.theMatcher().Count(q))
+		}, func(d *tpq.Disjunction) {
+			fmt.Fprintf(sh.out, "%d answer(s)\n", len(sh.theMatcher().MatchDisjunction(d)))
 		})
 	case "stream":
 		if sh.forest == nil {
@@ -226,9 +253,9 @@ func (sh *shell) exec(line string) {
 				src, limit = rest[:i], n
 			}
 		}
-		sh.withQuery(src, func(q *pattern.Pattern) {
+		show := func(answers func(func(*data.Node) bool)) {
 			n := 0
-			for v := range sh.theMatcher().Answers(context.Background(), q) {
+			for v := range answers {
 				fmt.Fprintf(sh.out, "  #%d %s\n", v.ID, typeList(v.Types))
 				if n++; limit > 0 && n >= limit {
 					fmt.Fprintln(sh.out, "  ... (limit reached)")
@@ -236,20 +263,37 @@ func (sh *shell) exec(line string) {
 				}
 			}
 			fmt.Fprintf(sh.out, "%d answer(s) shown\n", n)
+		}
+		sh.withUnion(src, func(q *pattern.Pattern) {
+			show(sh.theMatcher().Answers(context.Background(), q))
+		}, func(d *tpq.Disjunction) {
+			show(sh.theMatcher().AnswersDisjunction(context.Background(), d))
 		})
 	case "xpath":
-		q, err := xpath.FromXPath(rest)
+		d, err := xpath.FromXPathDisjunctive(rest)
 		if err != nil {
 			sh.errorf("%v", err)
 			return
 		}
-		min := acim.Minimize(cdm.Minimize(q, sh.cs.Closure()), sh.cs.Closure())
-		back, err := xpath.ToXPath(min)
-		if err != nil {
-			sh.errorf("%v", err)
+		if q := d.Singleton(); q != nil {
+			min := acim.Minimize(cdm.Minimize(q, sh.cs.Closure()), sh.cs.Closure())
+			back, err := xpath.ToXPath(min)
+			if err != nil {
+				sh.errorf("%v", err)
+				return
+			}
+			fmt.Fprintf(sh.out, "%s   (%d -> %d nodes)\n", back, q.Size(), min.Size())
 			return
 		}
-		fmt.Fprintf(sh.out, "%s   (%d -> %d nodes)\n", back, q.Size(), min.Size())
+		min, _ := sh.minimizer().MinimizeDisjunction(d)
+		parts := make([]string, len(min.Disjuncts))
+		for i, p := range min.Disjuncts {
+			if parts[i], err = xpath.ToXPath(p); err != nil {
+				sh.errorf("%v", err)
+				return
+			}
+		}
+		fmt.Fprintf(sh.out, "%s   (%d -> %d nodes)\n", strings.Join(parts, " | "), d.Size(), min.Size())
 	case "info":
 		sh.withQuery(rest, func(q *pattern.Pattern) {
 			fmt.Fprint(sh.out, cdm.DebugDump(q))
@@ -276,6 +320,46 @@ func (sh *shell) withQuery(src string, f func(*pattern.Pattern)) {
 		return
 	}
 	f(q)
+}
+
+// withUnion parses src disjunctively and dispatches: a conjunctive query
+// (the common case) to f, a genuine union to g.
+func (sh *shell) withUnion(src string, f func(*pattern.Pattern), g func(*tpq.Disjunction)) {
+	d, err := pattern.ParseDisjunctive(src)
+	if err != nil {
+		sh.errorf("%v", err)
+		return
+	}
+	if q := d.Singleton(); q != nil {
+		f(q)
+		return
+	}
+	g(d)
+}
+
+// unionEquivalent reports disjunct-wise equivalence of two unions under
+// cs: every disjunct of each side contained in some disjunct of the
+// other. Sufficient for equivalence; a "false" from this test can in
+// principle still be an equivalent pair whose containments only hold
+// union-wide.
+func unionEquivalent(a, b *tpq.Disjunction, cs *ics.Set) bool {
+	closed := cs.Closure()
+	covers := func(x, y *tpq.Disjunction) bool {
+		for _, p := range x.Disjuncts {
+			ok := false
+			for _, q := range y.Disjuncts {
+				if acim.ContainedUnder(p, q, closed) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	return covers(a, b) && covers(b, a)
 }
 
 func (sh *shell) errorf(format string, args ...interface{}) {
@@ -305,6 +389,8 @@ const helpText = `commands:
   sat QUERY          satisfiability under the loaded constraints
   server             how to serve this session's workload with tpqd
   quit               exit
+min, match, stream and eq accept or(p1, p2, ...) disjunctions; xpath
+accepts | unions. Unions minimize per disjunct with absorption pruning.
 `
 
 const serverHint = `this session's minimize path is already cached in-process; to serve the

@@ -468,6 +468,7 @@ func All(opts Options) []*Table {
 		Fig9a(opts), Fig9b(opts), Motivation(opts),
 		AblationCIM(opts), AblationClosure(opts), AblationVirtual(opts), AblationCDM(opts),
 		BatchMinimize(opts), ServiceThroughput(opts), ServiceScale(opts), FigMatch(opts),
+		FigOr(opts),
 	}
 }
 
@@ -507,11 +508,13 @@ func ByName(name string) func(Options) *Table {
 		return ServiceScale
 	case "match":
 		return FigMatch
+	case "or":
+		return FigOr
 	}
 	return nil
 }
 
 // Names lists the experiment ids in presentation order.
 func Names() []string {
-	return []string{"7a", "7b", "7b-incremental", "8a", "8b", "9a", "9b", "motivation", "ablation-cim", "ablation-closure", "ablation-virtual", "ablation-cdm", "batch", "service", "service-scale", "match"}
+	return []string{"7a", "7b", "7b-incremental", "8a", "8b", "9a", "9b", "motivation", "ablation-cim", "ablation-closure", "ablation-virtual", "ablation-cdm", "batch", "service", "service-scale", "match", "or"}
 }

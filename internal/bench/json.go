@@ -370,6 +370,7 @@ func JSONFigures() map[string]func(Options) JSONFile {
 		"fig-match":            JSONMatch,
 		"service-warm-restart": JSONServiceWarmRestart,
 		"service-scale":        JSONServiceScale,
+		"fig-or":               JSONOr,
 	}
 }
 
@@ -425,13 +426,20 @@ func MergeJSON(figure string, files ...JSONFile) JSONFile {
 	return newJSONFile(figure, results)
 }
 
-// Comparison is the verdict on one result name present in both files.
+// Comparison is the verdict on one result name present in both files —
+// or present in the baseline but missing from a head run that covers its
+// figure, which is itself a gate failure (see CompareJSON).
 type Comparison struct {
 	Name   string
 	OldNs  float64
 	NewNs  float64
 	Ratio  float64 // NewNs / OldNs
 	Slower bool    // Ratio > threshold
+	// Missing is set when the baseline has this result, the head run
+	// covers its figure, and the head file does not carry it: the series
+	// silently disappeared (a renamed result, a dropped sweep point), so
+	// nothing would ever gate it again. Counted as a regression.
+	Missing bool
 	// CounterDiffs lists counters whose exact values changed — an
 	// algorithmic change (more redundancy tests, a lost table reuse),
 	// flagged as informational, never as a regression by itself.
@@ -467,7 +475,26 @@ const phaseFloorNs = 1_000_000
 // measurements, neighbors on the box, frequency scaling — which is why
 // the threshold is generous and why counters are compared exactly but
 // reported separately: they are deterministic, times are not.
+//
+// A baseline result missing from the head is a hard failure when the
+// head run covers that result's figure (some head result carries the
+// same Figure tag): a series that silently disappears — renamed, or its
+// sweep point dropped — would otherwise pass the gate forever. Targeted
+// gates still work: comparing the full baseline against a single-figure
+// head file only requires the baseline series of that figure.
 func CompareJSON(base, head JSONFile, threshold float64) (comps []Comparison, regressions int) {
+	headFigs := map[string]bool{}
+	headBy := map[string]bool{}
+	for _, r := range head.Results {
+		headFigs[r.Figure] = true
+		headBy[r.Name] = true
+	}
+	for _, r := range base.Results {
+		if !headBy[r.Name] && headFigs[r.Figure] {
+			comps = append(comps, Comparison{Name: r.Name, OldNs: r.NsPerOp, Missing: true})
+			regressions++
+		}
+	}
 	oldBy := map[string]JSONResult{}
 	for _, r := range base.Results {
 		oldBy[r.Name] = r
@@ -528,6 +555,11 @@ func FormatComparisons(comps []Comparison, threshold float64) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-28s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio")
 	for _, c := range comps {
+		if c.Missing {
+			fmt.Fprintf(&b, "%-28s %14.0f %14s   MISSING: baseline series absent from head run\n",
+				c.Name, c.OldNs, "-")
+			continue
+		}
 		verdict := ""
 		if c.Slower {
 			verdict = fmt.Sprintf("  REGRESSION (> %.2fx)", threshold)

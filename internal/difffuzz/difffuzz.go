@@ -8,7 +8,8 @@
 // by construction. No reference implementation or ground-truth corpus is
 // needed.
 //
-// Eight oracles are checked (Check runs them all):
+// Nine oracles are checked (Check runs the conjunctive eight; CheckOr
+// runs the ninth on disjunctive queries):
 //
 //  1. Equivalence: the minimized output is equivalent to the input —
 //     two-way containment (Section 4), judged under the constraints by the
@@ -47,6 +48,15 @@
 //     byte-identical (canonical form) to a freshly computed
 //     minimization, served as a cache hit with the same report — the
 //     persistence round trip never changes an answer.
+//  9. Or: disjunctive queries. The streamed union, the dense merged union
+//     and the structural-join union agree answer for answer in strict
+//     document order; per-disjunct minimization plus absorption pruning
+//     preserves the union, certified by per-disjunct-pair containment in
+//     both directions; no output disjunct absorbs another, each is
+//     individually minimal, the serving layer's disjunctive path (with
+//     its or-cache) agrees with the direct engine, and on a
+//     constraint-satisfying forest the input and minimized unions answer
+//     identically.
 //
 // The package is pure tooling: it must never mutate its inputs, and a nil
 // error means every oracle held.
@@ -78,8 +88,9 @@ import (
 
 // Failure is one oracle violation. Oracle names the invariant that broke
 // ("equivalence", "minimality", "agreement", "kernel", "service",
-// "augment", "match", "store"); Query and Constraints reproduce the
-// failing case.
+// "augment", "match", "store", "or"); Query and Constraints reproduce
+// the failing case (for "or", Query is the first disjunct and the full
+// union is spelled in Detail).
 type Failure struct {
 	Oracle      string
 	Detail      string
@@ -104,8 +115,9 @@ func fail(q *pattern.Pattern, cs *ics.Set, oracle, format string, args ...interf
 	return &Failure{Oracle: oracle, Detail: fmt.Sprintf(format, args...), Query: q, Constraints: cs}
 }
 
-// Check runs all eight oracles on q under cs (nil means no constraints)
-// and returns the first violation, or nil. q is never mutated.
+// Check runs the eight conjunctive oracles on q under cs (nil means no
+// constraints) and returns the first violation, or nil. q is never
+// mutated. Disjunctive queries go through CheckOr.
 func Check(q *pattern.Pattern, cs *ics.Set) *Failure {
 	if f := CheckMinimize(q, cs); f != nil {
 		return f

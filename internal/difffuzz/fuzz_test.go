@@ -5,6 +5,7 @@ import (
 
 	"tpq/internal/genquery"
 	"tpq/internal/ics"
+	"tpq/internal/pattern"
 )
 
 // Native differential fuzz targets. `go test` runs them over the seed
@@ -62,6 +63,47 @@ func FuzzServiceConsistency(f *testing.F) {
 		q, cs := genquery.FromBytesWithICs(data)
 		if err := CheckService(q, cs).err(); err != nil {
 			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzOr runs the disjunctive oracle: a byte-decoded union of up to four
+// disjuncts through evaluation-engine agreement, minimize-with-absorption
+// equivalence, and the serving layer's disjunctive path.
+func FuzzOr(f *testing.F) {
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, cs := genquery.DisjunctionFromBytes(data)
+		if err := CheckOr(d, cs).err(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzOrDecode keeps the disjunction decoder honest: every input must
+// decode to a valid, canonically ordered union, deterministically.
+func FuzzOrDecode(f *testing.F) {
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, cs := genquery.DisjunctionFromBytes(data)
+		if err := d.Validate(); err != nil {
+			t.Fatalf("decoded disjunction invalid: %v", err)
+		}
+		d2, cs2 := genquery.DisjunctionFromBytes(data)
+		if d.Canonical() != d2.Canonical() || cs.String() != cs2.String() {
+			t.Fatalf("disjunction decode not deterministic")
+		}
+		// The canon must be insensitive to disjunct order: rebuild from a
+		// rotated disjunct slice and compare.
+		if n := len(d.Disjuncts); n > 1 {
+			rot := append(append([]*pattern.Pattern{}, d.Disjuncts[1:]...), d.Disjuncts[0])
+			if got := pattern.NewDisjunction(rot...).Canonical(); got != d.Canonical() {
+				t.Fatalf("canon depends on disjunct order: %q vs %q", got, d.Canonical())
+			}
 		}
 	})
 }

@@ -10,10 +10,12 @@ import (
 )
 
 // TestSeededSweep is the CI-runnable face of the harness: a fixed-seed
-// sweep of random byte strings through all five oracles. The acceptance
-// bar for the harness is >= 1000 query/constraint pairs; the sweep runs
-// 1200 (300 in -short mode) so the gate holds with margin. Any failure
-// is shrunk before reporting, so the log carries a minimal repro.
+// sweep of random byte strings through every oracle — the conjunctive
+// eight on the decoded (query, constraints) pair, the disjunctive ninth
+// on a union decoded from the same bytes. The acceptance bar for the
+// harness is >= 1000 query/constraint pairs; the sweep runs 1200 (300 in
+// -short mode) so the gate holds with margin. Any conjunctive failure is
+// shrunk before reporting, so the log carries a minimal repro.
 func TestSeededSweep(t *testing.T) {
 	n := 1200
 	if testing.Short() {
@@ -28,6 +30,10 @@ func TestSeededSweep(t *testing.T) {
 		if f := Check(q, cs); f != nil {
 			sq, scs := Shrink(q, cs, StillFails(f.Oracle))
 			t.Fatalf("case %d: %v\nshrunk repro: %s", i, f, Repro(sq, scs))
+		}
+		d, dcs := genquery.DisjunctionFromBytes(data)
+		if f := CheckOr(d, dcs); f != nil {
+			t.Fatalf("case %d (or): %v\nunion: %s", i, f, d)
 		}
 	}
 }

@@ -1,0 +1,165 @@
+package engine
+
+import (
+	"context"
+
+	"tpq/internal/acim"
+	"tpq/internal/pattern"
+)
+
+// Disjunctive minimization. The pipeline's theorems (4.1/5.1/5.3) cover
+// conjunctive TPQs only, so a Disjunction is minimized per disjunct —
+// each through the full CDM+ACIM pipeline over the batch worker pool,
+// all sharing this Minimizer's closed constraint set and therefore one
+// compiled chase plan — and then pruned by absorption: a disjunct
+// contained in another (under the constraints) contributes nothing to
+// the union and is dropped. The result is equivalent to the input by
+// construction — every kept disjunct is the minimization of an input
+// disjunct, every dropped one is contained in a kept one — a certificate
+// that does not rely on completeness of disjunct-wise union containment.
+// Cross-disjunct rewriting (merging two disjuncts into one smaller
+// pattern) is out of scope: containment beyond the conjunctive fragment
+// changes complexity class (Gottlob, Koch & Schulz), so there is no
+// uniqueness theorem to aim at there.
+
+// DisjunctionResult is the outcome of minimizing one Disjunction.
+type DisjunctionResult struct {
+	// Output is the minimized union: per-disjunct minimal, deduplicated,
+	// absorption-pruned, canon-sorted.
+	Output *pattern.Disjunction
+	// Disjuncts is the input disjunct count; Absorbed counts disjuncts
+	// dropped because another disjunct contains them (isomorphic
+	// duplicates arising after minimization included), and Unsat those
+	// dropped as unsatisfiable under the constraints.
+	Disjuncts, Absorbed, Unsat int
+	// CDMRemoved, ACIMRemoved, Tests, TablesBuilt and TablesDerived are
+	// the per-disjunct pipeline counters, summed.
+	CDMRemoved, ACIMRemoved, Tests, TablesBuilt, TablesDerived int
+	// Unsatisfiable is set when every disjunct is unsatisfiable — the
+	// union can never produce an answer. Output still carries one
+	// minimized disjunct so callers always get a well-formed query.
+	Unsatisfiable bool
+}
+
+// MinimizeDisjunction minimizes d under the Minimizer's constraints:
+// every disjunct through the conjunctive pipeline (batched over the
+// worker pool, sharing the precompiled chase plan), then unsatisfiable
+// disjuncts dropped, then absorption pruning via the constraint-aware
+// containment test. d is never mutated. The context is checked between
+// the batch and the pruning phase.
+func (m *Minimizer) MinimizeDisjunction(ctx context.Context, d *pattern.Disjunction) (DisjunctionResult, error) {
+	r := DisjunctionResult{Disjuncts: len(d.Disjuncts)}
+	if len(d.Disjuncts) == 0 {
+		r.Output = &pattern.Disjunction{}
+		return r, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return r, err
+	}
+	results := m.MinimizeBatch(d.Disjuncts)
+	for _, res := range results {
+		r.CDMRemoved += res.CDMRemoved
+		r.ACIMRemoved += res.ACIMRemoved
+		r.Tests += res.Tests
+		r.TablesBuilt += res.TablesBuilt
+		r.TablesDerived += res.TablesDerived
+	}
+	if err := ctx.Err(); err != nil {
+		return r, err
+	}
+
+	// Drop unsatisfiable disjuncts: they contribute nothing to the union.
+	// If every disjunct is unsatisfiable, keep the first minimized one so
+	// the output stays a valid query, and flag the whole union.
+	sat := make([]*pattern.Pattern, 0, len(results))
+	for _, res := range results {
+		if acim.UnsatisfiableUnder(res.Input, m.closed) {
+			r.Unsat++
+			continue
+		}
+		sat = append(sat, res.Output)
+	}
+	if len(sat) == 0 {
+		r.Unsatisfiable = true
+		r.Unsat--
+		sat = append(sat, results[0].Output)
+	}
+
+	kept, absorbed := AbsorbDisjuncts(sat, m)
+	r.Absorbed = absorbed
+	r.Output = pattern.NewDisjunction(kept...)
+	// NewDisjunction dedups isomorphic disjuncts; count those as absorbed
+	// too (mutual containment is absorption in both directions).
+	r.Absorbed += len(kept) - len(r.Output.Disjuncts)
+	return r, nil
+}
+
+// AbsorbDisjuncts prunes every pattern contained (under m's constraints)
+// in another: in a union, di ⊆ dj means di ∪ dj = dj. Isomorphic
+// duplicates are collapsed first so the pairwise pass only sees distinct
+// disjuncts; a mutually-containing pair (equivalent but not isomorphic)
+// keeps its lexicographically smaller canonical form, making the result
+// deterministic. Returns the kept patterns and the number dropped.
+func AbsorbDisjuncts(ds []*pattern.Pattern, m *Minimizer) (kept []*pattern.Pattern, absorbed int) {
+	type entry struct {
+		pat   *pattern.Pattern
+		canon string
+	}
+	uniq := make([]entry, 0, len(ds))
+	seen := make(map[string]bool, len(ds))
+	for _, p := range ds {
+		c := p.Canonical()
+		if seen[c] {
+			absorbed++
+			continue
+		}
+		seen[c] = true
+		uniq = append(uniq, entry{p, c})
+	}
+	if len(uniq) == 1 {
+		return []*pattern.Pattern{uniq[0].pat}, absorbed
+	}
+	// Type-alphabet prefilter: di ⊆ dj needs a homomorphism from dj into
+	// the chased di, every typed node of dj landing on a node carrying
+	// its type — and chasing can only introduce types that appear as a
+	// constraint target. So a type of dj outside di's alphabet and the
+	// target set rules the pair out without cloning di or building the
+	// containment tables. Unions of disjuncts over different entity
+	// types (the common shape) skip the whole quadratic pass this way.
+	addable := map[pattern.Type]bool{}
+	for _, c := range m.closed.Constraints() {
+		addable[c.To] = true
+	}
+	types := make([]map[pattern.Type]bool, len(uniq))
+	for i := range uniq {
+		types[i] = uniq[i].pat.TypeSet()
+	}
+	mayContain := func(i, j int) bool { // can uniq[i] ⊆ uniq[j] hold?
+		for t := range types[j] {
+			if !types[i][t] && !addable[t] {
+				return false
+			}
+		}
+		return true
+	}
+	for i := range uniq {
+		drop := false
+		for j := range uniq {
+			if i == j || !mayContain(i, j) || !acim.ContainedUnder(uniq[i].pat, uniq[j].pat, m.closed) {
+				continue
+			}
+			// i ⊆ j. On mutual containment only the larger canon drops,
+			// so exactly one of an equivalent pair survives.
+			if !mayContain(j, i) || !acim.ContainedUnder(uniq[j].pat, uniq[i].pat, m.closed) || uniq[i].canon > uniq[j].canon {
+				drop = true
+				break
+			}
+		}
+		if drop {
+			absorbed++
+			continue
+		}
+		kept = append(kept, uniq[i].pat)
+	}
+	return kept, absorbed
+}

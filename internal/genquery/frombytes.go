@@ -22,11 +22,12 @@ import (
 // decode bounds. Small alphabets force type collisions, which is where
 // redundancy — and therefore minimization — happens.
 const (
-	maxDecodeSize     = 14
-	maxDecodeAlphabet = 6
-	maxDecodeICs      = 10
-	maxDecodeConds    = 3
-	maxDecodeExtras   = 3
+	maxDecodeSize      = 14
+	maxDecodeAlphabet  = 6
+	maxDecodeICs       = 10
+	maxDecodeConds     = 3
+	maxDecodeExtras    = 3
+	maxDecodeDisjuncts = 4
 )
 
 // byteCursor reads bytes one at a time, yielding 0 once exhausted.
@@ -66,6 +67,23 @@ func FromBytesWithICs(data []byte) (*pattern.Pattern, *ics.Set) {
 	q := decodeQuery(c)
 	cs := decodeConstraints(c)
 	return q, cs
+}
+
+// DisjunctionFromBytes decodes a (disjunctive query, constraint set) pair
+// from data: between 1 and maxDecodeDisjuncts disjuncts, each decoded as
+// in FromBytes over its own slice of the cursor, then constraints as in
+// FromBytesWithICs. Disjuncts share the small alphabet, so containment
+// between them — the regime absorption pruning works in — is common. The
+// decoding is total and deterministic, and the result always validates.
+func DisjunctionFromBytes(data []byte) (*pattern.Disjunction, *ics.Set) {
+	c := &byteCursor{data: data}
+	k := 1 + c.next()%maxDecodeDisjuncts
+	pats := make([]*pattern.Pattern, 0, k)
+	for i := 0; i < k; i++ {
+		pats = append(pats, decodeQuery(c))
+	}
+	cs := decodeConstraints(c)
+	return pattern.NewDisjunction(pats...), cs
 }
 
 func decodeQuery(c *byteCursor) *pattern.Pattern {

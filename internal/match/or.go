@@ -1,0 +1,85 @@
+package match
+
+import (
+	"tpq/internal/data"
+	"tpq/internal/pattern"
+)
+
+// AnswersDisjunction evaluates a disjunctive query on the dense DP
+// kernel: the answer set of a Disjunction is the union of its disjuncts'
+// answer sets (a data node answers iff some disjunct embeds with the
+// output node bound to it). The per-disjunct answer slices arrive in
+// document order (ascending ID), so the union is a k-way merge with
+// dedup — same order contract as Answers, and the materialized
+// counterpart of stream.UnionAnswers.
+func AnswersDisjunction(d *pattern.Disjunction, f *data.Forest) []*data.Node {
+	if d == nil || len(d.Disjuncts) == 0 {
+		return nil
+	}
+	if len(d.Disjuncts) == 1 {
+		return Answers(d.Disjuncts[0], f)
+	}
+	lists := make([][]*data.Node, 0, len(d.Disjuncts))
+	total := 0
+	for _, q := range d.Disjuncts {
+		if a := Answers(q, f); len(a) > 0 {
+			lists = append(lists, a)
+			total += len(a)
+		}
+	}
+	return mergeAnswerLists(lists, total)
+}
+
+// AnswersDisjunctionIndexed is AnswersDisjunction over a prebuilt index,
+// running each disjunct through the structural-join engine.
+func AnswersDisjunctionIndexed(d *pattern.Disjunction, idx *ForestIndex) []*data.Node {
+	if d == nil || len(d.Disjuncts) == 0 {
+		return nil
+	}
+	if len(d.Disjuncts) == 1 {
+		return AnswersIndexed(d.Disjuncts[0], idx)
+	}
+	lists := make([][]*data.Node, 0, len(d.Disjuncts))
+	total := 0
+	for _, q := range d.Disjuncts {
+		if a := AnswersIndexed(q, idx); len(a) > 0 {
+			lists = append(lists, a)
+			total += len(a)
+		}
+	}
+	return mergeAnswerLists(lists, total)
+}
+
+// mergeAnswerLists k-way merges ID-ascending answer slices, dropping
+// duplicates (the same node reported by several disjuncts).
+func mergeAnswerLists(lists [][]*data.Node, total int) []*data.Node {
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return lists[0]
+	}
+	out := make([]*data.Node, 0, total)
+	pos := make([]int, len(lists))
+	for {
+		min := -1
+		for i, l := range lists {
+			if pos[i] >= len(l) {
+				continue
+			}
+			if min < 0 || l[pos[i]].ID < lists[min][pos[min]].ID {
+				min = i
+			}
+		}
+		if min < 0 {
+			return out
+		}
+		v := lists[min][pos[min]]
+		for i, l := range lists {
+			for pos[i] < len(l) && l[pos[i]].ID == v.ID {
+				pos[i]++
+			}
+		}
+		out = append(out, v)
+	}
+}

@@ -1,0 +1,190 @@
+package pattern
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestParseDisjunctiveDistribution(t *testing.T) {
+	cases := []struct {
+		src  string
+		want []string // expected disjunct strings, any order
+	}{
+		{"a*", []string{"a*"}},
+		{"or(a*, b*)", []string{"a*", "b*"}},
+		{"or(a*/b, c*)", []string{"a*/b", "c*"}},
+		{"a*[/or(b, c)]", []string{"a*/b", "a*/c"}},
+		{"a*[//or(b, c/d)]", []string{"a*//b", "a*//c/d"}},
+		// Cross product over sibling or-nodes: 2x2 disjuncts.
+		{"a*[/or(b, c), /or(d, e)]", []string{"a*[/b, /d]", "a*[/b, /e]", "a*[/c, /d]", "a*[/c, /e]"}},
+		// Nested or flattens.
+		{"or(a*, or(b*, c*))", []string{"a*", "b*", "c*"}},
+		// Duplicate disjuncts collapse.
+		{"or(a*, a*)", []string{"a*"}},
+		// A disjunct equal to another after distribution collapses too.
+		{"a*[/or(b, b)]", []string{"a*/b"}},
+		// Or under the star path: the star sits inside the alternatives.
+		{"a/or(b*, c*/d)", []string{"a/b*", "a/c*/d"}},
+	}
+	for _, tc := range cases {
+		d, err := ParseDisjunctive(tc.src)
+		if err != nil {
+			t.Fatalf("ParseDisjunctive(%q): %v", tc.src, err)
+		}
+		if len(d.Disjuncts) != len(tc.want) {
+			t.Fatalf("ParseDisjunctive(%q): %d disjuncts %v, want %d", tc.src, len(d.Disjuncts), d.Disjuncts, len(tc.want))
+		}
+		got := make(map[string]bool)
+		for _, p := range d.Disjuncts {
+			if err := p.Validate(); err != nil {
+				t.Fatalf("ParseDisjunctive(%q): invalid disjunct %s: %v", tc.src, p, err)
+			}
+			got[p.Canonical()] = true
+		}
+		for _, w := range tc.want {
+			if !got[MustParse(w).Canonical()] {
+				t.Errorf("ParseDisjunctive(%q): missing disjunct %q (got %v)", tc.src, w, d.Disjuncts)
+			}
+		}
+	}
+}
+
+// TestParseDisjunctiveErrors is the malformed-OR table: every case must
+// fail, with a parse error carrying the offset of the problem.
+func TestParseDisjunctiveErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+		wantMsg   string // substring of the error
+		wantAt    int    // exact offset reported; -1 skips the check
+	}{
+		{"empty list", "or()", "empty disjunct", 3},
+		{"empty first disjunct", "or(, a*)", "empty disjunct", 3},
+		{"empty middle disjunct", "or(a*, , b*)", "empty disjunct", 7},
+		{"trailing comma", "or(a*, b*,)", "empty disjunct", 10},
+		{"unclosed at end", "or(a*, b*", "unclosed or(...)", 9},
+		{"unclosed bad separator", "or(a* b*)", "unclosed or(...)", 6},
+		{"or in a condition list", "a*(or(b, c))", "expected '@' to start a condition", 3},
+		{"or with star", "or(a*, b*)*", "cannot be the output node", 10},
+		{"or with extras", "or(a*, b*){c}", "cannot carry extra types", 10},
+		{"or with conditions", "or(a*, b*)(@x<5)", "cannot carry conditions", 10},
+		{"or with child list", "or(a*, b*)[/c]", "cannot take children", 10},
+		{"or with chain", "or(a*, b*)/c", "cannot take children", 10},
+		{"no star in a disjunct", "or(a*, b)", "output nodes", -1},
+		{"two stars in a disjunct", "or(a*/b*, c*)", "output nodes", -1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseDisjunctive(tc.src)
+			if err == nil {
+				t.Fatalf("ParseDisjunctive(%q) succeeded, want error containing %q", tc.src, tc.wantMsg)
+			}
+			if !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Fatalf("ParseDisjunctive(%q) = %v, want message containing %q", tc.src, err, tc.wantMsg)
+			}
+			if tc.wantAt >= 0 {
+				want := fmt.Sprintf("offset %d", tc.wantAt)
+				if !strings.Contains(err.Error(), want) {
+					t.Fatalf("ParseDisjunctive(%q) = %v, want position %q", tc.src, err, want)
+				}
+			}
+		})
+	}
+}
+
+// TestParseRejectsOr pins the conjunctive parser's behavior: or(...) is a
+// hard error pointing at ParseDisjunctive, while nodes literally named
+// "or" (alone, or with a condition list) keep parsing.
+func TestParseRejectsOr(t *testing.T) {
+	for _, src := range []string{"or(a*, b*)", "a*[/or(b, c)]", "a/or(b*, c*)"} {
+		_, err := Parse(src)
+		if err == nil || !strings.Contains(err.Error(), "ParseDisjunctive") {
+			t.Errorf("Parse(%q) = %v, want a ParseDisjunctive pointer", src, err)
+		}
+	}
+	for _, src := range []string{"or*", "a*/or", "or*(@x<5)", "a*[/or, /or2]"} {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("Parse(%q): a node named \"or\" must stay parseable: %v", src, err)
+		}
+		if _, err := ParseDisjunctive(src); err != nil {
+			t.Errorf("ParseDisjunctive(%q): a node named \"or\" must stay parseable: %v", src, err)
+		}
+	}
+}
+
+func TestDistributeCap(t *testing.T) {
+	// 7 sibling or-nodes with 2 alternatives each: 128 > MaxDisjuncts.
+	var b strings.Builder
+	b.WriteString("a*[")
+	for i := 0; i < 7; i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "/or(b%d, c%d)", i, i)
+	}
+	b.WriteString("]")
+	_, err := ParseDisjunctive(b.String())
+	if err == nil || !strings.Contains(err.Error(), "disjuncts") {
+		t.Fatalf("ParseDisjunctive(%d-way cross product) = %v, want the MaxDisjuncts error", 1<<7, err)
+	}
+}
+
+// TestDisjunctionCanonPermutations is the canon property test: every
+// permutation of the disjunct list — spelled directly in the source text —
+// must produce the identical canonical encoding, and or(p) must share p's.
+func TestDisjunctionCanonPermutations(t *testing.T) {
+	disjuncts := []string{"a*/b", "a*//b", "c*[/d, //e]", "f{g}*(@x<5)"}
+	want := MustParseDisjunctive("or(" + strings.Join(disjuncts, ", ") + ")").Canonical()
+	rng := rand.New(rand.NewSource(42))
+	perm := append([]string(nil), disjuncts...)
+	for trial := 0; trial < 50; trial++ {
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		src := "or(" + strings.Join(perm, ", ") + ")"
+		d, err := ParseDisjunctive(src)
+		if err != nil {
+			t.Fatalf("ParseDisjunctive(%q): %v", src, err)
+		}
+		if got := d.Canonical(); got != want {
+			t.Fatalf("permutation %q canon = %q, want %q", src, got, want)
+		}
+		// The zero-allocation append form agrees with Canonical.
+		if got := string(d.AppendCanonical(nil)); got != want {
+			t.Fatalf("AppendCanonical(%q) = %q, want %q", src, got, want)
+		}
+	}
+	// Singleton collapse: or(p) keys like p.
+	if got, want := MustParseDisjunctive("or(a*/b)").Canonical(), MustParse("a*/b").Canonical(); got != want {
+		t.Fatalf("or(p) canon = %q, p canon = %q; want equal", got, want)
+	}
+	// Duplicated spellings collapse to the same key.
+	a := MustParseDisjunctive("or(a*/b, a*/b, a*//b)").Canonical()
+	b := MustParseDisjunctive("or(a*//b, a*/b)").Canonical()
+	if a != b {
+		t.Fatalf("duplicate disjunct changed canon: %q vs %q", a, b)
+	}
+}
+
+func TestDisjunctionStringRoundTrip(t *testing.T) {
+	for _, src := range []string{"a*", "or(a*, b*)", "a*[/or(b, c), /d]"} {
+		d := MustParseDisjunctive(src)
+		back, err := ParseDisjunctive(d.String())
+		if err != nil {
+			t.Fatalf("round trip of %q: re-parsing %q: %v", src, d.String(), err)
+		}
+		if back.Canonical() != d.Canonical() {
+			t.Fatalf("round trip of %q changed canon: %q -> %q", src, d.Canonical(), back.Canonical())
+		}
+	}
+}
+
+func TestValidateRejectsOrNode(t *testing.T) {
+	n := NewStar("a")
+	or := &Node{Or: true, Parent: n}
+	n.Children = append(n.Children, or)
+	or.Children = append(or.Children, &Node{Type: "b", Parent: or})
+	err := (&Pattern{Root: n}).Validate()
+	if err == nil || !strings.Contains(err.Error(), "or-node") {
+		t.Fatalf("Validate on a tree with an or-node = %v, want or-node error", err)
+	}
+}

@@ -24,12 +24,26 @@ func parseFloat(s string) (float64, error) {
 //	star     := '*'
 //	conds    := '(' cond (',' cond)* ')'
 //	cond     := '@' name op number   // value condition, e.g. @price<100
-//	op       := '<=' | '>=' | '!=' | '<' | '>' | '='
+//	op       := '<=' | '>=' | '<' | '>' | '!=' | '='
 //	kids     := '[' child (',' child)* ']'
 //	child    := edge? node
 //	chain    := edge node            // sugar: one more child
 //	edge     := '//' | '/'           // default '/'
 //	name     := letter (letter|digit|'_'|'-'|'.')*
+//
+// ParseDisjunctive (see or.go) extends node with one more production:
+//
+//	node     := ... | 'or' '(' node (',' node)* ')'
+//
+// An or-node may appear at the root or in any child position; its
+// alternatives are full node subtrees (nested or(...) included) and take
+// the or-node's edge when the disjunction is distributed. The or-node
+// itself carries no extras, star, conditions, children or chain — put
+// those inside each alternative. Parse rejects or-nodes: conjunctive
+// callers never see them. A node literally named "or" stays parseable
+// everywhere except immediately before a '(' that does not open a
+// condition list (the disambiguation is one byte: condition lists start
+// with '@').
 //
 // Examples:
 //
@@ -69,6 +83,10 @@ func MustParse(src string) *Pattern {
 type parser struct {
 	src string
 	pos int
+	// allowOr admits the or(...) disjunction production; only
+	// ParseDisjunctive sets it. The conjunctive Parse rejects or-nodes
+	// with a pointer at ParseDisjunctive instead.
+	allowOr bool
 }
 
 func (p *parser) errorf(format string, args ...interface{}) error {
@@ -186,6 +204,12 @@ func (p *parser) parseNode() (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
+	if name == "or" && p.orAhead() {
+		if !p.allowOr {
+			return nil, p.errorf("or(...) is a disjunction, not allowed in a conjunctive pattern (use ParseDisjunctive)")
+		}
+		return p.parseOrNode()
+	}
 	n := NewNode(Type(name))
 	if p.accept("{") {
 		for {
@@ -251,6 +275,66 @@ func (p *parser) parseNode() (*Node, error) {
 			return nil, err
 		}
 		n.AddChild(kind, child)
+	}
+	return n, nil
+}
+
+// orAhead reports whether the input (with the name "or" just consumed)
+// continues with a disjunct list rather than a condition list: a '(' whose
+// first non-space content is not '@'. Only this one byte separates the
+// disjunction or(a, b) from a node named "or" with conditions, or(@x<5).
+func (p *parser) orAhead() bool {
+	i := p.pos
+	for i < len(p.src) && unicode.IsSpace(rune(p.src[i])) {
+		i++
+	}
+	if i >= len(p.src) || p.src[i] != '(' {
+		return false
+	}
+	i++
+	for i < len(p.src) && unicode.IsSpace(rune(p.src[i])) {
+		i++
+	}
+	return i >= len(p.src) || p.src[i] != '@'
+}
+
+// parseOrNode reads the disjunct list of an or-node ("or" is already
+// consumed): '(' node (',' node)* ')'. The or-node itself admits no
+// decoration — no extras, star, conditions, child list or chain — so every
+// structural requirement lives inside an alternative and distribution
+// (see or.go) stays a pure cross product.
+func (p *parser) parseOrNode() (*Node, error) {
+	p.accept("(")
+	n := &Node{Or: true}
+	for {
+		p.skipSpace()
+		if b := p.peek(); b == ')' || b == ',' || b == 0 {
+			return nil, p.errorf("empty disjunct in or(...)")
+		}
+		alt, err := p.parseNode()
+		if err != nil {
+			return nil, err
+		}
+		alt.Parent = n
+		n.Children = append(n.Children, alt)
+		if p.accept(",") {
+			continue
+		}
+		if p.accept(")") {
+			break
+		}
+		return nil, p.errorf("unclosed or(...): expected ',' or ')' in disjunct list, found %q", p.rest())
+	}
+	p.skipSpace()
+	switch p.peek() {
+	case '*':
+		return nil, p.errorf("or(...) cannot be the output node; mark a node inside each alternative")
+	case '{':
+		return nil, p.errorf("or(...) cannot carry extra types; put them inside each alternative")
+	case '(':
+		return nil, p.errorf("or(...) cannot carry conditions; put them inside each alternative")
+	case '[', '/':
+		return nil, p.errorf("or(...) cannot take children; put them inside each alternative")
 	}
 	return n, nil
 }

@@ -90,6 +90,15 @@ type Node struct {
 	// with temporary nodes. Always a subset of Extra.
 	TempExtra []Type
 
+	// Or marks a disjunction node: its Children are alternatives, not
+	// conjunctive siblings, and Edge is the edge each alternative takes
+	// when the disjunction is distributed away. Or-nodes exist only in the
+	// raw trees built by the disjunctive parser — Distribute expands them
+	// into a union of conjunctive patterns before anything else sees them,
+	// and Validate rejects any that remain, so the minimization and match
+	// kernels never encounter one.
+	Or bool
+
 	// Edge is the kind of the edge from Parent to this node. Undefined on
 	// the root.
 	Edge EdgeKind
@@ -412,6 +421,7 @@ func (p *Pattern) CloneMap() (*Pattern, map[*Node]*Node) {
 			Type:  n.Type,
 			Star:  n.Star,
 			Temp:  n.Temp,
+			Or:    n.Or,
 			Edge:  n.Edge,
 			Extra: append([]Type(nil), n.Extra...),
 		}
@@ -503,6 +513,9 @@ func (p *Pattern) Validate() error {
 			return fmt.Errorf("pattern: node %q reachable twice (not a tree)", n.Type)
 		}
 		seen[n] = true
+		if n.Or {
+			return fmt.Errorf("pattern: or-node in a conjunctive pattern (distribute disjunctions first)")
+		}
 		if n.Type == "" {
 			return fmt.Errorf("pattern: node with empty type")
 		}

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"iter"
 	"net/http"
 	"strconv"
 	"strings"
@@ -42,8 +43,11 @@ type HandlerOptions struct {
 // NewHandler returns the HTTP+JSON API over s:
 //
 //	POST /minimize  {"query": "a*[/b, //c]"}          — text syntax
+//	                {"query": "a*[/or(b, c)]"}        — disjunctive (OR) syntax
 //	                {"xpath": "/a[b]//c"}             — XPath input
+//	                {"xpath": "/a//b | /c//b"}        — XPath union
 //	                {"queries": ["a*/b", ...]}        — batch, parallelized
+//	                                                    (conjunctive only)
 //	GET  /stats     counters, cache state, latency histogram
 //	GET  /metrics   the same counters plus per-phase duration histograms
 //	                in the Prometheus text exposition format
@@ -110,6 +114,12 @@ type minimizeResponse struct {
 	CacheHit      bool   `json:"cacheHit"`
 	Merged        bool   `json:"merged,omitempty"`
 	Micros        int64  `json:"micros"`
+
+	// Disjunctive requests only: input disjunct count and how many were
+	// dropped (absorption and unsatisfiability respectively).
+	Disjuncts int `json:"disjuncts,omitempty"`
+	Absorbed  int `json:"absorbed,omitempty"`
+	Unsat     int `json:"unsatDisjuncts,omitempty"`
 }
 
 type batchResponse struct {
@@ -221,20 +231,23 @@ func (h *handler) readRequest(w http.ResponseWriter, r *http.Request) (*minimize
 	return &req, true
 }
 
-// parseOne turns the request's single-query fields into a pattern,
-// remembering whether the caller spoke XPath. Parse time is observed
-// under the Parse phase — the algorithm packages never see unparsed
-// text, so this is where that histogram is fed.
-func (h *handler) parseOne(req *minimizeRequest) (*pattern.Pattern, bool, error) {
+// parseOne turns the request's single-query fields into a disjunction,
+// remembering whether the caller spoke XPath. Conjunctive queries (the
+// overwhelming majority) come back as singletons and take the same
+// serving path they always did; or(...) text and |-unions in XPath
+// distribute into multi-disjunct unions. Parse time is observed under
+// the Parse phase — the algorithm packages never see unparsed text, so
+// this is where that histogram is fed.
+func (h *handler) parseOne(req *minimizeRequest) (*pattern.Disjunction, bool, error) {
 	start := time.Now()
 	defer func() { h.svc.ObserveParse(time.Since(start)) }()
 	switch {
 	case req.Query != "":
-		p, err := pattern.Parse(req.Query)
-		return p, false, err
+		d, err := pattern.ParseDisjunctive(req.Query)
+		return d, false, err
 	case req.XPath != "":
-		p, err := xpath.FromXPath(req.XPath)
-		return p, true, err
+		d, err := xpath.FromXPathDisjunctive(req.XPath)
+		return d, true, err
 	default:
 		return nil, false, errors.New(`need "query", "xpath" or "queries"`)
 	}
@@ -294,9 +307,14 @@ func (h *handler) minimize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	p, wasXPath, err := h.parseOne(req)
+	d, wasXPath, err := h.parseOne(req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	p := d.Singleton()
+	if p == nil {
+		h.minimizeOr(w, ctx, d, wasXPath)
 		return
 	}
 	start := time.Now()
@@ -336,6 +354,55 @@ func (h *handler) minimize(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// minimizeOr serves a multi-disjunct /minimize request: per-disjunct
+// minimization through the cache hierarchy, absorption pruning, and the
+// assembled union cached under its disjunct-sorted canon (see
+// Service.MinimizeDisjunction). The response reuses the conjunctive
+// shape plus the disjunct accounting fields.
+func (h *handler) minimizeOr(w http.ResponseWriter, ctx context.Context, d *pattern.Disjunction, wasXPath bool) {
+	start := time.Now()
+	e, rep, err := h.svc.minimizeDisjunctionEntry(ctx, d)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	resp := minimizeResponse{
+		Output:        e.text,
+		InputSize:     rep.InputSize,
+		OutputSize:    rep.OutputSize,
+		CDMRemoved:    rep.CDMRemoved,
+		ACIMRemoved:   rep.ACIMRemoved,
+		Unsatisfiable: rep.Unsatisfiable,
+		CacheHit:      rep.CacheHit,
+		Micros:        time.Since(start).Microseconds(),
+		Disjuncts:     rep.Disjuncts,
+		Absorbed:      rep.Absorbed,
+		Unsat:         rep.Unsat,
+	}
+	if wasXPath {
+		if x, err := toXPathUnion(e.out); err == nil {
+			resp.OutputXPath = x
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// toXPathUnion renders a disjunction as an XPath union expression.
+func toXPathUnion(d *pattern.Disjunction) (string, error) {
+	var b strings.Builder
+	for i, p := range d.Disjuncts {
+		x, err := xpath.ToXPath(p)
+		if err != nil {
+			return "", err
+		}
+		if i > 0 {
+			b.WriteString(" | ")
+		}
+		b.WriteString(x)
+	}
+	return b.String(), nil
 }
 
 // respPool holds the buffers hit responses are assembled in.
@@ -412,7 +479,7 @@ func (h *handler) match(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "no document loaded (start tpqd with -xml, or inline one as \"document\")")
 		return
 	}
-	p, _, err := h.parseOne(&minimizeRequest{Query: req.Query, XPath: req.XPath})
+	d, _, err := h.parseOne(&minimizeRequest{Query: req.Query, XPath: req.XPath})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -420,30 +487,60 @@ func (h *handler) match(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := h.requestCtx(r)
 	defer cancel()
 	start := time.Now()
-	out, rep, err := h.svc.Minimize(ctx, p)
-	if err != nil {
-		writeServiceError(w, err)
-		return
-	}
-	q, err := stream.Compile(out, idx, stream.Options{})
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
+	// Minimize first (through the cache tiers), then evaluate the minimal
+	// form: a conjunctive query streams as before, a union streams the
+	// document-order merge of its minimized disjuncts.
+	var (
+		answers  iter.Seq[*data.Node]
+		outText  string
+		outSize  int
+		cacheHit bool
+	)
+	if p := d.Singleton(); p != nil {
+		out, rep, err := h.svc.Minimize(ctx, p)
+		if err != nil {
+			writeServiceError(w, err)
+			return
+		}
+		q, err := stream.Compile(out, idx, stream.Options{})
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		answers = q.Answers(ctx)
+		outText, outSize, cacheHit = out.String(), rep.OutputSize, rep.CacheHit
+	} else {
+		out, rep, err := h.svc.MinimizeDisjunction(ctx, d)
+		if err != nil {
+			writeServiceError(w, err)
+			return
+		}
+		qs := make([]*stream.Query, 0, len(out.Disjuncts))
+		for _, p := range out.Disjuncts {
+			q, err := stream.Compile(p, idx, stream.Options{})
+			if err != nil {
+				writeError(w, http.StatusBadRequest, err.Error())
+				return
+			}
+			qs = append(qs, q)
+		}
+		answers = stream.UnionAnswers(ctx, qs)
+		outText, outSize, cacheHit = out.String(), rep.OutputSize, rep.CacheHit
 	}
 	if req.Stream {
-		h.streamMatch(w, ctx, q, req.Limit, out, rep, start)
+		h.streamMatch(w, ctx, answers, req.Limit, outText, cacheHit, start)
 		return
 	}
 	count, truncated := 0, false
-	for range q.Answers(ctx) {
+	for range answers {
 		if req.Limit > 0 && count >= req.Limit {
 			truncated = true
 			break
 		}
 		count++
 	}
-	d := time.Since(start)
-	h.svc.ObserveMatch(d, int64(count), false, truncated)
+	elapsed := time.Since(start)
+	h.svc.ObserveMatch(elapsed, int64(count), false, truncated)
 	if err := ctx.Err(); err != nil && !truncated {
 		writeServiceError(w, err)
 		return
@@ -451,10 +548,10 @@ func (h *handler) match(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, matchResponse{
 		Count:      count,
 		Truncated:  truncated,
-		Output:     out.String(),
-		OutputSize: rep.OutputSize,
-		CacheHit:   rep.CacheHit,
-		Micros:     d.Microseconds(),
+		Output:     outText,
+		OutputSize: outSize,
+		CacheHit:   cacheHit,
+		Micros:     elapsed.Microseconds(),
 	})
 }
 
@@ -462,8 +559,9 @@ func (h *handler) match(w http.ResponseWriter, r *http.Request) {
 // match as the streaming engine finds it, flushed incrementally, then a
 // summary line. The status is committed before evaluation starts, so a
 // mid-stream cancellation surfaces as an "error" field on the summary
-// line instead of a status code.
-func (h *handler) streamMatch(w http.ResponseWriter, ctx context.Context, q *stream.Query, limit int, out *pattern.Pattern, rep Report, start time.Time) {
+// line instead of a status code. The answer source is an iterator so
+// conjunctive queries and disjunctive unions stream identically.
+func (h *handler) streamMatch(w http.ResponseWriter, ctx context.Context, answers iter.Seq[*data.Node], limit int, outText string, cacheHit bool, start time.Time) {
 	w.Header().Set("Content-Type", NDJSONContentType)
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
@@ -475,7 +573,7 @@ func (h *handler) streamMatch(w http.ResponseWriter, ctx context.Context, q *str
 	enc := json.NewEncoder(w)
 	count, truncated := 0, false
 	lastFlush := time.Now()
-	for v := range q.Answers(ctx) {
+	for v := range answers {
 		if limit > 0 && count >= limit {
 			truncated = true
 			break
@@ -492,8 +590,8 @@ func (h *handler) streamMatch(w http.ResponseWriter, ctx context.Context, q *str
 		Done:      true,
 		Count:     count,
 		Truncated: truncated,
-		Output:    out.String(),
-		CacheHit:  rep.CacheHit,
+		Output:    outText,
+		CacheHit:  cacheHit,
 		Micros:    d.Microseconds(),
 	}
 	if err := ctx.Err(); err != nil && !truncated {

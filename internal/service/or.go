@@ -1,0 +1,224 @@
+package service
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"tpq/internal/engine"
+	"tpq/internal/pattern"
+)
+
+// Disjunctive serving. A disjunctive request is minimized per disjunct —
+// each disjunct routed through Minimize and therefore through every tier
+// the conjunctive path has (LRU, singleflight, persistent store, peer
+// fetch) — then absorption-pruned and reassembled. The assembled union is
+// cached in its own small LRU keyed on the disjunction's canonical form
+// (disjunct-sorted, so every spelling of the same union shares one key)
+// plus the constraint fingerprint: a repeat disjunctive request costs one
+// lookup instead of k cache probes plus O(k²) containment tests. There is
+// no or-level singleflight — concurrent identical disjunctive requests
+// share the per-disjunct pipeline runs through the conjunctive flight
+// map, and duplicating the cheap assembly is not worth a second map.
+
+// DefaultOrCacheSize is the or-cache capacity used when the conjunctive
+// cache is enabled. Disjunctive traffic is a small fraction of a TPQ
+// workload; the per-disjunct results live in the main cache either way.
+const DefaultOrCacheSize = 256
+
+// OrReport describes how one disjunctive request was served.
+type OrReport struct {
+	// InputSize and OutputSize are node counts summed across disjuncts.
+	InputSize, OutputSize int
+	// Disjuncts is the input disjunct count, Kept the output one.
+	Disjuncts, Kept int
+	// Absorbed counts disjuncts dropped because another contains them
+	// (post-minimization duplicates included); Unsat those dropped as
+	// unsatisfiable under the constraints.
+	Absorbed, Unsat int
+	// CDMRemoved and ACIMRemoved sum the per-disjunct phase removals.
+	CDMRemoved, ACIMRemoved int
+	// Unsatisfiable is set when every disjunct is unsatisfiable — the
+	// union can never produce an answer.
+	Unsatisfiable bool
+	// CacheHit is set when the assembled union came from the or-cache.
+	CacheHit bool
+}
+
+// orEntry is one cached disjunctive result: the assembled union (shared
+// read-only — its disjuncts alias conjunctive cache entries), its report
+// with per-request flags unset, and the rendered text.
+type orEntry struct {
+	out  *pattern.Disjunction
+	rep  OrReport
+	text string
+}
+
+// orCache is the small LRU over assembled unions. One lock: disjunctive
+// traffic does not justify sharding.
+type orCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List
+	items map[string]*list.Element
+}
+
+type orCacheItem struct {
+	key string
+	e   *orEntry
+}
+
+func newOrCache(capacity int) *orCache {
+	return &orCache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element, capacity)}
+}
+
+func (c *orCache) get(key string) (*orEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*orCacheItem).e, true
+}
+
+func (c *orCache) add(key string, e *orEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*orCacheItem).e = e
+		return
+	}
+	c.items[key] = c.ll.PushFront(&orCacheItem{key: key, e: e})
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*orCacheItem).key)
+	}
+}
+
+func (c *orCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// MinimizeDisjunction returns the minimal union equivalent to d under the
+// service's constraints: every disjunct minimized through the full cache
+// hierarchy, unsatisfiable disjuncts dropped, the rest absorption-pruned.
+// The returned Disjunction is always a private copy. A singleton behaves
+// exactly like Minimize on its one disjunct (same counters, same cache).
+func (s *Service) MinimizeDisjunction(ctx context.Context, d *pattern.Disjunction) (*pattern.Disjunction, OrReport, error) {
+	e, rep, err := s.minimizeDisjunctionEntry(ctx, d)
+	if err != nil {
+		return nil, OrReport{}, err
+	}
+	return e.out.Clone(), rep, nil
+}
+
+// minimizeDisjunctionEntry is the package-internal form of
+// MinimizeDisjunction: it returns the shared or-cache entry, saving the
+// clone for the HTTP layer. The caller must not mutate e.out.
+func (s *Service) minimizeDisjunctionEntry(ctx context.Context, d *pattern.Disjunction) (*orEntry, OrReport, error) {
+	if d == nil || len(d.Disjuncts) == 0 {
+		return nil, OrReport{}, errEmptyPattern
+	}
+	// Singleton: the request is conjunctive — serve it through the main
+	// path so it shares that cache and its counters, and wrap the entry.
+	if p := d.Singleton(); p != nil {
+		e, rep, err := s.minimizeEntry(ctx, p)
+		if err != nil {
+			return nil, OrReport{}, err
+		}
+		orep := OrReport{
+			InputSize:     rep.InputSize,
+			OutputSize:    rep.OutputSize,
+			Disjuncts:     1,
+			Kept:          1,
+			CDMRemoved:    rep.CDMRemoved,
+			ACIMRemoved:   rep.ACIMRemoved,
+			Unsatisfiable: rep.Unsatisfiable,
+			CacheHit:      rep.CacheHit,
+		}
+		text := e.text
+		if text == "" {
+			text = e.out.String()
+		}
+		return &orEntry{
+			out:  &pattern.Disjunction{Disjuncts: []*pattern.Pattern{e.out}},
+			rep:  orep,
+			text: text,
+		}, orep, nil
+	}
+
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		s.stats.errors.Add(1)
+		return nil, OrReport{}, ErrClosed
+	}
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	defer s.inflight.Done()
+
+	s.stats.orRequests.Add(1)
+	s.stats.orDisjuncts.Add(int64(len(d.Disjuncts)))
+
+	var key string
+	if s.orcache != nil {
+		key = d.Canonical() + "\x00" + s.fp
+		if e, ok := s.orcache.get(key); ok {
+			s.stats.orCacheHits.Add(1)
+			rep := e.rep
+			rep.CacheHit = true
+			return e, rep, nil
+		}
+	}
+
+	rep := OrReport{Disjuncts: len(d.Disjuncts), InputSize: d.Size()}
+	outs := make([]*pattern.Pattern, len(d.Disjuncts))
+	unsat := make([]bool, len(d.Disjuncts))
+	for i, p := range d.Disjuncts {
+		e, r, err := s.minimizeEntry(ctx, p)
+		if err != nil {
+			return nil, OrReport{}, err
+		}
+		outs[i] = e.out
+		unsat[i] = r.Unsatisfiable
+		rep.CDMRemoved += r.CDMRemoved
+		rep.ACIMRemoved += r.ACIMRemoved
+	}
+
+	// Drop unsatisfiable disjuncts; if every disjunct is unsatisfiable,
+	// keep the first minimized one so the output stays a valid query.
+	sat := make([]*pattern.Pattern, 0, len(outs))
+	for i, out := range outs {
+		if unsat[i] {
+			rep.Unsat++
+			continue
+		}
+		sat = append(sat, out)
+	}
+	if len(sat) == 0 {
+		rep.Unsatisfiable = true
+		rep.Unsat--
+		sat = append(sat, outs[0])
+	}
+
+	kept, absorbed := engine.AbsorbDisjuncts(sat, s.eng)
+	rep.Absorbed = absorbed
+	out := pattern.NewDisjunction(kept...)
+	rep.Absorbed += len(kept) - len(out.Disjuncts)
+	rep.Kept = len(out.Disjuncts)
+	rep.OutputSize = out.Size()
+	s.stats.orAbsorbed.Add(int64(rep.Absorbed))
+	s.stats.orUnsat.Add(int64(rep.Unsat))
+
+	e := &orEntry{out: out, rep: rep, text: out.String()}
+	if s.orcache != nil {
+		s.orcache.add(key, e)
+	}
+	return e, rep, nil
+}

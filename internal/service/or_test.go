@@ -1,0 +1,235 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"tpq/internal/data"
+	"tpq/internal/ics"
+	"tpq/internal/pattern"
+)
+
+func TestMinimizeDisjunction(t *testing.T) {
+	svc := New(Options{})
+	t.Cleanup(func() { svc.Close(context.Background()) })
+
+	// a*[/b] ⊆ a*, so the union absorbs down to a*. Each disjunct still
+	// minimizes first: the duplicated /b condition folds away.
+	d := pattern.MustParseDisjunctive("or(a*[/b, /b], a*)")
+	out, rep, err := svc.MinimizeDisjunction(context.Background(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); got != "a*" {
+		t.Errorf("output = %q, want a*", got)
+	}
+	if rep.Disjuncts != 2 || rep.Kept != 1 || rep.Absorbed != 1 || rep.CacheHit {
+		t.Errorf("report: %+v", rep)
+	}
+
+	// Repeat request, disjuncts listed in the other order: the or-cache
+	// is keyed on the disjunct-sorted canon, so this is a hit.
+	d2 := pattern.MustParseDisjunctive("or(a*, a*[/b, /b])")
+	if d.Canonical() != d2.Canonical() {
+		t.Fatalf("canon mismatch: %q vs %q", d.Canonical(), d2.Canonical())
+	}
+	_, rep2, err := svc.MinimizeDisjunction(context.Background(), d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.CacheHit {
+		t.Errorf("repeat union should hit the or-cache: %+v", rep2)
+	}
+
+	snap := svc.Stats()
+	if snap.OrRequests != 2 || snap.OrDisjuncts != 4 || snap.OrAbsorbed != 1 || snap.OrCacheHits != 1 {
+		t.Errorf("or counters: requests=%d disjuncts=%d absorbed=%d hits=%d",
+			snap.OrRequests, snap.OrDisjuncts, snap.OrAbsorbed, snap.OrCacheHits)
+	}
+	if snap.OrCacheLen != 1 {
+		t.Errorf("orCacheLen = %d, want 1", snap.OrCacheLen)
+	}
+}
+
+func TestMinimizeDisjunctionSingleton(t *testing.T) {
+	svc := New(Options{})
+	t.Cleanup(func() { svc.Close(context.Background()) })
+
+	// A singleton routes through the conjunctive path: same cache, same
+	// counters, no or-request accounting.
+	d := pattern.MustParseDisjunctive("or(a*[/b, /b])")
+	out, rep, err := svc.MinimizeDisjunction(context.Background(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); got != "a*/b" {
+		t.Errorf("output = %q, want a*/b", got)
+	}
+	if rep.Disjuncts != 1 || rep.Kept != 1 {
+		t.Errorf("report: %+v", rep)
+	}
+	if _, crep, err := svc.Minimize(context.Background(), pattern.MustParse("a*[/b, /b]")); err != nil || !crep.CacheHit {
+		t.Errorf("singleton should share the conjunctive cache: rep=%+v err=%v", crep, err)
+	}
+	if snap := svc.Stats(); snap.OrRequests != 0 {
+		t.Errorf("singleton counted as or-request: %d", snap.OrRequests)
+	}
+}
+
+func TestMinimizeDisjunctionUnsat(t *testing.T) {
+	cs := ics.MustParseSet("a !=> c")
+	svc := New(Options{Constraints: cs})
+	t.Cleanup(func() { svc.Close(context.Background()) })
+
+	// a//c is unsatisfiable under the co-occurrence constraint; the union
+	// keeps only the live disjunct.
+	d := pattern.MustParseDisjunctive("or(a[//c]/b*, d/b*)")
+	out, rep, err := svc.MinimizeDisjunction(context.Background(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Unsat != 1 || rep.Unsatisfiable {
+		t.Errorf("report: %+v", rep)
+	}
+	if got := out.String(); got != "d/b*" {
+		t.Errorf("output = %q, want d/b*", got)
+	}
+
+	// Every disjunct unsatisfiable: flagged, one disjunct kept.
+	dd := pattern.MustParseDisjunctive("or(a[//c]/b*, a[/c]/b*)")
+	out, rep, err = svc.MinimizeDisjunction(context.Background(), dd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Unsatisfiable || out.Singleton() == nil {
+		t.Errorf("all-unsat union: rep=%+v out=%q", rep, out.String())
+	}
+}
+
+func TestHTTPMinimizeOr(t *testing.T) {
+	_, ts := newTestServer(t, Options{}, HandlerOptions{})
+	resp, body := postJSON(t, ts.URL+"/minimize", `{"query": "or(a*[/b, /b], a*)"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out minimizeResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("decoding %s: %v", body, err)
+	}
+	if out.Output != "a*" || out.Disjuncts != 2 || out.Absorbed != 1 {
+		t.Errorf("response: %+v", out)
+	}
+
+	// Malformed OR is a 400 with the parser's position info.
+	resp, body = postJSON(t, ts.URL+"/minimize", `{"query": "or(a*, )"}`)
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "empty disjunct") {
+		t.Errorf("malformed or: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+func TestHTTPMinimizeXPathUnion(t *testing.T) {
+	_, ts := newTestServer(t, Options{}, HandlerOptions{})
+	resp, body := postJSON(t, ts.URL+"/minimize", `{"xpath": "/a[b]/b | /c//d"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out minimizeResponse
+	json.Unmarshal(body, &out)
+	if out.Disjuncts != 2 {
+		t.Errorf("union should have 2 disjuncts: %+v", out)
+	}
+	if !strings.Contains(out.OutputXPath, " | ") {
+		t.Errorf("xpath union input should render an xpath union output: %+v", out)
+	}
+}
+
+func TestHTTPMatchOr(t *testing.T) {
+	forest, err := data.ParseXML(strings.NewReader(
+		"<lib><book><title/><isbn/></book><book><title/></book></lib>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Options{}, HandlerOptions{Forest: forest})
+
+	// title ∪ isbn: 3 answers, document order, no duplicates.
+	resp, body := postJSON(t, ts.URL+"/match", `{"query": "book/or(title*, isbn*)"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out matchResponse
+	json.Unmarshal(body, &out)
+	if out.Count != 3 {
+		t.Errorf("count = %d, want 3 (2 titles + 1 isbn): %+v", out.Count, out)
+	}
+
+	// Overlapping disjuncts must not double-count: both alternatives
+	// answer every title.
+	resp, body = postJSON(t, ts.URL+"/match", `{"query": "or(book/title*, title*)"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	json.Unmarshal(body, &out)
+	if out.Count != 2 {
+		t.Errorf("overlapping union: count = %d, want 2 distinct titles", out.Count)
+	}
+
+	// Streamed OR: NDJSON lines, ascending IDs, then a summary.
+	resp, body = postJSON(t, ts.URL+"/match", `{"query": "book/or(title*, isbn*)", "stream": true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d: %s", resp.StatusCode, body)
+	}
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("stream lines = %d, want 3 answers + summary: %s", len(lines), body)
+	}
+	prev := -1
+	for _, l := range lines[:3] {
+		var a matchAnswer
+		if err := json.Unmarshal([]byte(l), &a); err != nil {
+			t.Fatalf("answer line %q: %v", l, err)
+		}
+		if a.ID <= prev {
+			t.Errorf("answers out of document order: %s", body)
+		}
+		prev = a.ID
+	}
+	var sum matchSummary
+	if err := json.Unmarshal([]byte(lines[3]), &sum); err != nil || !sum.Done || sum.Count != 3 {
+		t.Errorf("summary %q: %+v err=%v", lines[3], sum, err)
+	}
+}
+
+func TestHTTPMetricsOrFamilies(t *testing.T) {
+	_, ts := newTestServer(t, Options{}, HandlerOptions{})
+	postJSON(t, ts.URL+"/minimize", `{"query": "or(a*, b*)"}`)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 32<<10)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if rerr != nil {
+			break
+		}
+	}
+	text := sb.String()
+	for _, fam := range []string{
+		"tpq_or_requests_total 1",
+		"tpq_or_disjuncts_total 2",
+		"tpq_or_absorbed_total",
+		"tpq_or_unsat_total",
+		"tpq_or_cache_hits_total",
+		"tpq_or_cache_entries",
+	} {
+		if !strings.Contains(text, fam) {
+			t.Errorf("metrics missing %q", fam)
+		}
+	}
+}

@@ -33,6 +33,9 @@ const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
 //	    lookups by this service's pipeline runs (miss = compile)
 //	tpq_match_requests_total, tpq_match_streams_total,
 //	tpq_match_answers_total, tpq_match_limited_total     — /match evaluations
+//	tpq_or_requests_total, tpq_or_disjuncts_total,
+//	tpq_or_absorbed_total, tpq_or_unsat_total,
+//	tpq_or_cache_hits_total, tpq_or_cache_entries        — disjunctive serving
 //	tpq_slow_log_dropped_total                           — slow-log lines lost
 //	tpq_store_hits_total, tpq_store_misses_total,
 //	tpq_store_puts_total, tpq_store_errors_total,
@@ -77,6 +80,11 @@ func (s *Service) WritePrometheus(w io.Writer) {
 	counter("tpq_match_streams_total", "Match evaluations served in streaming (NDJSON) mode.", s.stats.matchStreams.Load())
 	counter("tpq_match_answers_total", "Answers delivered across all match evaluations.", s.stats.matchAnswers.Load())
 	counter("tpq_match_limited_total", "Match evaluations truncated by a result limit.", s.stats.matchLimited.Load())
+	counter("tpq_or_requests_total", "Disjunctive (multi-disjunct) minimize requests.", s.stats.orRequests.Load())
+	counter("tpq_or_disjuncts_total", "Disjuncts across all disjunctive requests.", s.stats.orDisjuncts.Load())
+	counter("tpq_or_absorbed_total", "Disjuncts dropped by absorption pruning (duplicates included).", s.stats.orAbsorbed.Load())
+	counter("tpq_or_unsat_total", "Disjuncts dropped as unsatisfiable under the constraints.", s.stats.orUnsat.Load())
+	counter("tpq_or_cache_hits_total", "Disjunctive requests served from the or-cache.", s.stats.orCacheHits.Load())
 	counter("tpq_slow_log_dropped_total", "Slow-query log lines lost to a failing writer.", s.stats.slowLogDropped.Load())
 	counter("tpq_store_hits_total", "LRU misses answered by the persistent tier.", s.stats.storeHits.Load())
 	counter("tpq_store_misses_total", "LRU misses the persistent tier could not answer.", s.stats.storeMisses.Load())
@@ -99,6 +107,11 @@ func (s *Service) WritePrometheus(w io.Writer) {
 	gauge("tpq_cache_entries", "Cached minimizations resident.", float64(cacheLen))
 	gauge("tpq_cache_capacity", "Cache capacity (0 when caching is disabled).", float64(cacheCap))
 	gauge("tpq_cache_shards", "Lock domains the LRU is split over.", float64(len(s.shards)))
+	orLen := 0
+	if s.orcache != nil {
+		orLen = s.orcache.len()
+	}
+	gauge("tpq_or_cache_entries", "Cached disjunctive results resident.", float64(orLen))
 	reg := chase.DefaultRegistry.Stats()
 	gauge("tpq_plan_cache_entries", "Compiled chase plans resident in the process-wide registry.", float64(reg.Len))
 	gauge("tpq_plan_cache_capacity", "Chase-plan registry capacity.", float64(reg.Cap))

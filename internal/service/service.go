@@ -154,6 +154,12 @@ type Service struct {
 	shards    []*cacheShard
 	shardMask uint64
 
+	// orcache is the disjunctive result cache (nil when caching is
+	// disabled), keyed on disjunction canon + constraint fingerprint.
+	// Per-disjunct results live in the sharded tier above; this one only
+	// saves re-assembly (absorption containment tests) of repeat unions.
+	orcache *orCache
+
 	slowThreshold time.Duration
 	slowMu        sync.Mutex // serializes slow-query log lines
 	slowLog       io.Writer
@@ -213,6 +219,7 @@ func New(opts Options) *Service {
 	if cacheSize > 0 {
 		s.shards = newShards(cacheSize)
 		s.shardMask = uint64(len(s.shards) - 1)
+		s.orcache = newOrCache(DefaultOrCacheSize)
 	}
 	if opts.Store != nil && len(s.shards) > 0 {
 		s.store = opts.Store
@@ -255,6 +262,9 @@ func (s *Service) Stats() Snapshot {
 	snap := s.stats.snapshot()
 	snap.CacheLen, snap.CacheCap = s.cacheLenCap()
 	snap.CacheShards = len(s.shards)
+	if s.orcache != nil {
+		snap.OrCacheLen = s.orcache.len()
+	}
 	reg := chase.DefaultRegistry.Stats()
 	snap.PlanCacheLen, snap.PlanCacheCap = reg.Len, reg.Cap
 	if s.store != nil {

@@ -43,6 +43,12 @@ type Stats struct {
 	peerHits    atomic.Int64 // peer fetches that returned an entry
 	peerErrors  atomic.Int64 // peer fetches that failed (transport, decode)
 
+	orRequests  atomic.Int64 // disjunctive (multi-disjunct) minimize requests
+	orDisjuncts atomic.Int64 // disjuncts across all disjunctive requests
+	orAbsorbed  atomic.Int64 // disjuncts dropped by absorption (duplicates included)
+	orUnsat     atomic.Int64 // disjuncts dropped as unsatisfiable
+	orCacheHits atomic.Int64 // disjunctive requests served from the or-cache
+
 	matchRequests atomic.Int64 // /match evaluations accepted
 	matchStreams  atomic.Int64 // evaluations served in streaming (NDJSON) mode
 	matchAnswers  atomic.Int64 // answers delivered across all evaluations
@@ -192,6 +198,15 @@ type Snapshot struct {
 	MatchAnswers  int64 `json:"matchAnswers"`
 	MatchLimited  int64 `json:"matchLimited"`
 
+	// Disjunctive serving: requests with two or more disjuncts
+	// (singletons count as conjunctive requests above).
+	OrRequests  int64 `json:"orRequests"`
+	OrDisjuncts int64 `json:"orDisjuncts"`
+	OrAbsorbed  int64 `json:"orAbsorbed"`
+	OrUnsat     int64 `json:"orUnsat"`
+	OrCacheHits int64 `json:"orCacheHits"`
+	OrCacheLen  int   `json:"orCacheLen"`
+
 	CacheLen int `json:"cacheLen"`
 	CacheCap int `json:"cacheCap"`
 	// CacheShards is the number of lock domains the LRU is split over
@@ -274,6 +289,11 @@ func (s *Stats) snapshot() Snapshot {
 		MatchStreams:   s.matchStreams.Load(),
 		MatchAnswers:   s.matchAnswers.Load(),
 		MatchLimited:   s.matchLimited.Load(),
+		OrRequests:     s.orRequests.Load(),
+		OrDisjuncts:    s.orDisjuncts.Load(),
+		OrAbsorbed:     s.orAbsorbed.Load(),
+		OrUnsat:        s.orUnsat.Load(),
+		OrCacheHits:    s.orCacheHits.Load(),
 	}
 	counts := make([]int64, len(s.lat.buckets))
 	for i := range s.lat.buckets {

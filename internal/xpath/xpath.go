@@ -142,6 +142,41 @@ func FromXPath(src string) (*pattern.Pattern, error) {
 	return pat, nil
 }
 
+// FromXPathDisjunctive parses an abbreviated XPath expression extended
+// with the top-level union operator: "expr1 | expr2 | ...". Each branch
+// is a full expression of the FromXPath fragment and becomes one
+// disjunct; the result is their canon-sorted, deduplicated union (the
+// XPath union of node sets is exactly the OR semantics of the
+// disjunctive pattern model). Unions inside predicates are not
+// supported. An expression without "|" yields a singleton Disjunction.
+func FromXPathDisjunctive(src string) (*pattern.Disjunction, error) {
+	p := &xparser{src: src}
+	var pats []*pattern.Pattern
+	for {
+		root, last, err := p.parsePath(true)
+		if err != nil {
+			return nil, err
+		}
+		last.Star = true
+		pat := pattern.New(root)
+		if err := pat.Validate(); err != nil {
+			return nil, err
+		}
+		pats = append(pats, pat)
+		if len(pats) > pattern.MaxDisjuncts {
+			return nil, p.errorf("union has more than %d branches", pattern.MaxDisjuncts)
+		}
+		if !p.accept("|") {
+			break
+		}
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, p.errorf("unexpected %q after expression", p.rest())
+	}
+	return pattern.NewDisjunction(pats...), nil
+}
+
 type xparser struct {
 	src string
 	pos int

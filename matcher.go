@@ -103,6 +103,35 @@ func (m *Matcher) Embeddings(ctx context.Context, p *Pattern) iter.Seq[Embedding
 	return q.Embeddings(ctx)
 }
 
+// AnswersDisjunction returns a lazy, document-ordered, duplicate-free
+// iterator over the answer set of a disjunctive query: the union of the
+// disjuncts' answer sets, streamed as a k-way merge over per-disjunct
+// iterators with dedup by answer node. Cancellation and invalid
+// disjuncts behave as in Answers (a disjunct that fails to compile
+// yields nothing; compile the disjuncts individually to observe errors).
+func (m *Matcher) AnswersDisjunction(ctx context.Context, d *Disjunction) iter.Seq[*DataNode] {
+	if d == nil || len(d.Disjuncts) == 0 {
+		return func(func(*DataNode) bool) {}
+	}
+	qs := make([]*stream.Query, 0, len(d.Disjuncts))
+	for _, p := range d.Disjuncts {
+		if q, err := m.Compile(p); err == nil {
+			qs = append(qs, q)
+		}
+	}
+	return stream.UnionAnswers(ctx, qs)
+}
+
+// MatchDisjunction materializes the full answer set of a disjunctive
+// query in document order; see AnswersDisjunction.
+func (m *Matcher) MatchDisjunction(d *Disjunction) []*DataNode {
+	var out []*DataNode
+	for v := range m.AnswersDisjunction(context.Background(), d) {
+		out = append(out, v)
+	}
+	return out
+}
+
 // Match materializes the full answer set of p in document order — the
 // drained Answers iterator, for callers that want the slice.
 func (m *Matcher) Match(p *Pattern) []*DataNode {

@@ -84,6 +84,25 @@ func (m *Minimizer) MinimizeReport(p *Pattern) (*Pattern, Report) {
 	return out, toReport(rep)
 }
 
+// OrReport describes how one disjunctive request was served: per-disjunct
+// pipeline counters summed, plus the disjunct bookkeeping (absorbed,
+// unsatisfiable, kept) and whether the assembled union came from the
+// or-cache.
+type OrReport = service.OrReport
+
+// MinimizeDisjunction minimizes a disjunctive query under the Minimizer's
+// constraints: every disjunct through the conjunctive cache individually,
+// unsatisfiable disjuncts dropped, the rest absorption-pruned, and the
+// assembled union cached under its disjunct-sorted canonical form. A nil
+// or empty disjunction returns nil and a zero report.
+func (m *Minimizer) MinimizeDisjunction(d *Disjunction) (*Disjunction, OrReport) {
+	out, rep, err := m.svc.MinimizeDisjunction(context.Background(), d)
+	if err != nil {
+		return nil, OrReport{}
+	}
+	return out, rep
+}
+
 // MinimizeBatch minimizes every query concurrently over the Minimizer's
 // worker budget, in input order; duplicates within one batch share a
 // single minimization. On cancellation the whole batch fails.

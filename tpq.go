@@ -104,6 +104,23 @@ func Parse(src string) (*Pattern, error) { return pattern.Parse(src) }
 // MustParse is Parse that panics on error, for tests and examples.
 func MustParse(src string) *Pattern { return pattern.MustParse(src) }
 
+// Disjunction is a union of conjunctive tree pattern queries — the
+// distributed form of a pattern with or(p1, p2, ...) nodes. Its answer
+// set is the union of the disjuncts' answer sets, and its canonical form
+// sorts the disjuncts so every spelling of the same union shares a cache
+// key.
+type Disjunction = pattern.Disjunction
+
+// ParseDisjunctive reads a pattern in the Parse syntax extended with
+// or(alt1, alt2, ...) nodes and returns its distributed form: every
+// or-node expanded into a union of conjunctive patterns (capped at
+// pattern.MaxDisjuncts), deduplicated and sorted by canonical form. A
+// source without or-nodes yields a singleton Disjunction.
+func ParseDisjunctive(src string) (*Disjunction, error) { return pattern.ParseDisjunctive(src) }
+
+// MustParseDisjunctive is ParseDisjunctive that panics on error.
+func MustParseDisjunctive(src string) *Disjunction { return pattern.MustParseDisjunctive(src) }
+
 // ParseCondition reads one value condition, e.g. "@price < 100".
 func ParseCondition(src string) (Condition, error) { return pattern.ParseCondition(src) }
 
@@ -233,6 +250,21 @@ func MinimizeBatch(queries []*Pattern, cs *Constraints, workers int) []*Pattern 
 	return outs
 }
 
+// MinimizeDisjunction returns the minimized form of a disjunctive query
+// under cs (which may be nil): each disjunct minimized through the
+// CDM+ACIM pipeline (over a worker pool sharing one compiled chase
+// plan), unsatisfiable disjuncts dropped, and disjuncts absorbed by
+// another — contained in it under the constraints, hence redundant in
+// the union — pruned. The result is equivalent to d by construction; no
+// cross-disjunct rewriting is attempted (containment beyond the
+// conjunctive fragment has no uniqueness theorem to aim at). d is never
+// mutated.
+func MinimizeDisjunction(d *Disjunction, cs *Constraints) *Disjunction {
+	m := engine.New(engine.Options{Constraints: cs})
+	r, _ := m.MinimizeDisjunction(context.Background(), d)
+	return r.Output
+}
+
 // Contains reports whether p contains q: on every database, q's answers
 // are a subset of p's.
 func Contains(p, q *Pattern) bool { return containment.Contains(p, q) }
@@ -358,6 +390,14 @@ func FromXPath(src string) (*Pattern, error) { return xpath.FromXPath(src) }
 // FromXPath for the fragment. Patterns with extra types have no XPath
 // equivalent and are rejected.
 func ToXPath(p *Pattern) (string, error) { return xpath.ToXPath(p) }
+
+// FromXPathDisjunctive parses the FromXPath fragment extended with
+// top-level '|' unions into a Disjunction, one disjunct per branch
+// (deduplicated and sorted by canonical form). A union-free expression
+// yields a singleton Disjunction.
+func FromXPathDisjunctive(src string) (*Disjunction, error) {
+	return xpath.FromXPathDisjunctive(src)
+}
 
 // Isomorphic reports whether two patterns are equal up to sibling order.
 // Minimal equivalent queries are unique up to isomorphism (Theorem 4.1),
